@@ -1,0 +1,91 @@
+// §6.3 end-to-end timeline: "When an engineer saves a config change, it
+// takes about ten minutes to go through automated canary tests... After
+// canary tests [it takes] about 5 seconds to commit, about 5 seconds for the
+// tailer to fetch, and about 4.5 seconds for Zeus to propagate" — baseline
+// ~14.5 s of post-canary latency. This bench drives one change through the
+// full stack and prints the measured timeline stage by stage.
+
+#include <cstdio>
+
+#include "src/core/stack.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace configerator;
+
+int main() {
+  PrintBenchHeader("§6.3 — end-to-end latency of one config change",
+                   "Propose -> review -> canary -> land -> tail -> Zeus -> "
+                   "proxies, on the simulated clock");
+
+  ConfigManagementStack::Options options;
+  options.tailer.poll_interval = 5 * kSimSecond;
+  options.tailer.fetch_delay = 5 * kSimSecond;
+  ConfigManagementStack stack(options);
+
+  // Subscribe applications on servers in every cluster.
+  std::vector<ServerId> app_servers = {ServerId{0, 0, 7}, ServerId{0, 1, 7},
+                                       ServerId{1, 0, 7}, ServerId{1, 1, 7}};
+  size_t received = 0;
+  SimTime last_arrival = 0;
+  for (const ServerId& server : app_servers) {
+    stack.SubscribeServer(server, "feed/ranker.json",
+                          [&](const std::string&, const std::string&, int64_t) {
+                            ++received;
+                            last_arrival = stack.sim().now();
+                          });
+  }
+  stack.RunFor(2 * kSimSecond);
+
+  SimTime t0 = stack.sim().now();
+  auto change = stack.ProposeChange(
+      "alice", "tune ranker",
+      {{"feed/ranker.cconf",
+        "export_if_last({\"weight_likes\": 0.7, \"weight_recency\": 0.3})\n"}});
+  if (!change.ok()) {
+    std::printf("propose failed: %s\n", change.status().ToString().c_str());
+    return 1;
+  }
+  SimTime t_proposed = stack.sim().now();
+  if (!stack.Approve(&*change, "bob").ok()) {
+    return 1;
+  }
+
+  DefectServiceModel healthy(ConfigDefect::kNone, DefectServiceModel::Params{},
+                             3);
+  SimTime t_landed = 0;
+  bool landed = false;
+  stack.TestAndLand(*change, CanarySpec::Default(), &healthy,
+                    [&](Result<ObjectId> result) {
+                      landed = result.ok();
+                      t_landed = stack.sim().now();
+                    });
+  stack.RunFor(30 * kSimMinute);
+  if (!landed || received < app_servers.size()) {
+    std::printf("pipeline did not complete (landed=%d, received=%zu)\n",
+                landed, received);
+    return 1;
+  }
+
+  double canary_minutes = SimToSeconds(t_landed - t_proposed) / 60.0;
+  double post_land_seconds = SimToSeconds(last_arrival - t_landed);
+  double total_minutes = SimToSeconds(last_arrival - t0) / 60.0;
+
+  TextTable timeline({"stage", "paper", "measured"});
+  timeline.AddRow({"compile + CI + open review", "(interactive)",
+                   StrFormat("%.1f s", SimToSeconds(t_proposed - t0))});
+  timeline.AddRow({"automated canary (2 phases)", "~10 min",
+                   StrFormat("%.1f min", canary_minutes)});
+  timeline.AddRow({"land -> all subscribed servers",
+                   "~14.5 s (5 commit + 5 tailer + 4.5 tree)",
+                   StrFormat("%.1f s", post_land_seconds)});
+  timeline.AddRow({"total save-to-fleet", "~10-11 min",
+                   StrFormat("%.1f min", total_minutes)});
+  timeline.Print();
+
+  std::printf("\nNote: our landing strip commits in-memory (microseconds), so "
+              "the measured post-land latency\nis tailer poll (<=5s) + fetch "
+              "(5s) + tree; the paper's extra ~5s is git commit time, \n"
+              "reproduced separately in fig13/fig14.\n");
+  return 0;
+}

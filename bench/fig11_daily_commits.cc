@@ -1,0 +1,103 @@
+// Figure 11: daily commit throughput of the Configerator repository compared
+// with the www and fbcode code repositories. Signature observations: the
+// peak daily throughput grows ~180% over ten months; weekly peaks/valleys;
+// and Configerator's weekend throughput is ~33% of its busiest weekday
+// (automation never sleeps) vs ~10% for www and ~7% for fbcode.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/workload/arrivals.h"
+
+using namespace configerator;
+
+namespace {
+
+struct RepoResult {
+  std::string name;
+  std::vector<int64_t> daily;
+  double growth = 0;
+  double weekend_ratio = 0;
+};
+
+RepoResult RunRepo(const std::string& name, double automation_share,
+                   double initial_daily, uint64_t seed) {
+  CommitArrivalModel::Params params;
+  params.repo_name = name;
+  params.automation_share = automation_share;
+  params.initial_daily_commits = initial_daily;
+  params.seed = seed;
+  CommitArrivalModel model(params);
+
+  constexpr int kDays = 300;  // ~10 months.
+  auto hourly = model.SampleHourly(kDays);
+  RepoResult result;
+  result.name = name;
+  result.daily = CommitArrivalModel::DailyTotals(hourly);
+
+  // Peak-week growth: compare the max day of the first and last 4 weeks.
+  int64_t early_peak = *std::max_element(result.daily.begin(),
+                                         result.daily.begin() + 28);
+  int64_t late_peak = *std::max_element(result.daily.end() - 28,
+                                        result.daily.end());
+  result.growth = 100.0 * (static_cast<double>(late_peak) /
+                               static_cast<double>(early_peak) -
+                           1.0);
+
+  // Weekend ratio over the final four weeks: weekend mean / busiest weekday.
+  int64_t busiest = 0;
+  int64_t weekend_sum = 0;
+  int weekend_days = 0;
+  for (size_t day = result.daily.size() - 28; day < result.daily.size(); ++day) {
+    int dow = static_cast<int>(day % 7);
+    if (dow >= 5) {
+      weekend_sum += result.daily[day];
+      ++weekend_days;
+    } else {
+      busiest = std::max(busiest, result.daily[day]);
+    }
+  }
+  result.weekend_ratio = 100.0 * static_cast<double>(weekend_sum) /
+                         weekend_days / static_cast<double>(busiest);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Figure 11 — daily commit throughput by repository",
+                   "Commit arrival model over ~10 months; day 0 is a Monday");
+
+  RepoResult configerator_repo = RunRepo("configerator", 0.39, 1500, 1);
+  RepoResult www_repo = RunRepo("www", 0.10, 700, 2);
+  RepoResult fbcode_repo = RunRepo("fbcode", 0.05, 900, 3);
+
+  // A four-week window of daily totals shows the weekly sawtooth.
+  TextTable window({"day", "dow", "configerator", "www", "fbcode"});
+  const char* kDow[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  for (size_t day = 140; day < 161; ++day) {
+    window.AddRow({std::to_string(day), kDow[day % 7],
+                   std::to_string(configerator_repo.daily[day]),
+                   std::to_string(www_repo.daily[day]),
+                   std::to_string(fbcode_repo.daily[day])});
+  }
+  window.Print();
+
+  std::printf("\npaper vs measured:\n");
+  TextTable summary({"claim", "paper", "measured"});
+  summary.AddRow({"configerator peak growth over 10 months", "+180%",
+                  StrFormat("%+.0f%%", configerator_repo.growth)});
+  summary.AddRow({"configerator weekend/busiest-weekday", "~33%",
+                  StrFormat("%.0f%%", configerator_repo.weekend_ratio)});
+  summary.AddRow({"www weekend ratio", "~10%",
+                  StrFormat("%.0f%%", www_repo.weekend_ratio)});
+  summary.AddRow({"fbcode weekend ratio", "~7%",
+                  StrFormat("%.0f%%", fbcode_repo.weekend_ratio)});
+  summary.AddRow(
+      {"config commits outnumber code commits", "yes",
+       configerator_repo.daily.back() > www_repo.daily.back() ? "yes" : "NO"});
+  summary.Print();
+  return 0;
+}

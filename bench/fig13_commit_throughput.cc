@@ -1,0 +1,203 @@
+// Figure 13: maximum commit throughput as a function of repository size —
+// the paper's sandbox stress test. This is a *real* measurement against our
+// VCS substrate: commit cost includes the git-style index scan (every
+// tracked file is touched to answer "is the clone up to date?") plus tree
+// re-hashing along changed paths, so throughput degrades as the file count
+// grows — the phenomenon that drove the paper's multi-repository redesign
+// (§3.6), which is measured here as the remedy.
+//
+// Absolute numbers differ from the paper's git-on-spinning-metal setup; the
+// reproduced result is the shape: throughput monotonically decreasing in
+// repository size, and partitioning restoring it.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/pipeline/landing_strip.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/vcs/multirepo.h"
+#include "src/vcs/repository.h"
+
+using namespace configerator;
+
+namespace {
+
+std::string PathFor(size_t index) {
+  return StrFormat("cfg/dir%04zu/file%06zu.json", index / 1000, index);
+}
+
+std::string ContentFor(size_t index, int version) {
+  return StrFormat("{\n  \"id\": %zu,\n  \"version\": %d\n}\n", index, version);
+}
+
+// Grows the repo to `target` files (batch commits), returns nothing.
+void GrowTo(Repository& repo, size_t target) {
+  constexpr size_t kBatch = 5000;
+  while (repo.file_count() < target) {
+    size_t start = repo.file_count();
+    size_t end = std::min(target, start + kBatch);
+    std::vector<FileWrite> writes;
+    writes.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      writes.push_back({PathFor(i), ContentFor(i, 0)});
+    }
+    auto commit = repo.Commit("loader", "bulk load", writes);
+    if (!commit.ok()) {
+      std::fprintf(stderr, "bulk load failed: %s\n",
+                   commit.status().ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+// Measures `n` single-file commits through the landing strip; returns
+// commits per minute.
+double MeasureThroughput(Repository& repo, int n, Rng& rng) {
+  LandingStrip strip(&repo);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    size_t index = rng.NextBounded(repo.file_count());
+    ProposedDiff diff = MakeProposedDiff(
+        repo, "engineer", "tweak",
+        {{PathFor(index), ContentFor(index, i + 1)}});
+    auto commit = strip.Land(diff);
+    if (!commit.ok()) {
+      std::fprintf(stderr, "commit failed: %s\n",
+                   commit.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return 60.0 * n / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Figure 13 — max commit throughput vs repository size",
+                   "Real measurement: single-file commits through the landing "
+                   "strip at growing repo sizes");
+
+  Rng rng(13);
+  Repository repo;
+  const size_t kSizes[] = {10'000, 50'000, 100'000, 250'000, 500'000};
+  constexpr int kCommits = 100;
+
+  TextTable table({"files in repo", "commits/min", "latency (ms/commit)"});
+  double first_throughput = 0;
+  double last_throughput = 0;
+  for (size_t size : kSizes) {
+    GrowTo(repo, size);
+    double throughput = MeasureThroughput(repo, kCommits, rng);
+    if (first_throughput == 0) {
+      first_throughput = throughput;
+    }
+    last_throughput = throughput;
+    table.AddRow({std::to_string(size), StrFormat("%.0f", throughput),
+                  StrFormat("%.2f", 60'000.0 / throughput)});
+  }
+  table.Print();
+
+  // Ablation 1: index scan off — isolates the git-status cost component.
+  repo.set_index_scan_enabled(false);
+  double no_scan = MeasureThroughput(repo, kCommits, rng);
+  repo.set_index_scan_enabled(true);
+
+  // Ablation 2 (the §3.6 remedy): four partitions serving the same 500k
+  // files — each commit only pays its partition's cost.
+  MultiRepo multi;
+  for (int p = 0; p < 4; ++p) {
+    (void)multi.AddPartition(StrFormat("p%d/", p));
+  }
+  {
+    constexpr size_t kPerPartition = 125'000;
+    for (int p = 0; p < 4; ++p) {
+      constexpr size_t kBatch = 5000;
+      for (size_t start = 0; start < kPerPartition; start += kBatch) {
+        std::vector<FileWrite> writes;
+        for (size_t i = start; i < start + kBatch; ++i) {
+          writes.push_back({StrFormat("p%d/", p) + PathFor(i), ContentFor(i, 0)});
+        }
+        auto commit = multi.Commit("loader", "bulk", writes);
+        if (!commit.ok()) {
+          std::abort();
+        }
+      }
+    }
+  }
+  double multi_throughput;
+  {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCommits; ++i) {
+      int p = i % 4;
+      size_t index = rng.NextBounded(125'000);
+      std::string path = StrFormat("p%d/", p) + PathFor(index);
+      auto commit =
+          multi.Commit("engineer", "tweak", {{path, ContentFor(index, i + 1)}});
+      if (!commit.ok()) {
+        std::abort();
+      }
+    }
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    multi_throughput = 60.0 * kCommits / elapsed;
+  }
+
+  // Ablation 3: partitions also accept commits *concurrently* — one landing
+  // thread per partition, which is the actual §3.6 deployment shape.
+  double concurrent_throughput;
+  {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> landers;
+    landers.reserve(4);
+    for (int p = 0; p < 4; ++p) {
+      landers.emplace_back([&multi, p] {
+        Rng thread_rng(static_cast<uint64_t>(1000 + p));
+        for (int i = 0; i < kCommits / 4; ++i) {
+          size_t index = thread_rng.NextBounded(125'000);
+          std::string path = StrFormat("p%d/", p) + PathFor(index);
+          auto commit = multi.Commit("lander", "tweak",
+                                     {{path, ContentFor(index, -i - 1)}});
+          if (!commit.ok()) {
+            std::abort();
+          }
+        }
+      });
+    }
+    for (std::thread& t : landers) {
+      t.join();
+    }
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    concurrent_throughput = 60.0 * (kCommits / 4 * 4) / elapsed;
+  }
+
+  std::printf("\npaper vs measured:\n");
+  TextTable summary({"claim", "paper", "measured"});
+  summary.AddRow({"throughput declines with repo size", "~250 -> ~50 /min",
+                  StrFormat("%.0f -> %.0f /min (%.1fx drop)", first_throughput,
+                            last_throughput, first_throughput / last_throughput)});
+  summary.AddRow({"dominant cost is repo-size-proportional work",
+                  "git ops slow on large repos",
+                  StrFormat("index-scan off: %.0f /min (%.1fx faster)", no_scan,
+                            no_scan / last_throughput)});
+  summary.AddRow({"multi-repo partitioning restores throughput",
+                  "migration to partitioned repos",
+                  StrFormat("4 partitions: %.0f /min (%.1fx faster)",
+                            multi_throughput, multi_throughput / last_throughput)});
+  summary.AddRow(
+      {"partitions accept commits concurrently",
+       "\"can accept commits concurrently\" (§3.6)",
+       StrFormat("4 landing threads on %u core(s): %.0f /min (%.1fx vs serial)",
+                 std::thread::hardware_concurrency(), concurrent_throughput,
+                 concurrent_throughput / multi_throughput)});
+  summary.Print();
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Figure 14: end-to-end latency between committing a config change and the
+// new config reaching all subscribed production servers, over one simulated
+// week. The paper's breakdown: ~5 s to commit into the shared git repo, ~5 s
+// for the git tailer to fetch the change, ~4.5 s for Zeus' tree to reach
+// hundreds of thousands of servers — a ~14.5 s baseline that rises with
+// commit load (daily and weekly patterns), because the commit stage is a
+// shared FCFS queue.
+//
+// This runs the real pipeline (landing-strip queue → repository → tailer →
+// Zeus ensemble → observers → proxies) on the discrete-event simulator,
+// driven by the diurnal commit-arrival model.
+
+#include <cstdio>
+#include <deque>
+#include <map>
+
+#include "src/distribution/proxy.h"
+#include "src/distribution/tailer.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/vcs/repository.h"
+#include "src/workload/arrivals.h"
+#include "src/zeus/zeus.h"
+
+using namespace configerator;
+
+namespace {
+
+constexpr int kDays = 7;
+constexpr int kPaths = 100;     // Well-known config paths, updated round-robin.
+constexpr int kProxies = 40;    // Subscribed servers across the fleet.
+constexpr SimTime kCommitServiceTime = 5 * kSimSecond;  // Slow git commit.
+
+struct PendingCommit {
+  std::string path;
+  std::string payload;
+  SimTime enqueued;
+};
+
+struct InFlight {
+  SimTime enqueued = 0;
+  int receipts = 0;
+};
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Figure 14 — commit-to-fleet propagation latency",
+                   "Full pipeline on the simulator over one week; baseline "
+                   "~14.5s, load-dependent (daily + weekly pattern)");
+
+  Simulator sim;
+  Network net(&sim, Topology(2, 2, 25), /*seed=*/14);
+  std::vector<ServerId> members = {ServerId{0, 0, 0}, ServerId{1, 0, 0},
+                                   ServerId{0, 0, 1}, ServerId{1, 0, 1},
+                                   ServerId{0, 1, 0}};
+  std::vector<ServerId> observers;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      observers.push_back(ServerId{r, c, 24});
+      observers.push_back(ServerId{r, c, 23});
+    }
+  }
+  // The tree hop carries a processing delay sized for a hundreds-of-
+  //-thousands fan-out (serialization + commit-log fsync), per the paper's
+  // ~4.5 s tree stage.
+  ZeusEnsemble::Options zeus_options;
+  zeus_options.processing_delay = 1500 * kSimMillisecond;
+  ZeusEnsemble zeus(&net, members, observers, zeus_options);
+
+  Repository repo;
+  GitTailer::Options tailer_options;
+  tailer_options.poll_interval = 5 * kSimSecond;
+  tailer_options.fetch_delay = 5 * kSimSecond;
+  GitTailer tailer(&net, ServerId{0, 0, 5}, &repo, &zeus, tailer_options);
+  tailer.Start();
+
+  // Latency bookkeeping: payload -> enqueue time; a commit is "propagated"
+  // when every proxy has seen its payload.
+  std::map<std::string, InFlight> in_flight;
+  std::vector<SampleSet> hourly_latency(kDays * 24);
+  SampleSet all_latency;
+
+  // Proxies across the fleet subscribe to every tracked path.
+  std::vector<std::unique_ptr<OnDiskCache>> disks;
+  std::vector<std::unique_ptr<ConfigProxy>> proxies;
+  for (int i = 0; i < kProxies; ++i) {
+    ServerId host{i % 2, (i / 2) % 2, 2 + (i / 4) % 20};
+    disks.push_back(std::make_unique<OnDiskCache>());
+    proxies.push_back(std::make_unique<ConfigProxy>(
+        &net, &zeus, host, disks.back().get(), 100 + i));
+    for (int p = 0; p < kPaths; ++p) {
+      proxies.back()->Subscribe(
+          StrFormat("conf/path%03d.json", p),
+          [&in_flight, &hourly_latency, &all_latency, &sim](
+              const std::string&, const std::string& value, int64_t) {
+            auto it = in_flight.find(value);
+            if (it == in_flight.end()) {
+              return;
+            }
+            if (++it->second.receipts == kProxies) {
+              double latency = SimToSeconds(sim.now() - it->second.enqueued);
+              size_t hour = static_cast<size_t>(it->second.enqueued / kSimHour);
+              if (hour < hourly_latency.size()) {
+                hourly_latency[hour].Add(latency);
+              }
+              all_latency.Add(latency);
+              in_flight.erase(it);
+            }
+          });
+    }
+  }
+
+  // The landing-strip commit queue: FCFS, 5 s service time.
+  std::deque<PendingCommit> queue;
+  bool busy = false;
+  int path_round_robin = 0;
+  int64_t seq = 0;
+
+  std::function<void()> start_service = [&] {
+    if (busy || queue.empty()) {
+      return;
+    }
+    busy = true;
+    sim.Schedule(kCommitServiceTime, [&] {
+      PendingCommit commit = std::move(queue.front());
+      queue.pop_front();
+      auto result = repo.Commit("engineer", "update", {
+          {commit.path, commit.payload}});
+      if (result.ok()) {
+        in_flight[commit.payload] = InFlight{commit.enqueued, 0};
+      }
+      busy = false;
+      start_service();
+    });
+  };
+
+  // Commit arrivals from the diurnal model, scaled so the peak hour keeps
+  // the 5 s/commit pipe at ~85% utilization.
+  CommitArrivalModel::Params arrival_params;
+  arrival_params.automation_share = 0.39;
+  arrival_params.daily_growth = 0;
+  arrival_params.initial_daily_commits = 1;  // Rescaled below.
+  CommitArrivalModel model(arrival_params);
+  double peak = 0;
+  for (int h = 0; h < 24; ++h) {
+    peak = std::max(peak, model.ExpectedCommits(2, h));
+  }
+  double scale = (0.85 * 3600.0 / SimToSeconds(kCommitServiceTime)) / peak;
+
+  Rng arrival_rng(99);
+  for (int day = 0; day < kDays; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      double rate = model.ExpectedCommits(day, hour) * scale;  // Per hour.
+      double t = 0;
+      while (true) {
+        t += arrival_rng.NextExponential(rate / 3600.0);
+        if (t >= 3600.0) {
+          break;
+        }
+        SimTime when = (day * 24 + hour) * kSimHour +
+                       static_cast<SimTime>(t * kSimSecond);
+        sim.ScheduleAt(when, [&, when] {
+          PendingCommit commit;
+          commit.path = StrFormat("conf/path%03d.json",
+                                  path_round_robin++ % kPaths);
+          commit.payload = StrFormat("payload-%lld",
+                                     static_cast<long long>(seq++));
+          commit.enqueued = when;
+          queue.push_back(std::move(commit));
+          start_service();
+        });
+      }
+    }
+  }
+
+  sim.RunUntil(kDays * kSimDay + kSimHour);
+
+  // Report: hourly mean latency for one weekday and one weekend day.
+  TextTable table({"hour", "Wed mean (s)", "Wed p95 (s)", "Sun mean (s)"});
+  for (int hour = 0; hour < 24; hour += 2) {
+    SampleSet& wed = hourly_latency[static_cast<size_t>(2 * 24 + hour)];
+    SampleSet& sun = hourly_latency[static_cast<size_t>(6 * 24 + hour)];
+    table.AddRow({StrFormat("%02d:00", hour),
+                  wed.empty() ? "-" : StrFormat("%.1f", wed.Mean()),
+                  wed.empty() ? "-" : StrFormat("%.1f", wed.Percentile(95)),
+                  sun.empty() ? "-" : StrFormat("%.1f", sun.Mean())});
+  }
+  table.Print();
+
+  double baseline = all_latency.Percentile(5);
+  double peak_hour_mean = 0;
+  for (const SampleSet& hour : hourly_latency) {
+    if (!hour.empty()) {
+      peak_hour_mean = std::max(peak_hour_mean, hour.Mean());
+    }
+  }
+
+  std::printf("\npaper vs measured (%zu commits propagated to %d servers):\n",
+              all_latency.size(), kProxies);
+  TextTable summary({"claim", "paper", "measured"});
+  summary.AddRow({"baseline latency", "~14.5 s",
+                  StrFormat("%.1f s (p5)", baseline)});
+  summary.AddRow({"breakdown", "5s commit + 5s tailer + 4.5s tree",
+                  "5s commit + <=5s poll + 5s fetch + tree"});
+  summary.AddRow({"latency increases with load", "daily/weekly pattern",
+                  StrFormat("peak-hour mean %.1f s (%.1fx baseline)",
+                            peak_hour_mean, peak_hour_mean / baseline)});
+  summary.Print();
+  return 0;
+}

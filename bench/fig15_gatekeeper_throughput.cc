@@ -1,0 +1,213 @@
+// Figure 15: Gatekeeper check throughput. The paper reports billions of
+// checks per second across the site (hundreds of thousands of frontend
+// servers), consuming a significant share of frontend CPU. This bench
+// measures single-core gk_check() throughput with google-benchmark across
+// project shapes, ablates the cost-based restraint ordering, and then
+// extrapolates to the paper's fleet scale.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/gatekeeper/project.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace configerator;
+
+namespace {
+
+UserContext MakeUser(int64_t id) {
+  UserContext user;
+  user.user_id = id;
+  user.country = id % 3 == 0 ? "US" : "BR";
+  user.locale = "en_US";
+  user.app = "fb4a";
+  user.device = "pixel";
+  user.platform = id % 2 == 0 ? "android" : "ios";
+  user.is_employee = id % 1000 == 0;
+  user.account_age_days = static_cast<int32_t>(id % 2000);
+  user.friend_count = static_cast<int32_t>(id % 700);
+  user.app_version = 250 + static_cast<int32_t>(id % 100);
+  return user;
+}
+
+GatekeeperProject SimpleProject() {
+  auto config = Json::Parse(R"({
+    "project": "Simple",
+    "rules": [{"restraints": [{"type": "employee"}], "pass_probability": 1.0}]
+  })");
+  return std::move(GatekeeperProject::FromJson(*config)).value();
+}
+
+// The Figure 5 shape: several if-statements, each a conjunction.
+GatekeeperProject DnfProject() {
+  auto config = Json::Parse(R"({
+    "project": "Dnf",
+    "rules": [
+      {"restraints": [{"type": "employee"}], "pass_probability": 1.0},
+      {"restraints": [{"type": "country", "params": {"countries": ["US", "CA"]}},
+                      {"type": "min_friend_count", "params": {"count": 100}},
+                      {"type": "platform", "params": {"platforms": ["android"]}}],
+       "pass_probability": 0.1},
+      {"restraints": [{"type": "new_user", "params": {"max_days": 30}},
+                      {"type": "min_app_version", "params": {"version": 300}}],
+       "pass_probability": 0.5},
+      {"restraints": [{"type": "hash_range",
+                       "params": {"salt": "exp", "lo": 0.0, "hi": 0.05}}],
+       "pass_probability": 1.0}
+    ]
+  })");
+  return std::move(GatekeeperProject::FromJson(*config)).value();
+}
+
+// An expensive laser() restraint first in config order — exactly what the
+// cost-based optimizer is for: it learns to test the cheap, usually-false
+// country restraint before the store lookup.
+GatekeeperProject LaserHeavyProject() {
+  auto config = Json::Parse(R"({
+    "project": "LaserHeavy",
+    "rules": [
+      {"restraints": [{"type": "laser",
+                       "params": {"project": "Trend", "threshold": 0.5}},
+                      {"type": "country", "params": {"countries": ["JP"]}}],
+       "pass_probability": 1.0}
+    ]
+  })");
+  return std::move(GatekeeperProject::FromJson(*config)).value();
+}
+
+LaserStore* SharedLaser() {
+  static LaserStore* laser = [] {
+    auto* store = new LaserStore();
+    for (int64_t id = 0; id < 100'000; ++id) {
+      store->Put("Trend-" + std::to_string(id), (id % 100) / 100.0);
+    }
+    return store;
+  }();
+  return laser;
+}
+
+void BM_CheckSimpleProject(benchmark::State& state) {
+  GatekeeperProject project = SimpleProject();
+  int64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(project.Check(MakeUser(id++), nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckSimpleProject);
+
+void BM_CheckDnfProject(benchmark::State& state) {
+  GatekeeperProject project = DnfProject();
+  int64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(project.Check(MakeUser(id++), nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckDnfProject);
+
+void BM_CheckLaserProject(benchmark::State& state) {
+  GatekeeperProject project = LaserHeavyProject();
+  project.set_cost_based_ordering(state.range(0) == 1);
+  LaserStore* laser = SharedLaser();
+  int64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(project.Check(MakeUser(id++), laser));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(state.range(0) == 1 ? "cost-based ordering"
+                                     : "config order (naive)");
+}
+BENCHMARK(BM_CheckLaserProject)->Arg(0)->Arg(1);
+
+void BM_RuntimeDispatch(benchmark::State& state) {
+  // Through the runtime map (the realistic entry point), many projects live.
+  GatekeeperRuntime runtime;
+  for (int p = 0; p < 200; ++p) {
+    auto config = Json::Parse(StrFormat(
+        R"({"project": "proj%d",
+            "rules": [{"restraints": [{"type": "id_mod",
+                        "params": {"mod": 100, "lo": 0, "hi": %d}}],
+                       "pass_probability": 1.0}]})",
+        p, 1 + p % 99));
+    (void)runtime.LoadProject(*config);
+  }
+  int64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runtime.Check("proj" + std::to_string(id % 200), MakeUser(id)));
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeDispatch);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBenchHeader("Figure 15 — Gatekeeper check throughput",
+                   "google-benchmark per-core gk_check() rates + site-scale "
+                   "extrapolation");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Quick standalone measurement for the extrapolation table.
+  GatekeeperProject project = DnfProject();
+  constexpr int64_t kChecks = 2'000'000;
+  auto start = std::chrono::steady_clock::now();
+  int64_t enabled = 0;
+  for (int64_t id = 0; id < kChecks; ++id) {
+    enabled += project.Check(MakeUser(id), nullptr) ? 1 : 0;
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  double per_core = static_cast<double>(kChecks) / seconds;
+
+  // Cost-based ordering ablation, measured inline.
+  auto measure_laser = [](bool cost_based) {
+    GatekeeperProject project = LaserHeavyProject();
+    project.set_cost_based_ordering(cost_based);
+    LaserStore* laser = SharedLaser();
+    constexpr int64_t kN = 1'000'000;
+    auto t0 = std::chrono::steady_clock::now();
+    int64_t hits = 0;
+    for (int64_t id = 0; id < kN; ++id) {
+      hits += project.Check(MakeUser(id), laser) ? 1 : 0;
+    }
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+    benchmark::DoNotOptimize(hits);
+    return static_cast<double>(kN) / s;
+  };
+  double laser_naive = measure_laser(false);
+  double laser_optimized = measure_laser(true);
+
+  // Paper scale: "frontend clusters that consist of hundreds of thousands of
+  // servers"; a 2014-era frontend had ~16-24 cores.
+  double site_rate = per_core * 200'000 * 16;
+  std::printf("\npaper vs measured (DNF project, %lld checks, %lld passed):\n",
+              static_cast<long long>(kChecks), static_cast<long long>(enabled));
+  TextTable summary({"claim", "paper", "measured/extrapolated"});
+  summary.AddRow({"per-core check rate", "(not reported)",
+                  StrFormat("%.1f M checks/s", per_core / 1e6)});
+  summary.AddRow({"fleet capacity (200k servers x 16 cores)",
+                  "sustains billions of checks per second",
+                  StrFormat("%.0f B checks/s capacity -> paper's rate is "
+                            "<1%% of it",
+                            site_rate / 1e9)});
+  summary.AddRow({"cost-based evaluation ordering (SQL-style)",
+                  "guides efficient evaluation of the boolean tree",
+                  StrFormat("laser-heavy project: %.1f M/s naive -> %.1f M/s "
+                            "optimized (%.1fx)",
+                            laser_naive / 1e6, laser_optimized / 1e6,
+                            laser_optimized / laser_naive)});
+  summary.AddRow({"diurnal pattern", "follows site traffic",
+                  "inherited from request arrival (see fig12/fig14 models)"});
+  summary.Print();
+  return 0;
+}

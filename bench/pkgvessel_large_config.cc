@@ -1,0 +1,102 @@
+// §3.5: PackageVessel distributes large configs (e.g. ML models) via the
+// hybrid subscription-P2P model. Paper claims: the spam-fighting system
+// pushes hundreds of MBs to thousands of live servers "in less than four
+// minutes", without overloading the central storage; locality-aware peer
+// selection keeps bulk traffic inside clusters.
+
+#include <cstdio>
+
+#include "src/p2p/vessel.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace configerator;
+
+namespace {
+
+struct RunResult {
+  double seconds;
+  double storage_fraction;
+  double cross_region_fraction;
+};
+
+RunResult Run(int servers_per_cluster, int64_t bytes, bool p2p, bool locality) {
+  Simulator sim;
+  Network net(&sim, Topology(2, 2, servers_per_cluster), /*seed=*/35);
+  std::vector<ServerId> clients;
+  for (const ServerId& server : net.topology().AllServers()) {
+    if (server.server > 0) {
+      clients.push_back(server);
+    }
+  }
+  VesselSwarm::Options options;
+  options.p2p_enabled = p2p;
+  options.locality_aware = locality;
+  VesselSwarm swarm(&net, ServerId{0, 0, 0}, clients, bytes, options, 7);
+  swarm.Start();
+  sim.RunUntilIdle();
+  const VesselSwarm::Stats& stats = swarm.stats();
+  double total = static_cast<double>(stats.bytes_from_storage +
+                                     stats.bytes_from_peers);
+  return RunResult{SimToSeconds(stats.last_completion),
+                   static_cast<double>(stats.bytes_from_storage) / total,
+                   static_cast<double>(stats.cross_region_bytes) / total};
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("§3.5 — PackageVessel large-config distribution",
+                   "Hybrid subscription-P2P swarm vs central-only, across "
+                   "sizes and fleet scales");
+
+  TextTable sweep({"config size", "fleet", "mode", "fleet done (s)",
+                   "from storage", "cross-region"});
+  const int64_t kSizes[] = {50LL << 20, 300LL << 20, 1LL << 30};
+  const int kFleets[] = {125, 500, 1250};  // Per-cluster sizing (x4 clusters).
+  for (int64_t size : kSizes) {
+    for (int per_cluster : kFleets) {
+      int fleet = per_cluster * 4 - 1;
+      RunResult p2p = Run(per_cluster, size, true, true);
+      sweep.AddRow({HumanBytes(static_cast<double>(size)),
+                    std::to_string(fleet), "P2P+locality",
+                    StrFormat("%.1f", p2p.seconds),
+                    StrFormat("%.1f%%", 100 * p2p.storage_fraction),
+                    StrFormat("%.1f%%", 100 * p2p.cross_region_fraction)});
+    }
+  }
+  sweep.Print();
+
+  std::printf("\nablations at 300 MB / 2000 servers:\n");
+  RunResult central = Run(500, 300LL << 20, false, false);
+  RunResult blind = Run(500, 300LL << 20, true, false);
+  RunResult local = Run(500, 300LL << 20, true, true);
+  TextTable ablation({"mode", "fleet done (s)", "from storage", "cross-region"});
+  ablation.AddRow({"central only", StrFormat("%.1f", central.seconds),
+                   StrFormat("%.1f%%", 100 * central.storage_fraction),
+                   StrFormat("%.1f%%", 100 * central.cross_region_fraction)});
+  ablation.AddRow({"P2P locality-blind", StrFormat("%.1f", blind.seconds),
+                   StrFormat("%.1f%%", 100 * blind.storage_fraction),
+                   StrFormat("%.1f%%", 100 * blind.cross_region_fraction)});
+  ablation.AddRow({"P2P locality-aware", StrFormat("%.1f", local.seconds),
+                   StrFormat("%.1f%%", 100 * local.storage_fraction),
+                   StrFormat("%.1f%%", 100 * local.cross_region_fraction)});
+  ablation.Print();
+
+  std::printf("\npaper vs measured:\n");
+  TextTable summary({"claim", "paper", "measured"});
+  summary.AddRow({"100s of MBs to 1000s of servers", "< 4 minutes",
+                  StrFormat("%.1f s (300MB/2000 servers) -> %s", local.seconds,
+                            local.seconds < 240 ? "HOLDS" : "DOES NOT HOLD")});
+  summary.AddRow({"P2P avoids overloading central storage",
+                  "bulk exchanged between peers",
+                  StrFormat("storage serves %.1f%% of bytes (vs 100%% central)",
+                            100 * local.storage_fraction)});
+  summary.AddRow({"locality-aware peer selection",
+                  "prefer same-cluster peers",
+                  StrFormat("cross-region bytes %.1f%% vs %.1f%% blind",
+                            100 * local.cross_region_fraction,
+                            100 * blind.cross_region_fraction)});
+  summary.Print();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// §6.4's incident table: of high-impact incidents related to configuration
+// management, 42% were common config errors (Type I), 36% subtle errors such
+// as load-related issues (Type II), and 22% were valid configs exposing
+// latent code bugs (Type III). This bench runs a fault-injection campaign
+// through the automated canary pipeline and reports (a) the incident mix
+// among escapes, and (b) the §6.4 ablation — without the cluster-sized
+// canary phase, load-related (Type II) errors escape far more often, which
+// is exactly the incident that made the paper add that phase.
+
+#include <cstdio>
+#include <map>
+
+#include "src/canary/canary.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+using namespace configerator;
+
+namespace {
+
+struct CampaignResult {
+  std::map<ConfigDefect, int> injected;
+  std::map<ConfigDefect, int> escaped;  // Canary passed a defective config.
+  int clean_rejected = 0;               // False positives.
+  int clean_total = 0;
+};
+
+CampaignResult RunCampaign(const CanarySpec& spec, int changes, uint64_t seed) {
+  Simulator sim;
+  CanaryService::Options options;
+  options.fleet_size = 200'000;
+  CanaryService service(&sim, options);
+  Rng rng(seed);
+  CampaignResult result;
+
+  for (int i = 0; i < changes; ++i) {
+    // 16% of incidents were config-related in the paper's three-month audit;
+    // here: most changes are clean, defective ones follow the 42/36/22 mix.
+    ConfigDefect defect = ConfigDefect::kNone;
+    if (rng.NextBool(0.16)) {
+      double u = rng.NextDouble();
+      defect = u < 0.42 ? ConfigDefect::kImmediateError
+               : u < 0.78 ? ConfigDefect::kLoadSensitive
+                          : ConfigDefect::kLatentCrash;
+    }
+    // Severity varies: marginal defects are the ones canaries miss.
+    DefectServiceModel::Params params;
+    params.severity = 0.25 + rng.NextDouble() * 1.5;
+    DefectServiceModel model(defect, params, rng.Next());
+
+    Status verdict = InternalError("never finished");
+    service.RunTest(spec, &model, [&](Status s) { verdict = std::move(s); });
+    sim.RunUntilIdle();
+
+    if (defect == ConfigDefect::kNone) {
+      ++result.clean_total;
+      if (!verdict.ok()) {
+        ++result.clean_rejected;
+      }
+      continue;
+    }
+    ++result.injected[defect];
+    if (verdict.ok()) {
+      ++result.escaped[defect];
+    }
+  }
+  return result;
+}
+
+double EscapeRate(const CampaignResult& result, ConfigDefect defect) {
+  auto injected = result.injected.find(defect);
+  if (injected == result.injected.end() || injected->second == 0) {
+    return 0;
+  }
+  auto escaped = result.escaped.find(defect);
+  int n = escaped == result.escaped.end() ? 0 : escaped->second;
+  return 100.0 * n / injected->second;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("§6.4 — configuration-incident mix under canary testing",
+                   "Fault-injection campaign through the canary pipeline "
+                   "(2000 changes; 16% carry a defect, 42/36/22 mix)");
+
+  constexpr int kChanges = 6000;
+  CampaignResult full = RunCampaign(CanarySpec::Default(), kChanges, 64);
+  CampaignResult small_only = RunCampaign(CanarySpec::SmallOnly(), kChanges, 64);
+
+  int escaped_total = 0;
+  for (const auto& [defect, n] : full.escaped) {
+    escaped_total += n;
+  }
+
+  TextTable mix({"incident type", "paper share", "injected share",
+                 "escape rate (20+cluster)", "escape rate (20 only)"});
+  struct Row {
+    ConfigDefect defect;
+    const char* label;
+    const char* paper;
+  };
+  const Row kRows[] = {
+      {ConfigDefect::kImmediateError, "Type I: common config errors", "42%"},
+      {ConfigDefect::kLoadSensitive, "Type II: subtle (load etc.)", "36%"},
+      {ConfigDefect::kLatentCrash, "Type III: valid config, code bug", "22%"},
+  };
+  int injected_total = 0;
+  for (const auto& [defect, n] : full.injected) {
+    injected_total += n;
+  }
+  for (const Row& row : kRows) {
+    int injected = full.injected.count(row.defect) ? full.injected.at(row.defect) : 0;
+    mix.AddRow({row.label, row.paper,
+                StrFormat("%.0f%%", 100.0 * injected / std::max(1, injected_total)),
+                StrFormat("%.0f%%", EscapeRate(full, row.defect)),
+                StrFormat("%.0f%%", EscapeRate(small_only, row.defect))});
+  }
+  mix.Print();
+
+  std::printf("\nheadline claims:\n");
+  TextTable summary({"claim", "paper", "measured"});
+  summary.AddRow(
+      {"canary catches most obvious (Type I) errors", "rollout aborted",
+       StrFormat("%.0f%% escape", EscapeRate(full, ConfigDefect::kImmediateError))});
+  summary.AddRow(
+      {"cluster-phase needed for load issues",
+       "added after an incident escaped the 20-server phase",
+       StrFormat("Type II escapes: %.0f%% with cluster phase vs %.0f%% without",
+                 EscapeRate(full, ConfigDefect::kLoadSensitive),
+                 EscapeRate(small_only, ConfigDefect::kLoadSensitive))});
+  summary.AddRow(
+      {"type III exists: valid configs expose code bugs", "22% of incidents",
+       StrFormat("%.0f%% of injected defects were Type III",
+                 100.0 * (full.injected.count(ConfigDefect::kLatentCrash)
+                              ? full.injected.at(ConfigDefect::kLatentCrash)
+                              : 0) /
+                     std::max(1, injected_total))});
+  summary.AddRow({"false-positive rejections of clean configs", "(not reported)",
+                  StrFormat("%.1f%%", 100.0 * full.clean_rejected /
+                                          std::max(1, full.clean_total))});
+  summary.Print();
+  return 0;
+}

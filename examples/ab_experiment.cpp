@@ -1,0 +1,149 @@
+// A/B experiment via MobileConfig (paper §5 + intro): find the best VoIP
+// echo-canceling parameter per mobile device model. Each device model gets a
+// Gatekeeper-backed experiment arm through the translation layer; devices
+// pull their parameter, we observe call quality per arm, pick the winner,
+// and remap the field to a constant — with no app changes.
+//
+// Build & run:  ./build/examples/ab_experiment
+
+#include <cstdio>
+#include <map>
+
+#include "src/mobile/mobileconfig.h"
+#include "src/util/rng.h"
+
+using namespace configerator;
+
+namespace {
+
+// Ground truth the experiment is trying to discover: echo-cancel latency
+// that maximizes call quality per device model (hardware varies!).
+double TrueCallQuality(const std::string& device, int64_t echo_ms, Rng& rng) {
+  double optimum = device == "iphone6" ? 30.0 : 70.0;
+  double penalty = (static_cast<double>(echo_ms) - optimum) / 25.0;
+  return 4.5 - penalty * penalty + rng.NextGaussian() * 0.15;
+}
+
+MobileSchema VoipSchema() {
+  MobileSchema schema;
+  schema.config_name = "VOIP_CONFIG";
+  schema.fields = {{"ECHO_CANCEL_MS", MobileFieldType::kInt},
+                   {"HD_CALLS", MobileFieldType::kBool}};
+  return schema;
+}
+
+}  // namespace
+
+int main() {
+  TranslationLayer translation;
+  GatekeeperRuntime gatekeeper;
+  MobileConfigServer server(&translation, &gatekeeper, nullptr);
+  server.RegisterSchema(VoipSchema());
+
+  // Experiment setup: per device model, split users into three arms by a
+  // deterministic hash slice (sticky assignment).
+  const int64_t kArms[] = {30, 50, 70};
+  for (const char* device : {"iphone6", "galaxy_s5"}) {
+    for (size_t arm = 0; arm < std::size(kArms); ++arm) {
+      double lo = static_cast<double>(arm) / std::size(kArms);
+      double hi = static_cast<double>(arm + 1) / std::size(kArms);
+      std::string project =
+          std::string("ECHO_") + device + "_arm" + std::to_string(arm);
+      std::string config = R"({"project": ")" + project + R"(",
+        "rules": [{"restraints": [
+          {"type": "device", "params": {"devices": [")" + device + R"("]}},
+          {"type": "hash_range", "params":
+            {"salt": "echo_exp", "lo": )" + std::to_string(lo) +
+          R"(, "hi": )" + std::to_string(hi) + R"(}}],
+        "pass_probability": 1.0}]})";
+      if (!gatekeeper.LoadProject(*Json::Parse(config)).ok()) {
+        std::printf("failed to load %s\n", project.c_str());
+        return 1;
+      }
+    }
+  }
+  FieldBinding experiment;
+  experiment.kind = FieldBinding::Kind::kExperiment;
+  experiment.constant = Json(int64_t{50});
+  for (const char* device : {"iphone6", "galaxy_s5"}) {
+    for (size_t arm = 0; arm < std::size(kArms); ++arm) {
+      experiment.arms.push_back(
+          {std::string("ECHO_") + device + "_arm" + std::to_string(arm),
+           Json(kArms[arm])});
+    }
+  }
+  translation.Bind("VOIP_CONFIG", "ECHO_CANCEL_MS", experiment);
+  translation.Bind("VOIP_CONFIG", "HD_CALLS",
+                   FieldBinding::Constant(Json(true)));
+
+  // Run the experiment: 6000 devices pull their parameter and "make calls".
+  std::printf("== Running experiment on 6000 devices ==\n");
+  Rng rng(2026);
+  std::map<std::pair<std::string, int64_t>, std::pair<double, int>> results;
+  for (int64_t id = 0; id < 6000; ++id) {
+    UserContext device_ctx;
+    device_ctx.user_id = id;
+    device_ctx.device = id % 2 == 0 ? "iphone6" : "galaxy_s5";
+    device_ctx.platform = id % 2 == 0 ? "ios" : "android";
+    MobileConfigClient client(VoipSchema(), device_ctx);
+    if (!client.Sync(server).ok()) {
+      continue;
+    }
+    int64_t echo_ms = client.getInt("ECHO_CANCEL_MS");
+    double quality = TrueCallQuality(device_ctx.device, echo_ms, rng);
+    auto& [sum, n] = results[{device_ctx.device, echo_ms}];
+    sum += quality;
+    ++n;
+  }
+
+  std::map<std::string, int64_t> winners;
+  for (const char* device : {"iphone6", "galaxy_s5"}) {
+    std::printf("  %s:\n", device);
+    double best_quality = -1e9;
+    for (int64_t arm : kArms) {
+      auto it = results.find({device, arm});
+      if (it == results.end() || it->second.second == 0) {
+        continue;
+      }
+      double mean = it->second.first / it->second.second;
+      std::printf("    echo=%lldms  quality=%.2f  (n=%d)\n",
+                  static_cast<long long>(arm), mean, it->second.second);
+      if (mean > best_quality) {
+        best_quality = mean;
+        winners[device] = arm;
+      }
+    }
+    std::printf("    -> winner: %lldms\n",
+                static_cast<long long>(winners[device]));
+  }
+
+  // Ship the winners: per-device constants through the same translation
+  // layer — clients keep calling getInt("ECHO_CANCEL_MS"), unchanged.
+  std::printf("== Shipping winners via translation-layer remap ==\n");
+  FieldBinding shipped;
+  shipped.kind = FieldBinding::Kind::kExperiment;
+  shipped.constant = Json(int64_t{50});
+  for (const auto& [device, echo_ms] : winners) {
+    std::string project = "SHIP_" + device;
+    std::string config = R"({"project": ")" + project + R"(",
+      "rules": [{"restraints": [
+        {"type": "device", "params": {"devices": [")" + device + R"("]}}],
+      "pass_probability": 1.0}]})";
+    (void)gatekeeper.LoadProject(*Json::Parse(config));
+    shipped.arms.push_back({project, Json(echo_ms)});
+  }
+  translation.Bind("VOIP_CONFIG", "ECHO_CANCEL_MS", shipped);
+
+  UserContext check_ctx;
+  check_ctx.user_id = 424242;
+  check_ctx.device = "galaxy_s5";
+  MobileConfigClient check(VoipSchema(), check_ctx);
+  if (!check.Sync(server).ok()) {
+    return 1;
+  }
+  std::printf("  a galaxy_s5 now pulls echo=%lldms\n",
+              static_cast<long long>(check.getInt("ECHO_CANCEL_MS")));
+  std::printf("  bytes transferred by that device: %llu\n",
+              static_cast<unsigned long long>(check.bytes_transferred()));
+  return 0;
+}

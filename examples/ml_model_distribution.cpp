@@ -1,0 +1,94 @@
+// Large-config distribution with PackageVessel (paper §3.5): ship a 300 MB
+// News Feed ranking model to two thousand servers. The small metadata goes
+// through Zeus (consistency); the bulk flows peer-to-peer with locality-
+// aware peer selection. Compare against naive central distribution.
+//
+// Build & run:  ./build/examples/ml_model_distribution
+
+#include <cstdio>
+
+#include "src/p2p/vessel.h"
+#include "src/util/strings.h"
+
+using namespace configerator;
+
+namespace {
+
+VesselSwarm::Stats RunDistribution(bool p2p, bool locality, int64_t model_bytes) {
+  Simulator sim;
+  Network net(&sim, Topology(/*regions=*/2, /*clusters=*/2,
+                             /*servers_per_cluster=*/500),
+              /*seed=*/77);
+
+  std::vector<ServerId> members = {ServerId{0, 0, 0}, ServerId{1, 0, 0},
+                                   ServerId{0, 0, 1}, ServerId{1, 0, 1},
+                                   ServerId{0, 1, 0}};
+  std::vector<ServerId> observers = {ServerId{0, 0, 499}, ServerId{0, 1, 499},
+                                     ServerId{1, 0, 499}, ServerId{1, 1, 499}};
+  ZeusEnsemble zeus(&net, members, observers);
+  ServerId storage{0, 0, 498};
+  VesselPublisher publisher(&net, &zeus, ServerId{0, 0, 497}, storage);
+
+  // 2000 subscribers (everyone except infrastructure servers).
+  std::vector<ServerId> subscribers;
+  for (const ServerId& server : net.topology().AllServers()) {
+    if (server.server < 490) {
+      subscribers.push_back(server);
+    }
+  }
+
+  // Publish: upload bulk, then metadata through Zeus. When the metadata
+  // commit lands, the swarm starts (in production each proxy's metadata
+  // watch fires; here the fleet reacts together).
+  VesselSwarm::Options options;
+  options.p2p_enabled = p2p;
+  options.locality_aware = locality;
+  VesselSwarm swarm(&net, storage, subscribers, model_bytes, options, 123);
+
+  publisher.Publish("feed_ranking_model", /*version=*/12, model_bytes,
+                    [&](Result<int64_t> zxid) {
+                      if (zxid.ok()) {
+                        swarm.Start();
+                      }
+                    });
+  // Zeus runs periodic anti-entropy forever, so drive the clock in steps
+  // until the fleet finishes rather than draining the event queue.
+  for (int i = 0; i < 100'000 && !swarm.AllComplete(); ++i) {
+    sim.RunUntil(sim.now() + kSimSecond);
+  }
+  return swarm.stats();
+}
+
+void Report(const char* label, const VesselSwarm::Stats& stats) {
+  std::printf("%-28s fleet done in %6.1fs   storage=%9s  peers=%9s  "
+              "cross-region=%9s\n",
+              label, SimToSeconds(stats.last_completion),
+              HumanBytes(static_cast<double>(stats.bytes_from_storage)).c_str(),
+              HumanBytes(static_cast<double>(stats.bytes_from_peers)).c_str(),
+              HumanBytes(static_cast<double>(stats.cross_region_bytes)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  constexpr int64_t kModelBytes = 300LL << 20;  // 300 MB.
+  std::printf("Shipping a %s ranking model to 2000 servers across 2 regions\n\n",
+              HumanBytes(kModelBytes).c_str());
+
+  VesselSwarm::Stats central = RunDistribution(false, false, kModelBytes);
+  Report("central storage only:", central);
+
+  VesselSwarm::Stats p2p_blind = RunDistribution(true, false, kModelBytes);
+  Report("P2P, locality-blind:", p2p_blind);
+
+  VesselSwarm::Stats p2p_local = RunDistribution(true, true, kModelBytes);
+  Report("P2P, locality-aware:", p2p_local);
+
+  std::printf("\nPaper's claim: PackageVessel delivers hundreds of MBs to "
+              "thousands of live servers in < 4 minutes.\n");
+  std::printf("Measured (P2P, locality-aware): %.1f s  ->  %s\n",
+              SimToSeconds(p2p_local.last_completion),
+              SimToSeconds(p2p_local.last_completion) < 240 ? "HOLDS"
+                                                            : "DOES NOT HOLD");
+  return 0;
+}

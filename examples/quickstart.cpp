@@ -1,0 +1,115 @@
+// Quickstart: the full life of one config change, end to end.
+//
+//   1. An engineer authors a typed config in config-source language (CSL):
+//      a Thrift schema + a .cconf program, with a validator.
+//   2. The stack compiles it (schema check, defaults, validators), runs CI,
+//      and opens a code review.
+//   3. A reviewer approves; the automated canary tests it against a healthy
+//      service model; the landing strip commits it.
+//   4. The git tailer publishes it into Zeus; the distribution tree pushes
+//      it to a subscribed production server on another continent; the
+//      application reads it through the client library.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/stack.h"
+
+using namespace configerator;
+
+int main() {
+  ConfigManagementStack stack;
+
+  std::printf("== 1. Author the config sources ==\n");
+  std::vector<FileWrite> sources = {
+      {"schemas/cache.thrift",
+       "struct CacheTier {\n"
+       "  1: required string name;\n"
+       "  2: optional i32 memory_mb = 512;\n"
+       "  3: optional i32 ttl_seconds = 3600;\n"
+       "  4: optional list<string> regions;\n"
+       "}\n"},
+      {"schemas/cache.thrift-cvalidator",
+       "def validate_CacheTier(cfg):\n"
+       "    assert cfg.memory_mb > 0, \"memory must be positive\"\n"
+       "    assert cfg.memory_mb <= 65536, \"memory cap is 64GB\"\n"
+       "    assert len(cfg.regions) > 0, \"must serve at least one region\"\n"},
+      {"cache/hot_tier.cconf",
+       "import_thrift(\"schemas/cache.thrift\")\n"
+       "tier = CacheTier(name=\"hot\", memory_mb=4096)\n"
+       "tier.regions = [\"us-east\", \"eu-west\"]\n"
+       "export_if_last(tier)\n"},
+  };
+
+  auto change = stack.ProposeChange("alice", "add hot cache tier", sources);
+  if (!change.ok()) {
+    std::printf("proposal failed: %s\n", change.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  compiled %zu entr%s; CI: %s\n", change->affected_entries.size(),
+              change->affected_entries.size() == 1 ? "y" : "ies",
+              change->ci_report.Summary().c_str());
+  for (const FileWrite& write : change->diff.writes) {
+    if (write.path.ends_with(".json")) {
+      std::printf("  generated %s:\n%s", write.path.c_str(),
+                  write.content->c_str());
+    }
+  }
+
+  std::printf("\n== 2. Review ==\n");
+  Status approved = stack.Approve(&*change, "bob");
+  std::printf("  bob approves: %s\n", approved.ToString().c_str());
+
+  std::printf("\n== 3. Subscribe a production app server (region 1) ==\n");
+  ServerId app_server{1, 1, 7};
+  stack.SubscribeServer(app_server, "cache/hot_tier.json",
+                        [&stack](const std::string& path, const std::string&,
+                                 int64_t zxid) {
+                          std::printf(
+                              "  [t=%.1fs] server r1/c1/s7 received %s "
+                              "(zxid %lld)\n",
+                              SimToSeconds(stack.sim().now()), path.c_str(),
+                              static_cast<long long>(zxid));
+                        });
+  stack.RunFor(2 * kSimSecond);
+
+  std::printf("\n== 4. Canary, land, distribute ==\n");
+  DefectServiceModel healthy(ConfigDefect::kNone, DefectServiceModel::Params{},
+                             /*seed=*/42);
+  stack.TestAndLand(*change, CanarySpec::Default(), &healthy,
+                    [&stack](Result<ObjectId> result) {
+                      if (result.ok()) {
+                        std::printf("  [t=%.1fs] canary passed; landed as %s\n",
+                                    SimToSeconds(stack.sim().now()),
+                                    result->ShortHex().c_str());
+                      } else {
+                        std::printf("  canary/land failed: %s\n",
+                                    result.status().ToString().c_str());
+                      }
+                    });
+  stack.RunFor(15 * kSimMinute);
+
+  std::printf("\n== 5. The application reads its config ==\n");
+  AppConfigClient app = stack.ClientOn(app_server);
+  const OnDiskCache::Entry* entry = app.Get("cache/hot_tier.json");
+  if (entry == nullptr) {
+    std::printf("  config never arrived!\n");
+    return 1;
+  }
+  auto json = Json::Parse(entry->value);
+  std::printf("  memory_mb = %lld, ttl_seconds = %lld (default applied)\n",
+              static_cast<long long>(json->Get("memory_mb")->as_int()),
+              static_cast<long long>(json->Get("ttl_seconds")->as_int()));
+
+  std::printf("\n== 6. A bad change is stopped at compile time ==\n");
+  auto bad = stack.ProposeChange(
+      "carol", "oops",
+      {{"cache/hot_tier.cconf",
+        "import_thrift(\"schemas/cache.thrift\")\n"
+        "tier = CacheTier(name=\"hot\", memory_mb=-1)\n"
+        "tier.regions = [\"us-east\"]\n"
+        "export_if_last(tier)\n"}});
+  std::printf("  proposal rejected: %s\n", bad.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Automated canary testing (paper §3.3): a config change is deployed to a
+// small set of production servers first, held there while health metrics are
+// compared against the rest of the fleet, then promoted phase by phase
+// (e.g. 20 servers → a full cluster) and finally handed to the landing strip
+// for commit — or rolled back automatically.
+//
+// The §6.4 incident taxonomy drives the service model here: Type I errors
+// are visible immediately on any server; Type II (load-related) issues only
+// materialize when a large fraction of the fleet runs the config — which is
+// exactly why the paper added a cluster-sized canary phase; Type III are
+// valid configs that trigger latent code bugs (crashes) probabilistically.
+
+#ifndef SRC_CANARY_CANARY_H_
+#define SRC_CANARY_CANARY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/json/json.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// One testing phase of a canary spec.
+struct CanaryPhase {
+  std::string name;
+  size_t num_servers = 20;
+  SimTime hold_time = 2 * kSimMinute;
+  // Health predicates: canary group vs control group.
+  double max_error_rate_ratio = 1.5;   // canary_err <= ratio * control_err.
+  double max_latency_ratio = 1.5;      // canary_lat <= ratio * control_lat.
+  double max_crash_rate = 0.001;       // Absolute crash-rate ceiling.
+};
+
+struct CanarySpec {
+  std::vector<CanaryPhase> phases;
+
+  // The paper's shape: phase 1 = 20 servers for ~2 minutes, phase 2 = a full
+  // cluster (thousands of servers) for ~8 minutes — about ten minutes total.
+  static CanarySpec Default(size_t cluster_size = 2000);
+  // The pre-incident spec: only the 20-server phase (used by the §6.4
+  // ablation to show the load-issue escape).
+  static CanarySpec SmallOnly();
+
+  // Canary specs are themselves configs ("a config is associated with a
+  // canary spec" — §3.3): they serialize to/from JSON stored next to the
+  // config they guard.
+  //
+  //   {"phases": [{"name": "phase1", "num_servers": 20,
+  //                "hold_time_s": 120, "max_error_rate_ratio": 1.5,
+  //                "max_latency_ratio": 1.5, "max_crash_rate": 0.001}, ...]}
+  Json ToJson() const;
+  static Result<CanarySpec> FromJson(const Json& json);
+};
+
+// What the canary service measures for a server group over a hold window.
+struct GroupMetrics {
+  double error_rate = 0;  // Errors per request.
+  double latency_ms = 0;
+  double crash_rate = 0;  // Fraction of group instances that crashed.
+};
+
+// Models how a service behaves under a candidate config. The canary service
+// asks for canary-group and control-group metrics at each phase.
+class ServiceModel {
+ public:
+  virtual ~ServiceModel() = default;
+
+  // `canary_group` selects which population to measure; `group_size` is the
+  // number of servers running the candidate; `fleet_size` the whole fleet.
+  virtual GroupMetrics Measure(bool canary_group, size_t group_size,
+                               size_t fleet_size) = 0;
+};
+
+// Defect classes from the §6.4 incident breakdown.
+enum class ConfigDefect {
+  kNone,
+  kImmediateError,  // Type I: obvious errors, visible on any server.
+  kLoadSensitive,   // Type II: pathologies that scale with deployed fraction.
+  kLatentCrash,     // Type III: valid config exposing a code bug.
+};
+
+std::string_view ConfigDefectName(ConfigDefect defect);
+
+// Concrete ServiceModel with a single injected defect and measurement noise
+// (small canary groups are noisy, so marginal defects can escape — as they
+// do in production).
+class DefectServiceModel : public ServiceModel {
+ public:
+  struct Params {
+    double base_error_rate = 0.001;
+    double base_latency_ms = 10.0;
+    double noise_fraction = 0.05;  // Relative gaussian noise per measurement.
+    double severity = 1.0;         // Defect strength multiplier.
+  };
+
+  DefectServiceModel(ConfigDefect defect, Params params, uint64_t seed);
+
+  GroupMetrics Measure(bool canary_group, size_t group_size,
+                       size_t fleet_size) override;
+
+  ConfigDefect defect() const { return defect_; }
+
+ private:
+  double Noisy(double value, size_t group_size);
+
+  ConfigDefect defect_;
+  Params params_;
+  Rng rng_;
+};
+
+// The canary service itself: runs a spec's phases on the simulator clock and
+// reports pass (OK) or fail (kRejected with the phase and reason).
+class CanaryService {
+ public:
+  struct Options {
+    // Time to temporarily deploy a config to a phase's servers.
+    SimTime deploy_time = 10 * kSimSecond;
+    size_t fleet_size = 200'000;
+  };
+
+  CanaryService(Simulator* sim, Options options) : sim_(sim), options_(options) {}
+  explicit CanaryService(Simulator* sim) : CanaryService(sim, Options{}) {}
+
+  // Runs all phases; `done` fires with OK if every phase passed. The model
+  // must outlive the test.
+  void RunTest(const CanarySpec& spec, ServiceModel* model,
+               std::function<void(Status)> done);
+
+  // Tests currently in flight.
+  size_t active_tests() const { return active_tests_; }
+
+ private:
+  void RunPhase(std::shared_ptr<const CanarySpec> spec, size_t phase_idx,
+                ServiceModel* model, std::function<void(Status)> done);
+  static Status EvaluatePhase(const CanaryPhase& phase,
+                              const GroupMetrics& canary,
+                              const GroupMetrics& control);
+
+  Simulator* sim_;
+  Options options_;
+  size_t active_tests_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_CANARY_CANARY_H_

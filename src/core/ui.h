@@ -1,0 +1,57 @@
+// The Configerator UI path (paper §3.2): an engineer edits the value of a
+// Thrift config object directly — no Python/Thrift code — and the UI
+// generates the artifacts Configerator needs: the config source program, the
+// regenerated JSON, and a human-readable change description that goes to
+// code review ("Updated Employee sampling from 1% to 10%" — footnote 1).
+
+#ifndef SRC_CORE_UI_H_
+#define SRC_CORE_UI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/stack.h"
+#include "src/json/json.h"
+
+namespace configerator {
+
+// One field edit made through the UI. `field_path` is dotted for nested
+// structs ("resources.cpu").
+struct UiFieldEdit {
+  std::string field_path;
+  Json new_value;
+};
+
+class ConfigUi {
+ public:
+  explicit ConfigUi(ConfigManagementStack* stack) : stack_(stack) {}
+
+  // Creates or edits the typed config at `config_path` (a ".cconf" source
+  // path). `schema_path`/`struct_name` identify the Thrift type (the schema
+  // file must exist at head or be importable). Applies `edits` on top of the
+  // current value (or the schema's default instance when creating), type-
+  // checks, generates the .cconf source, and opens the usual review/CI
+  // pipeline under author "ui:<user>". The change message is the generated
+  // operation log.
+  Result<PendingChange> EditConfig(const std::string& user,
+                                   const std::string& config_path,
+                                   const std::string& schema_path,
+                                   const std::string& struct_name,
+                                   const std::vector<UiFieldEdit>& edits);
+
+  // Renders a JSON value as a config-source-language literal (True/False/
+  // None spellings). Exposed for tests.
+  static std::string CslLiteral(const Json& value, int indent = 0);
+
+  // Generates the full .cconf source for a typed value.
+  static std::string GenerateSource(const std::string& schema_path,
+                                    const std::string& struct_name,
+                                    const Json& value);
+
+ private:
+  ConfigManagementStack* stack_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_CORE_UI_H_

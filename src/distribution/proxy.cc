@@ -1,0 +1,104 @@
+#include "src/distribution/proxy.h"
+
+namespace configerator {
+
+ConfigProxy::ConfigProxy(Network* net, ZeusEnsemble* zeus, ServerId host,
+                         OnDiskCache* disk, uint64_t seed)
+    : net_(net), zeus_(zeus), host_(host), disk_(disk), rng_(seed) {
+  observer_ = zeus_->PickObserverFor(host_, rng_);
+  self_ = std::make_shared<ConfigProxy*>(this);
+}
+
+void ConfigProxy::Subscribe(const std::string& key, UpdateCallback on_update) {
+  bool already_subscribed = callbacks_.count(key) > 0;
+  if (on_update) {
+    callbacks_[key].push_back(std::move(on_update));
+  } else {
+    callbacks_.try_emplace(key);  // Subscription without a callback.
+  }
+  if (!already_subscribed && !crashed_) {
+    DoSubscribe(key);
+  }
+}
+
+void ConfigProxy::DoSubscribe(const std::string& key) {
+  std::weak_ptr<ConfigProxy*> weak = self_;
+  zeus_->Subscribe(host_, observer_, key, [weak](const ZeusTxn& txn) {
+    std::shared_ptr<ConfigProxy*> self = weak.lock();
+    if (self == nullptr) {
+      return;  // Proxy incarnation is gone (crash without restart).
+    }
+    (*self)->OnZeusUpdate(txn);
+  });
+}
+
+void ConfigProxy::OnZeusUpdate(const ZeusTxn& txn) {
+  if (crashed_) {
+    return;  // Delivery to a dead process.
+  }
+  auto it = memory_cache_.find(txn.key);
+  if (it != memory_cache_.end() && txn.zxid <= it->second.zxid) {
+    ++stale_discarded_;  // Ordering guarantee: never move backwards.
+    return;
+  }
+  ++updates_received_;
+  memory_cache_[txn.key] = OnDiskCache::Entry{txn.value, txn.zxid};
+  disk_->Put(txn.key, txn.value, txn.zxid);
+  auto cb_it = callbacks_.find(txn.key);
+  if (cb_it != callbacks_.end()) {
+    for (const UpdateCallback& cb : cb_it->second) {
+      cb(txn.key, txn.value, txn.zxid);
+    }
+  }
+}
+
+const OnDiskCache::Entry* ConfigProxy::GetCached(const std::string& key) const {
+  if (crashed_) {
+    return nullptr;
+  }
+  auto it = memory_cache_.find(key);
+  return it == memory_cache_.end() ? nullptr : &it->second;
+}
+
+void ConfigProxy::Crash() {
+  crashed_ = true;
+  memory_cache_.clear();
+  // Invalidate outstanding watch deliveries to this incarnation.
+  self_ = std::make_shared<ConfigProxy*>(this);
+}
+
+void ConfigProxy::Restart() {
+  if (!crashed_) {
+    return;
+  }
+  crashed_ = false;
+  // Warm the memory cache from disk, then resubscribe everything.
+  for (const std::string& key : [this] {
+         std::vector<std::string> keys;
+         keys.reserve(callbacks_.size());
+         for (const auto& [k, cbs] : callbacks_) {
+           keys.push_back(k);
+         }
+         return keys;
+       }()) {
+    const OnDiskCache::Entry* entry = disk_->Get(key);
+    if (entry != nullptr) {
+      memory_cache_[key] = *entry;
+    }
+  }
+  observer_ = zeus_->PickObserverFor(host_, rng_);
+  for (const auto& [key, cbs] : callbacks_) {
+    DoSubscribe(key);
+  }
+}
+
+void ConfigProxy::RepickObserver() {
+  observer_ = zeus_->PickObserverFor(host_, rng_);
+  if (!crashed_) {
+    for (const auto& [key, cbs] : callbacks_) {
+      DoSubscribe(key);
+    }
+  }
+}
+
+}  // namespace configerator

@@ -1,0 +1,131 @@
+// Configerator Proxy and application client library (paper §3.4).
+//
+// Every production server runs a proxy process. The proxy picks an observer
+// in its own cluster, subscribes (with a watch) to exactly the configs its
+// local applications need, and caches them on disk. The availability story:
+// if the proxy fails, applications fall back to reading the on-disk cache
+// directly — so a config that has ever been fetched stays readable even if
+// every Configerator component is down.
+
+#ifndef SRC_DISTRIBUTION_PROXY_H_
+#define SRC_DISTRIBUTION_PROXY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/zeus/zeus.h"
+
+namespace configerator {
+
+// The server's local disk: survives proxy crashes (but not in this model
+// machine reimage). Shared between the proxy (writer) and the application
+// client library (fallback reader).
+class OnDiskCache {
+ public:
+  void Put(const std::string& key, std::string value, int64_t zxid) {
+    entries_[key] = Entry{std::move(value), zxid};
+  }
+  struct Entry {
+    std::string value;
+    int64_t zxid = 0;
+  };
+  const Entry* Get(const std::string& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+class ConfigProxy {
+ public:
+  using UpdateCallback =
+      std::function<void(const std::string& key, const std::string& value,
+                         int64_t zxid)>;
+
+  ConfigProxy(Network* net, ZeusEnsemble* zeus, ServerId host,
+              OnDiskCache* disk, uint64_t seed);
+
+  const ServerId& host() const { return host_; }
+
+  // Subscribes the proxy (and the registered application callbacks) to
+  // `key`. Fetch + watch go to the chosen observer; every update lands in
+  // the in-memory cache and the on-disk cache, then fans out to callbacks.
+  // Stale/duplicate deliveries (zxid <= last seen) are discarded, preserving
+  // per-key ordering.
+  void Subscribe(const std::string& key, UpdateCallback on_update);
+
+  // Synchronous read of the proxy's in-memory cache (applications read
+  // through shared memory in production; function call here).
+  const OnDiskCache::Entry* GetCached(const std::string& key) const;
+
+  // Simulated proxy crash/restart. While crashed the proxy ignores
+  // deliveries; on restart it resubscribes everything (possibly picking a
+  // new observer) and recovers its memory cache from disk.
+  void Crash();
+  void Restart();
+  bool crashed() const { return crashed_; }
+
+  // Re-picks the observer (e.g. after observer failure) and resubscribes.
+  void RepickObserver();
+
+  const ServerId& observer() const { return observer_; }
+  uint64_t updates_received() const { return updates_received_; }
+  uint64_t stale_discarded() const { return stale_discarded_; }
+
+ private:
+  void DoSubscribe(const std::string& key);
+  void OnZeusUpdate(const ZeusTxn& txn);
+
+  Network* net_;
+  ZeusEnsemble* zeus_;
+  ServerId host_;
+  OnDiskCache* disk_;
+  Rng rng_;
+  ServerId observer_;
+  bool crashed_ = false;
+  std::map<std::string, OnDiskCache::Entry> memory_cache_;
+  std::map<std::string, std::vector<UpdateCallback>> callbacks_;
+  uint64_t updates_received_ = 0;
+  uint64_t stale_discarded_ = 0;
+
+  // Liveness token: watch callbacks registered at observers capture a weak
+  // reference through this so deliveries to a restarted proxy incarnation
+  // are still routed correctly.
+  std::shared_ptr<ConfigProxy*> self_;
+};
+
+// The application side of the client library: reads through the proxy, or
+// directly from the on-disk cache if the proxy is down (availability
+// guarantee of §3.4).
+class AppConfigClient {
+ public:
+  AppConfigClient(const ConfigProxy* proxy, const OnDiskCache* disk)
+      : proxy_(proxy), disk_(disk) {}
+
+  // Returns the freshest locally available value, or nullptr if the config
+  // has never reached this server.
+  const OnDiskCache::Entry* Get(const std::string& key) const {
+    if (!proxy_->crashed()) {
+      const OnDiskCache::Entry* entry = proxy_->GetCached(key);
+      if (entry != nullptr) {
+        return entry;
+      }
+    }
+    return disk_->Get(key);
+  }
+
+ private:
+  const ConfigProxy* proxy_;
+  const OnDiskCache* disk_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_DISTRIBUTION_PROXY_H_

@@ -1,0 +1,59 @@
+#include "src/distribution/pull.h"
+
+namespace configerator {
+
+void PullService::Publish(const std::string& key, std::string value) {
+  configs_[key] = Entry{std::move(value), next_version_++};
+}
+
+void PullClient::Track(const std::string& key, UpdateCallback on_update) {
+  cached_versions_.try_emplace(key, 0);
+  if (on_update) {
+    callbacks_[key].push_back(std::move(on_update));
+  }
+}
+
+void PullClient::Start(SimTime initial_stagger) {
+  net_->sim().Schedule(initial_stagger, [this] { Poll(); });
+}
+
+void PullClient::Poll() {
+  ++polls_sent_;
+  // Request: the full interest list with cached versions. ~48 bytes per
+  // entry (path + version + framing), because the server is stateless.
+  int64_t request_bytes = 64 + static_cast<int64_t>(cached_versions_.size()) * 48;
+  net_->Send(host_, service_->host(), request_bytes, [this] {
+    // Server side: collect updates newer than the client's versions.
+    std::vector<std::pair<std::string, PullService::Entry>> updates;
+    int64_t response_bytes = 64;
+    for (const auto& [key, cached_version] : cached_versions_) {
+      const PullService::Entry* entry = service_->Get(key);
+      if (entry != nullptr && entry->version > cached_version) {
+        updates.emplace_back(key, *entry);
+        response_bytes += static_cast<int64_t>(key.size() + entry->value.size() + 32);
+      }
+    }
+    if (updates.empty()) {
+      ++empty_polls_;
+    }
+    net_->Send(service_->host(), host_, response_bytes,
+               [this, updates = std::move(updates)] {
+                 for (const auto& [key, entry] : updates) {
+                   int64_t& cached = cached_versions_[key];
+                   if (entry.version <= cached) {
+                     continue;
+                   }
+                   cached = entry.version;
+                   auto it = callbacks_.find(key);
+                   if (it != callbacks_.end()) {
+                     for (const UpdateCallback& cb : it->second) {
+                       cb(key, entry.value, entry.version);
+                     }
+                   }
+                 }
+               });
+  });
+  net_->sim().Schedule(poll_interval_, [this] { Poll(); });
+}
+
+}  // namespace configerator

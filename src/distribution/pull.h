@@ -1,0 +1,84 @@
+// Pull-model distribution baseline for the §3.4 ablation. A stateless
+// central service holds the latest configs; every client polls on a timer,
+// sending its full interest list (key + cached version) because the server
+// keeps no per-client state — exactly the two inefficiencies the paper
+// calls out: empty polls are pure overhead, and request size grows with the
+// number of configs a server needs.
+
+#ifndef SRC_DISTRIBUTION_PULL_H_
+#define SRC_DISTRIBUTION_PULL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace configerator {
+
+class PullService {
+ public:
+  PullService(Network* net, ServerId host) : net_(net), host_(host) {}
+
+  const ServerId& host() const { return host_; }
+
+  // Publishes (or updates) a config; version increases monotonically.
+  void Publish(const std::string& key, std::string value);
+
+  struct Entry {
+    std::string value;
+    int64_t version = 0;
+  };
+  const Entry* Get(const std::string& key) const {
+    auto it = configs_.find(key);
+    return it == configs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  friend class PullClient;
+
+  Network* net_;
+  ServerId host_;
+  std::map<std::string, Entry> configs_;
+  int64_t next_version_ = 1;
+};
+
+class PullClient {
+ public:
+  using UpdateCallback = std::function<void(
+      const std::string& key, const std::string& value, int64_t version)>;
+
+  PullClient(Network* net, PullService* service, ServerId host,
+             SimTime poll_interval)
+      : net_(net), service_(service), host_(host), poll_interval_(poll_interval) {}
+
+  // Adds `key` to the interest list.
+  void Track(const std::string& key, UpdateCallback on_update);
+
+  // Starts the poll loop; the first poll is staggered by `initial_stagger`
+  // so a fleet doesn't poll in lockstep.
+  void Start(SimTime initial_stagger = 0);
+
+  const std::map<std::string, int64_t>& cached_versions() const {
+    return cached_versions_;
+  }
+  uint64_t polls_sent() const { return polls_sent_; }
+  uint64_t empty_polls() const { return empty_polls_; }
+
+ private:
+  void Poll();
+
+  Network* net_;
+  PullService* service_;
+  ServerId host_;
+  SimTime poll_interval_;
+  std::map<std::string, int64_t> cached_versions_;
+  std::map<std::string, std::vector<UpdateCallback>> callbacks_;
+  uint64_t polls_sent_ = 0;
+  uint64_t empty_polls_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_DISTRIBUTION_PULL_H_

@@ -1,0 +1,64 @@
+#include "src/distribution/tailer.h"
+
+#include "src/util/logging.h"
+
+namespace configerator {
+
+GitTailer::GitTailer(Network* net, ServerId host, const Repository* repo,
+                     ZeusEnsemble* zeus, Options options)
+    : net_(net), host_(host), repo_(repo), zeus_(zeus), options_(std::move(options)) {}
+
+void GitTailer::Start() {
+  net_->sim().Schedule(options_.poll_interval, [this] { Poll(); });
+}
+
+void GitTailer::Poll() {
+  std::optional<ObjectId> head = repo_->head();
+  if (head.has_value() && (!last_seen_.has_value() || !(*head == *last_seen_))) {
+    auto deltas = repo_->DiffCommits(last_seen_, head);
+    if (deltas.ok()) {
+      for (const FileDelta& delta : *deltas) {
+        if (!options_.path_prefix.empty() &&
+            delta.path.compare(0, options_.path_prefix.size(),
+                               options_.path_prefix) != 0) {
+          continue;
+        }
+        std::string value;
+        if (delta.kind != FileDelta::Kind::kDeleted) {
+          auto content = repo_->ReadFileAt(*head, delta.path);
+          if (!content.ok()) {
+            CLOG(Warning) << "tailer: cannot read " << delta.path << ": "
+                          << content.status();
+            continue;
+          }
+          value = std::move(content).value();
+        }
+        // Deletions distribute an empty tombstone value. The fetch delay
+        // models reading the changed blobs out of the (slow, large) repo.
+        std::string path = delta.path;
+        net_->sim().Schedule(
+            options_.fetch_delay,
+            [this, path = std::move(path), value = std::move(value)]() mutable {
+              zeus_->Write(host_, path, std::move(value),
+                           [this, path](Result<int64_t> zxid) {
+                             if (!zxid.ok()) {
+                               CLOG(Warning) << "tailer: Zeus write failed for "
+                                             << path << ": " << zxid.status();
+                               return;
+                             }
+                             ++published_;
+                             if (on_published_) {
+                               on_published_(path, *zxid);
+                             }
+                           });
+            });
+      }
+      last_seen_ = head;
+    } else {
+      CLOG(Warning) << "tailer: diff failed: " << deltas.status();
+    }
+  }
+  net_->sim().Schedule(options_.poll_interval, [this] { Poll(); });
+}
+
+}  // namespace configerator

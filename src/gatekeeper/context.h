@@ -1,0 +1,32 @@
+// The per-request user context a Gatekeeper check evaluates against
+// (paper §4): who the user is, where they are, what device/app they use.
+
+#ifndef SRC_GATEKEEPER_CONTEXT_H_
+#define SRC_GATEKEEPER_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace configerator {
+
+struct UserContext {
+  int64_t user_id = 0;
+  std::string country;       // "US", "BR", ...
+  std::string locale;        // "en_US", ...
+  std::string app;           // "fb4a", "messenger", "www", ...
+  std::string device;        // "iphone6", "galaxy_s5", ...
+  std::string platform;      // "ios", "android", "www".
+  bool is_employee = false;
+  int32_t account_age_days = 0;
+  int32_t friend_count = 0;
+  int32_t app_version = 0;   // Monotone build number.
+
+  // Open-ended attributes for product-specific restraints.
+  std::map<std::string, std::string> string_attrs;
+  std::map<std::string, double> numeric_attrs;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_GATEKEEPER_CONTEXT_H_

@@ -1,0 +1,44 @@
+// Laser (paper §4): a key-value store holding precomputed, data-intensive
+// gating signals (outputs of stream processing or MapReduce jobs). The
+// special laser() restraint passes when get("$project-$user_id") exceeds a
+// configurable threshold, letting any offline system integrate with
+// Gatekeeper by loading data into Laser.
+
+#ifndef SRC_GATEKEEPER_LASER_H_
+#define SRC_GATEKEEPER_LASER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace configerator {
+
+class LaserStore {
+ public:
+  void Put(const std::string& key, double value) { data_[key] = value; }
+  std::optional<double> Get(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+  size_t size() const { return data_.size(); }
+
+  // Bulk load from an offline pipeline: assigns `value` under
+  // "<project>-<user_id>" for each id — the shape the laser restraint reads.
+  void LoadPipelineOutput(const std::string& project,
+                          const std::unordered_map<int64_t, double>& per_user) {
+    for (const auto& [user_id, value] : per_user) {
+      Put(project + "-" + std::to_string(user_id), value);
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, double> data_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_GATEKEEPER_LASER_H_

@@ -1,0 +1,133 @@
+// Gatekeeper projects and runtime (paper §4).
+//
+// A project's gating logic is an ordered list of if-statements; each is a
+// conjunction of restraints plus a pass probability for user sampling
+// (1% → 10% → 100% rollouts). The logic lives in a JSON config and is
+// updated live; the runtime rebuilds the boolean tree on config update.
+//
+// Like the paper's SQL-style cost-based optimization, the runtime collects
+// per-restraint execution statistics (pass rate; declared cost) and reorders
+// each conjunction so cheap, likely-short-circuiting restraints run first —
+// without changing semantics (restraints are pure).
+//
+// JSON shape:
+//   {
+//     "project": "ProjectX",
+//     "rules": [
+//       {"restraints": [{"type": "employee"}, ...], "pass_probability": 0.01},
+//       ...
+//     ]
+//   }
+
+#ifndef SRC_GATEKEEPER_PROJECT_H_
+#define SRC_GATEKEEPER_PROJECT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gatekeeper/restraint.h"
+
+namespace configerator {
+
+class GatekeeperProject {
+ public:
+  // Compiles a project from its JSON config. Rejects malformed specs.
+  static Result<GatekeeperProject> FromJson(
+      const Json& config,
+      const RestraintRegistry& registry = RestraintRegistry::Builtin());
+
+  const std::string& name() const { return name_; }
+
+  // The gk_check() of Figure 4: evaluates rules in order; the first rule
+  // whose conjunction holds casts the (deterministic per-user) sampling die.
+  // No rule matching → false.
+  //
+  // Thread-compatibility: Check() updates evaluation statistics, so
+  // concurrent callers need one GatekeeperProject instance per thread (the
+  // production pattern: the runtime rebuilds per-worker state on config
+  // update anyway).
+  bool Check(const UserContext& user, const LaserStore* laser) const;
+
+  // Cost-based restraint reordering (on by default; benches ablate it).
+  void set_cost_based_ordering(bool enabled) { cost_based_ordering_ = enabled; }
+
+  size_t rule_count() const { return rules_.size(); }
+
+  // Execution-statistics snapshot, per rule, in *current evaluation order*
+  // (the paper: the runtime leverages "the execution time of a restraint and
+  // its probability of returning true" — this exposes what it learned).
+  struct RestraintStatsView {
+    std::string type;
+    double cost = 0;
+    uint64_t evals = 0;
+    uint64_t passes = 0;
+
+    double pass_rate() const {
+      return evals == 0 ? 0.0
+                        : static_cast<double>(passes) / static_cast<double>(evals);
+    }
+  };
+  std::vector<std::vector<RestraintStatsView>> StatsSnapshot() const;
+
+ private:
+  struct RestraintStats {
+    uint64_t evals = 0;
+    uint64_t passes = 0;
+  };
+
+  struct Rule {
+    std::vector<RestraintPtr> restraints;
+    double pass_probability = 0;
+    // Evaluation order over `restraints`, re-derived from stats.
+    std::vector<size_t> order;
+    std::vector<RestraintStats> stats;
+    uint64_t evals_since_reorder = 0;
+  };
+
+  void MaybeReorder(Rule& rule) const;
+
+  std::string name_;
+  mutable std::vector<Rule> rules_;  // Mutable: stats/order are bookkeeping.
+  bool cost_based_ordering_ = true;
+};
+
+// Holds the live projects for a frontend server; integrates with the config
+// distribution path (project configs arrive as JSON under "gatekeeper/").
+class GatekeeperRuntime {
+ public:
+  explicit GatekeeperRuntime(const LaserStore* laser = nullptr) : laser_(laser) {}
+
+  // Loads or replaces a project from its JSON config.
+  Status LoadProject(const Json& config);
+  Status RemoveProject(const std::string& project);
+
+  // Entry point matching Figure 4's gk_check(). Unknown project → false
+  // (fail closed: an undistributed project gates nothing on).
+  bool Check(const std::string& project, const UserContext& user);
+
+  // Hook for the distribution layer: config updates under "gatekeeper/"
+  // (path "gatekeeper/<project>.json") re-compile the project in place; an
+  // empty value removes it.
+  Status ApplyConfigUpdate(const std::string& path, const std::string& json_text);
+
+  void set_cost_based_ordering(bool enabled);
+
+  uint64_t check_count() const { return check_count_; }
+  size_t project_count() const { return projects_.size(); }
+  bool HasProject(const std::string& project) const {
+    return projects_.count(project) > 0;
+  }
+
+ private:
+  const LaserStore* laser_;
+  std::map<std::string, std::unique_ptr<GatekeeperProject>> projects_;
+  bool cost_based_ordering_ = true;
+  uint64_t check_count_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_GATEKEEPER_PROJECT_H_

@@ -1,0 +1,98 @@
+// AST for the config source language.
+
+#ifndef SRC_LANG_AST_H_
+#define SRC_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lang/value.h"
+
+namespace configerator {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Expr {
+  enum class Kind {
+    kLiteral,  // literal (int/float/string/bool/None)
+    kName,     // identifier
+    kList,     // [a, b, c]
+    kDict,     // {"k": v}
+    kBinary,   // a OP b (op in `name`)
+    kUnary,    // OP a   (op in `name`: "-", "not")
+    kTernary,  // a if cond else b   (lhs=a, cond in rhs, third=b)
+    kCall,     // callee(args..., kw=...)  (lhs=callee)
+    kAttr,     // base.attr  (lhs=base, name=attr)
+    kIndex,    // base[key]  (lhs=base, rhs=key)
+  };
+
+  Kind kind;
+  int line = 0;
+
+  Value literal;                 // kLiteral
+  std::string name;              // kName / kAttr / op spelling
+  std::vector<ExprPtr> items;    // list elements / call positional args
+  std::vector<std::pair<ExprPtr, ExprPtr>> pairs;  // dict entries
+  std::vector<std::pair<std::string, ExprPtr>> kwargs;  // call keyword args
+  ExprPtr lhs;
+  ExprPtr rhs;
+  ExprPtr third;
+};
+
+// A function definition. Closures hold stable pointers to these, so modules
+// owning them must outlive all values produced by evaluation (the compiler
+// session guarantees this by caching modules for its lifetime).
+struct FunctionDefStmt {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<ExprPtr> defaults;  // Parallel to params; null = no default.
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,      // bare expression (e.g. a call)
+    kAssign,    // target = value
+    kAugAssign, // target op= value (op in `op`)
+    kIf,        // cond/body/orelse (elif chains nest in orelse)
+    kFor,       // for loop_vars in value: body
+    kWhile,     // while cond: body
+    kDef,       // function definition
+    kReturn,
+    kAssert,    // assert cond[, message]
+    kPass,
+    kBreak,
+    kContinue,
+  };
+
+  Kind kind;
+  int line = 0;
+
+  ExprPtr target;  // kAssign/kAugAssign target; kExpr/kReturn/kAssert condition
+  ExprPtr value;   // assigned value / for iterable / assert message
+  std::string op;  // kAugAssign operator ("+", "-", ...)
+  std::vector<std::string> loop_vars;  // kFor targets (1 = plain, 2+ = unpack)
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+  std::unique_ptr<FunctionDefStmt> def;  // kDef
+};
+
+// A parsed source file.
+struct Module {
+  std::string path;
+  std::vector<StmtPtr> body;
+};
+
+// Parses tokenized source into a module. `origin` labels error messages.
+Result<std::shared_ptr<Module>> ParseCsl(std::string_view source,
+                                         const std::string& origin);
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_AST_H_

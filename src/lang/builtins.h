@@ -1,0 +1,25 @@
+// Native builtin functions for the config source language, and registration
+// of schema-struct constructors / enum namespaces from a SchemaRegistry.
+
+#ifndef SRC_LANG_BUILTINS_H_
+#define SRC_LANG_BUILTINS_H_
+
+#include "src/lang/interp.h"
+#include "src/schema/schema.h"
+
+namespace configerator {
+
+// Installs the builtin function set: len, str, int, float, range, sorted,
+// min, max, abs, items, keys, values, append, extend, has_key, join, split,
+// format, fail.
+void RegisterCslBuiltins(Environment* env);
+
+// For every struct in `registry`, installs a constructor `StructName(...)`
+// that accepts keyword arguments (rejecting unknown field names — the typo
+// defense starts at construction), and for every enum a namespace value
+// `EnumName.VALUE`.
+void RegisterSchemaConstructors(const SchemaRegistry& registry, Environment* env);
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_BUILTINS_H_

@@ -1,0 +1,207 @@
+#include "src/lang/compiler.h"
+
+#include <cstring>
+#include <set>
+
+#include "src/lang/builtins.h"
+#include "src/schema/typecheck.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+#define RETURN_IF_ERROR_R(expr)              \
+  do {                                       \
+    ::configerator::Status _s = (expr);      \
+    if (!_s.ok()) {                          \
+      return _s;                             \
+    }                                        \
+  } while (false)
+
+}  // namespace
+
+// One hermetic compilation of one entry file.
+class ConfigCompiler::Session {
+ public:
+  Session(FileReader reader, std::string entry_path)
+      : reader_(std::move(reader)), entry_path_(std::move(entry_path)) {
+    Interp::Hooks hooks;
+    hooks.import_module = [this](const std::string& path) {
+      return ImportModule(path);
+    };
+    hooks.import_schema = [this](const std::string& path) {
+      return ImportSchema(path);
+    };
+    hooks.export_config = [this](const std::string& name, const Value& value) {
+      return ExportConfig(name, value);
+    };
+    interp_ = std::make_unique<Interp>(&registry_, std::move(hooks));
+  }
+
+  Result<CompileOutput> Run() {
+    ASSIGN_OR_RETURN(std::string source, ReadDep(entry_path_));
+    ASSIGN_OR_RETURN(std::shared_ptr<Module> module, ParseCsl(source, entry_path_));
+    modules_alive_.push_back(module);
+    auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    RETURN_IF_ERROR_R(
+        interp_->EvalModule(*module, globals, /*exports_enabled=*/true));
+
+    // Post-process exports: type check, defaults, validators.
+    CompileOutput output;
+    for (auto& [path, value] : exports_) {
+      CompiledConfig config;
+      config.path = path;
+      config.type_name = value.type_name();
+      ASSIGN_OR_RETURN(Json json, value.ToJson());
+      if (!config.type_name.empty() &&
+          !config.type_name.starts_with("enum ")) {
+        RETURN_IF_ERROR_R(
+            TypeCheckStruct(registry_, config.type_name, json, config.path));
+        ASSIGN_OR_RETURN(json, ApplyDefaults(registry_, config.type_name, json));
+        // Re-check with defaults applied so validators see complete configs.
+        RETURN_IF_ERROR_R(
+            TypeCheckStruct(registry_, config.type_name, json, config.path));
+        RETURN_IF_ERROR_R(RunValidators(config.type_name, json));
+      }
+      config.content = std::move(json);
+      output.configs.push_back(std::move(config));
+    }
+    if (output.configs.empty()) {
+      return InvalidConfigError(entry_path_ + ": compiled without exporting any config");
+    }
+    output.dependencies.assign(dependencies_.begin(), dependencies_.end());
+    return output;
+  }
+
+ private:
+  Result<std::string> ReadDep(const std::string& path) {
+    dependencies_.insert(path);
+    return reader_(path);
+  }
+
+  Result<std::shared_ptr<Environment>> ImportModule(const std::string& path) {
+    auto cached = module_envs_.find(path);
+    if (cached != module_envs_.end()) {
+      if (cached->second == nullptr) {
+        return InvalidConfigError("import cycle through '" + path + "'");
+      }
+      return cached->second;
+    }
+    module_envs_[path] = nullptr;  // Cycle marker.
+    ASSIGN_OR_RETURN(std::string source, ReadDep(path));
+    ASSIGN_OR_RETURN(std::shared_ptr<Module> module, ParseCsl(source, path));
+    modules_alive_.push_back(module);
+    auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    RETURN_IF_ERROR_R(
+        interp_->EvalModule(*module, globals, /*exports_enabled=*/false));
+    module_envs_[path] = globals;
+    return globals;
+  }
+
+  Status ImportSchema(const std::string& path) {
+    if (loaded_schemas_.count(path) > 0) {
+      return OkStatus();
+    }
+    loaded_schemas_.insert(path);
+    auto source = ReadDep(path);
+    if (!source.ok()) {
+      return source.status();
+    }
+    auto include_resolver = [this](const std::string& inc) -> Result<std::string> {
+      return ReadDep(inc);
+    };
+    RETURN_IF_ERROR(
+        registry_.ParseAndRegister(*source, path, include_resolver));
+    RETURN_IF_ERROR(registry_.ResolveAll());
+    // Load the companion validator module if one exists. Missing validators
+    // are fine; anything else (e.g. a validator that fails to parse) is not.
+    std::string validator_path = path + "-cvalidator";
+    auto validator_source = reader_(validator_path);
+    if (validator_source.ok()) {
+      dependencies_.insert(validator_path);
+      ASSIGN_OR_RETURN(std::shared_ptr<Module> module,
+                       ParseCsl(*validator_source, validator_path));
+      modules_alive_.push_back(module);
+      auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+      RETURN_IF_ERROR(
+          interp_->EvalModule(*module, globals, /*exports_enabled=*/false));
+      for (const auto& [name, value] : globals->vars()) {
+        if (name.starts_with("validate_") && value.is_callable()) {
+          validators_[name.substr(strlen("validate_"))].push_back(value);
+        }
+      }
+    } else if (validator_source.status().code() != StatusCode::kNotFound) {
+      return validator_source.status();
+    }
+    return OkStatus();
+  }
+
+  Status ExportConfig(const std::string& name, const Value& value) {
+    std::string path =
+        name.empty() ? ConfigCompiler::OutputPathFor(entry_path_) : name;
+    if (exports_.count(path) > 0) {
+      return InvalidConfigError("config '" + path + "' exported twice");
+    }
+    exports_.emplace(path, value);
+    export_order_.push_back(path);
+    return OkStatus();
+  }
+
+  Status RunValidators(const std::string& type_name, const Json& json) {
+    auto it = validators_.find(type_name);
+    if (it == validators_.end()) {
+      return OkStatus();
+    }
+    Value cfg = Value::FromJson(json);
+    cfg.set_type_name(type_name);
+    for (const Value& validator : it->second) {
+      auto result = interp_->CallValue(validator, {cfg}, {});
+      if (!result.ok()) {
+        return InvalidConfigError(
+            StrFormat("validator for %s rejected config: %s", type_name.c_str(),
+                      result.status().message().c_str()));
+      }
+      // A validator may also return False to reject.
+      if (result->is_bool() && !result->as_bool()) {
+        return InvalidConfigError("validator for " + type_name +
+                                  " returned False");
+      }
+    }
+    return OkStatus();
+  }
+
+  FileReader reader_;
+  std::string entry_path_;
+  SchemaRegistry registry_;
+  std::unique_ptr<Interp> interp_;
+  std::map<std::string, std::shared_ptr<Environment>> module_envs_;
+  std::set<std::string> loaded_schemas_;
+  std::set<std::string> dependencies_;
+  std::map<std::string, Value> exports_;
+  std::vector<std::string> export_order_;
+  std::map<std::string, std::vector<Value>> validators_;
+  std::vector<std::shared_ptr<Module>> modules_alive_;
+};
+
+ConfigCompiler::ConfigCompiler(FileReader reader) : reader_(std::move(reader)) {}
+
+Result<CompileOutput> ConfigCompiler::Compile(const std::string& entry_path) {
+  Session session(reader_, entry_path);
+  return session.Run();
+}
+
+std::string ConfigCompiler::OutputPathFor(const std::string& source_path) {
+  auto dot = source_path.rfind('.');
+  auto slash = source_path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return source_path + ".json";
+  }
+  return source_path.substr(0, dot) + ".json";
+}
+
+#undef RETURN_IF_ERROR_R
+
+}  // namespace configerator

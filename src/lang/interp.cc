@@ -1,0 +1,811 @@
+#include "src/lang/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lang/builtins.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+#define RETURN_IF_ERROR_R(expr)              \
+  do {                                       \
+    ::configerator::Status _s = (expr);      \
+    if (!_s.ok()) {                          \
+      return _s;                             \
+    }                                        \
+  } while (false)
+
+constexpr int kMaxCallDepth = 200;
+
+}  // namespace
+
+Value* Environment::Find(const std::string& name) {
+  Environment* env = this;
+  while (env != nullptr) {
+    auto it = env->vars_.find(name);
+    if (it != env->vars_.end()) {
+      return &it->second;
+    }
+    env = env->parent_.get();
+  }
+  return nullptr;
+}
+
+Interp::Interp(const SchemaRegistry* registry, Hooks hooks)
+    : registry_(registry), hooks_(std::move(hooks)) {}
+
+Interp::~Interp() {
+  // Break closure <-> environment shared_ptr cycles so the whole session's
+  // values are reclaimed.
+  for (const std::weak_ptr<Environment>& weak : session_envs_) {
+    if (std::shared_ptr<Environment> env = weak.lock()) {
+      env->Clear();
+    }
+  }
+  if (base_env_ != nullptr) {
+    base_env_->Clear();
+  }
+}
+
+std::shared_ptr<Environment> Interp::NewEnvironment(
+    std::shared_ptr<Environment> parent) {
+  // Compact expired registrations occasionally so long evaluations (many
+  // short-lived call frames) don't accumulate dead weak_ptrs.
+  if (session_envs_.size() >= env_compact_threshold_) {
+    std::erase_if(session_envs_,
+                  [](const std::weak_ptr<Environment>& weak) {
+                    return weak.expired();
+                  });
+    env_compact_threshold_ =
+        std::max<size_t>(1024, session_envs_.size() * 2);
+  }
+  auto env = std::make_shared<Environment>(std::move(parent));
+  session_envs_.push_back(env);
+  return env;
+}
+
+Status Interp::Tick(int line) {
+  if (++steps_ > step_limit_) {
+    return EvalError(line, "evaluation step limit exceeded (runaway config code?)");
+  }
+  return OkStatus();
+}
+
+Status Interp::EvalError(int line, const std::string& msg) const {
+  return InvalidConfigError(
+      StrFormat("%s:%d: %s", current_origin_.c_str(), line, msg.c_str()));
+}
+
+std::shared_ptr<Environment> Interp::MakeBaseEnvironment() {
+  if (base_env_ == nullptr) {
+    base_env_ = std::make_shared<Environment>();
+    RegisterCslBuiltins(base_env_.get());
+    if (registry_ != nullptr) {
+      RegisterSchemaConstructors(*registry_, base_env_.get());
+    }
+  }
+  return base_env_;
+}
+
+Status Interp::EvalModule(const Module& module,
+                          const std::shared_ptr<Environment>& globals,
+                          bool exports_enabled) {
+  std::string saved_origin = current_origin_;
+  bool saved_exports = exports_enabled_;
+  current_origin_ = module.path;
+  exports_enabled_ = exports_enabled;
+  steps_ = 0;
+
+  auto restore = [&] {
+    current_origin_ = saved_origin;
+    exports_enabled_ = saved_exports;
+  };
+
+  auto flow = ExecBlock(module.body, globals);
+  restore();
+  if (!flow.ok()) {
+    return flow.status();
+  }
+  return OkStatus();
+}
+
+Result<Interp::Flow> Interp::ExecBlock(const std::vector<StmtPtr>& body,
+                                       const std::shared_ptr<Environment>& env) {
+  for (const StmtPtr& stmt : body) {
+    ASSIGN_OR_RETURN(Flow flow, ExecStmt(*stmt, env));
+    if (flow.kind != Flow::Kind::kNormal) {
+      return flow;
+    }
+  }
+  return Flow{};
+}
+
+Result<Interp::Flow> Interp::ExecStmt(const Stmt& stmt,
+                                      const std::shared_ptr<Environment>& env) {
+  RETURN_IF_ERROR_R(Tick(stmt.line));
+  switch (stmt.kind) {
+    case Stmt::Kind::kExpr: {
+      ASSIGN_OR_RETURN(Value ignored, Eval(*stmt.target, env));
+      (void)ignored;
+      return Flow{};
+    }
+    case Stmt::Kind::kAssign: {
+      ASSIGN_OR_RETURN(Value value, Eval(*stmt.value, env));
+      RETURN_IF_ERROR_R(Assign(*stmt.target, std::move(value), env));
+      return Flow{};
+    }
+    case Stmt::Kind::kAugAssign: {
+      ASSIGN_OR_RETURN(Value current, Eval(*stmt.target, env));
+      ASSIGN_OR_RETURN(Value delta, Eval(*stmt.value, env));
+      // Synthesize `current OP delta`.
+      Expr synth;
+      synth.kind = Expr::Kind::kBinary;
+      synth.name = stmt.op;
+      synth.line = stmt.line;
+      auto lhs = std::make_unique<Expr>();
+      lhs->kind = Expr::Kind::kLiteral;
+      lhs->line = stmt.line;
+      lhs->literal = std::move(current);
+      auto rhs = std::make_unique<Expr>();
+      rhs->kind = Expr::Kind::kLiteral;
+      rhs->line = stmt.line;
+      rhs->literal = std::move(delta);
+      synth.lhs = std::move(lhs);
+      synth.rhs = std::move(rhs);
+      ASSIGN_OR_RETURN(Value combined, EvalBinary(synth, env));
+      RETURN_IF_ERROR_R(Assign(*stmt.target, std::move(combined), env));
+      return Flow{};
+    }
+    case Stmt::Kind::kIf: {
+      ASSIGN_OR_RETURN(Value cond, Eval(*stmt.target, env));
+      if (cond.Truthy()) {
+        return ExecBlock(stmt.body, env);
+      }
+      return ExecBlock(stmt.orelse, env);
+    }
+    case Stmt::Kind::kFor: {
+      ASSIGN_OR_RETURN(Value iterable, Eval(*stmt.value, env));
+      std::vector<Value> items;
+      if (iterable.is_list()) {
+        items = iterable.as_list();
+      } else if (iterable.is_dict()) {
+        // Iterating a dict yields its keys, like Python.
+        for (const auto& [k, v] : iterable.as_dict()) {
+          items.push_back(Value::Str(k));
+        }
+      } else if (iterable.is_string()) {
+        for (char c : iterable.as_string()) {
+          items.push_back(Value::Str(std::string(1, c)));
+        }
+      } else {
+        return EvalError(stmt.line, "for-loop target is not iterable");
+      }
+      for (Value& item : items) {
+        RETURN_IF_ERROR_R(Tick(stmt.line));
+        if (stmt.loop_vars.size() == 1) {
+          env->Define(stmt.loop_vars[0], std::move(item));
+        } else {
+          if (!item.is_list() || item.as_list().size() != stmt.loop_vars.size()) {
+            return EvalError(stmt.line, "cannot unpack loop value");
+          }
+          for (size_t i = 0; i < stmt.loop_vars.size(); ++i) {
+            env->Define(stmt.loop_vars[i], item.as_list()[i]);
+          }
+        }
+        ASSIGN_OR_RETURN(Flow flow, ExecBlock(stmt.body, env));
+        if (flow.kind == Flow::Kind::kBreak) {
+          break;
+        }
+        if (flow.kind == Flow::Kind::kReturn) {
+          return flow;
+        }
+      }
+      return Flow{};
+    }
+    case Stmt::Kind::kWhile: {
+      while (true) {
+        RETURN_IF_ERROR_R(Tick(stmt.line));
+        ASSIGN_OR_RETURN(Value cond, Eval(*stmt.target, env));
+        if (!cond.Truthy()) {
+          break;
+        }
+        ASSIGN_OR_RETURN(Flow flow, ExecBlock(stmt.body, env));
+        if (flow.kind == Flow::Kind::kBreak) {
+          break;
+        }
+        if (flow.kind == Flow::Kind::kReturn) {
+          return flow;
+        }
+      }
+      return Flow{};
+    }
+    case Stmt::Kind::kDef: {
+      Closure closure;
+      closure.def = stmt.def.get();
+      closure.env = env;
+      env->Define(stmt.def->name, Value::MakeClosure(std::move(closure)));
+      return Flow{};
+    }
+    case Stmt::Kind::kReturn: {
+      Flow flow;
+      flow.kind = Flow::Kind::kReturn;
+      if (stmt.target != nullptr) {
+        ASSIGN_OR_RETURN(flow.value, Eval(*stmt.target, env));
+      }
+      return flow;
+    }
+    case Stmt::Kind::kAssert: {
+      ASSIGN_OR_RETURN(Value cond, Eval(*stmt.target, env));
+      if (!cond.Truthy()) {
+        std::string message = "assertion failed";
+        if (stmt.value != nullptr) {
+          ASSIGN_OR_RETURN(Value msg, Eval(*stmt.value, env));
+          message = msg.is_string() ? msg.as_string() : msg.ToDebugString();
+        }
+        return EvalError(stmt.line, message);
+      }
+      return Flow{};
+    }
+    case Stmt::Kind::kPass:
+      return Flow{};
+    case Stmt::Kind::kBreak: {
+      Flow flow;
+      flow.kind = Flow::Kind::kBreak;
+      return flow;
+    }
+    case Stmt::Kind::kContinue: {
+      Flow flow;
+      flow.kind = Flow::Kind::kContinue;
+      return flow;
+    }
+  }
+  return InternalError("unhandled statement kind");
+}
+
+Status Interp::Assign(const Expr& target, Value value,
+                      const std::shared_ptr<Environment>& env) {
+  switch (target.kind) {
+    case Expr::Kind::kName: {
+      env->Define(target.name, std::move(value));
+      return OkStatus();
+    }
+    case Expr::Kind::kAttr: {
+      auto base = Eval(*target.lhs, env);
+      if (!base.ok()) {
+        return base.status();
+      }
+      if (!base->is_dict()) {
+        return EvalError(target.line,
+                         "cannot set attribute on " + std::string(base->KindName()));
+      }
+      base->as_dict()[target.name] = std::move(value);
+      return OkStatus();
+    }
+    case Expr::Kind::kIndex: {
+      auto base = Eval(*target.lhs, env);
+      if (!base.ok()) {
+        return base.status();
+      }
+      auto key = Eval(*target.rhs, env);
+      if (!key.ok()) {
+        return key.status();
+      }
+      if (base->is_dict()) {
+        if (!key->is_string()) {
+          return EvalError(target.line, "dict keys must be strings");
+        }
+        base->as_dict()[key->as_string()] = std::move(value);
+        return OkStatus();
+      }
+      if (base->is_list()) {
+        if (!key->is_int()) {
+          return EvalError(target.line, "list index must be an integer");
+        }
+        int64_t idx = key->as_int();
+        auto& list = base->as_list();
+        if (idx < 0) {
+          idx += static_cast<int64_t>(list.size());
+        }
+        if (idx < 0 || idx >= static_cast<int64_t>(list.size())) {
+          return EvalError(target.line, "list index out of range");
+        }
+        list[static_cast<size_t>(idx)] = std::move(value);
+        return OkStatus();
+      }
+      return EvalError(target.line,
+                       "cannot index " + std::string(base->KindName()));
+    }
+    default:
+      return EvalError(target.line, "invalid assignment target");
+  }
+}
+
+Result<Value> Interp::Eval(const Expr& expr, const std::shared_ptr<Environment>& env) {
+  RETURN_IF_ERROR_R(Tick(expr.line));
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kName: {
+      Value* found = env->Find(expr.name);
+      if (found == nullptr) {
+        return EvalError(expr.line, "undefined name '" + expr.name + "'");
+      }
+      return *found;
+    }
+    case Expr::Kind::kList: {
+      Value::List items;
+      items.reserve(expr.items.size());
+      for (const ExprPtr& item : expr.items) {
+        ASSIGN_OR_RETURN(Value v, Eval(*item, env));
+        items.push_back(std::move(v));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    case Expr::Kind::kDict: {
+      Value::Dict items;
+      for (const auto& [key_expr, value_expr] : expr.pairs) {
+        ASSIGN_OR_RETURN(Value key, Eval(*key_expr, env));
+        if (!key.is_string()) {
+          return EvalError(expr.line, "dict keys must be strings");
+        }
+        ASSIGN_OR_RETURN(Value value, Eval(*value_expr, env));
+        items[key.as_string()] = std::move(value);
+      }
+      return Value::MakeDict(std::move(items));
+    }
+    case Expr::Kind::kUnary: {
+      ASSIGN_OR_RETURN(Value operand, Eval(*expr.lhs, env));
+      if (expr.name == "not") {
+        return Value::Bool(!operand.Truthy());
+      }
+      if (expr.name == "-") {
+        if (operand.is_int()) {
+          return Value::Int(-operand.as_int());
+        }
+        if (operand.is_double()) {
+          return Value::Double(-operand.as_double());
+        }
+        return EvalError(expr.line, "unary '-' needs a number");
+      }
+      return EvalError(expr.line, "unknown unary operator");
+    }
+    case Expr::Kind::kTernary: {
+      ASSIGN_OR_RETURN(Value cond, Eval(*expr.rhs, env));
+      if (cond.Truthy()) {
+        return Eval(*expr.lhs, env);
+      }
+      return Eval(*expr.third, env);
+    }
+    case Expr::Kind::kBinary:
+      return EvalBinary(expr, env);
+    case Expr::Kind::kAttr: {
+      ASSIGN_OR_RETURN(Value base, Eval(*expr.lhs, env));
+      if (base.is_dict()) {
+        auto it = base.as_dict().find(expr.name);
+        if (it == base.as_dict().end()) {
+          return EvalError(expr.line, StrFormat("%s has no attribute '%s'",
+                                                std::string(base.KindName()).c_str(),
+                                                expr.name.c_str()));
+        }
+        return it->second;
+      }
+      return EvalError(expr.line, StrFormat("cannot access attribute '%s' on %s",
+                                            expr.name.c_str(),
+                                            std::string(base.KindName()).c_str()));
+    }
+    case Expr::Kind::kIndex: {
+      ASSIGN_OR_RETURN(Value base, Eval(*expr.lhs, env));
+      ASSIGN_OR_RETURN(Value key, Eval(*expr.rhs, env));
+      if (base.is_dict()) {
+        if (!key.is_string()) {
+          return EvalError(expr.line, "dict keys must be strings");
+        }
+        auto it = base.as_dict().find(key.as_string());
+        if (it == base.as_dict().end()) {
+          return EvalError(expr.line, "key '" + key.as_string() + "' not found");
+        }
+        return it->second;
+      }
+      if (base.is_list()) {
+        if (!key.is_int()) {
+          return EvalError(expr.line, "list index must be an integer");
+        }
+        int64_t idx = key.as_int();
+        const auto& list = base.as_list();
+        if (idx < 0) {
+          idx += static_cast<int64_t>(list.size());
+        }
+        if (idx < 0 || idx >= static_cast<int64_t>(list.size())) {
+          return EvalError(expr.line, "list index out of range");
+        }
+        return list[static_cast<size_t>(idx)];
+      }
+      if (base.is_string()) {
+        if (!key.is_int()) {
+          return EvalError(expr.line, "string index must be an integer");
+        }
+        int64_t idx = key.as_int();
+        const std::string& s = base.as_string();
+        if (idx < 0) {
+          idx += static_cast<int64_t>(s.size());
+        }
+        if (idx < 0 || idx >= static_cast<int64_t>(s.size())) {
+          return EvalError(expr.line, "string index out of range");
+        }
+        return Value::Str(std::string(1, s[static_cast<size_t>(idx)]));
+      }
+      return EvalError(expr.line,
+                       "cannot index " + std::string(base.KindName()));
+    }
+    case Expr::Kind::kCall:
+      return EvalCall(expr, env);
+  }
+  return InternalError("unhandled expression kind");
+}
+
+Result<Value> Interp::EvalBinary(const Expr& expr,
+                                 const std::shared_ptr<Environment>& env) {
+  const std::string& op = expr.name;
+
+  // Short-circuit logicals return the deciding operand, like Python.
+  if (op == "and") {
+    ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, env));
+    if (!lhs.Truthy()) {
+      return lhs;
+    }
+    return Eval(*expr.rhs, env);
+  }
+  if (op == "or") {
+    ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, env));
+    if (lhs.Truthy()) {
+      return lhs;
+    }
+    return Eval(*expr.rhs, env);
+  }
+
+  ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, env));
+  ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, env));
+
+  if (op == "==") {
+    return Value::Bool(lhs.Equals(rhs));
+  }
+  if (op == "!=") {
+    return Value::Bool(!lhs.Equals(rhs));
+  }
+  if (op == "in" || op == "not in") {
+    bool contains = false;
+    if (rhs.is_list()) {
+      for (const Value& item : rhs.as_list()) {
+        if (item.Equals(lhs)) {
+          contains = true;
+          break;
+        }
+      }
+    } else if (rhs.is_dict()) {
+      if (!lhs.is_string()) {
+        return EvalError(expr.line, "'in <dict>' needs a string key");
+      }
+      contains = rhs.as_dict().count(lhs.as_string()) > 0;
+    } else if (rhs.is_string()) {
+      if (!lhs.is_string()) {
+        return EvalError(expr.line, "'in <string>' needs a string");
+      }
+      contains = rhs.as_string().find(lhs.as_string()) != std::string::npos;
+    } else {
+      return EvalError(expr.line,
+                       "'in' right operand must be list, dict or string");
+    }
+    return Value::Bool(op == "in" ? contains : !contains);
+  }
+
+  // Ordering comparisons.
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+    int cmp = 0;
+    if (lhs.is_number() && rhs.is_number()) {
+      double a = lhs.as_double();
+      double b = rhs.as_double();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else if (lhs.is_string() && rhs.is_string()) {
+      cmp = lhs.as_string().compare(rhs.as_string());
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    } else {
+      return EvalError(expr.line,
+                       StrFormat("cannot compare %s and %s",
+                                 std::string(lhs.KindName()).c_str(),
+                                 std::string(rhs.KindName()).c_str()));
+    }
+    if (op == "<") {
+      return Value::Bool(cmp < 0);
+    }
+    if (op == "<=") {
+      return Value::Bool(cmp <= 0);
+    }
+    if (op == ">") {
+      return Value::Bool(cmp > 0);
+    }
+    return Value::Bool(cmp >= 0);
+  }
+
+  // Arithmetic and concatenation.
+  if (op == "+") {
+    if (lhs.is_int() && rhs.is_int()) {
+      return Value::Int(lhs.as_int() + rhs.as_int());
+    }
+    if (lhs.is_number() && rhs.is_number()) {
+      return Value::Double(lhs.as_double() + rhs.as_double());
+    }
+    if (lhs.is_string() && rhs.is_string()) {
+      return Value::Str(lhs.as_string() + rhs.as_string());
+    }
+    if (lhs.is_list() && rhs.is_list()) {
+      Value::List combined = lhs.as_list();
+      for (const Value& v : rhs.as_list()) {
+        combined.push_back(v);
+      }
+      return Value::MakeList(std::move(combined));
+    }
+    return EvalError(expr.line, StrFormat("cannot add %s and %s",
+                                          std::string(lhs.KindName()).c_str(),
+                                          std::string(rhs.KindName()).c_str()));
+  }
+  if (op == "-" || op == "*" || op == "/" || op == "%" || op == "//") {
+    if (op == "*" && lhs.is_string() && rhs.is_int()) {
+      std::string out;
+      for (int64_t i = 0; i < rhs.as_int(); ++i) {
+        out += lhs.as_string();
+      }
+      return Value::Str(std::move(out));
+    }
+    if (!lhs.is_number() || !rhs.is_number()) {
+      return EvalError(expr.line,
+                       StrFormat("operator '%s' needs numbers", op.c_str()));
+    }
+    if (lhs.is_int() && rhs.is_int()) {
+      int64_t a = lhs.as_int();
+      int64_t b = rhs.as_int();
+      if (op == "-") {
+        return Value::Int(a - b);
+      }
+      if (op == "*") {
+        return Value::Int(a * b);
+      }
+      if (b == 0) {
+        return EvalError(expr.line, "division by zero");
+      }
+      if (op == "//") {
+        // Floor division, Python semantics.
+        int64_t q = a / b;
+        if ((a % b != 0) && ((a < 0) != (b < 0))) {
+          --q;
+        }
+        return Value::Int(q);
+      }
+      if (op == "%") {
+        int64_t r = a % b;
+        if (r != 0 && ((r < 0) != (b < 0))) {
+          r += b;
+        }
+        return Value::Int(r);
+      }
+      // "/" on ints yields double, Python 3 semantics.
+      return Value::Double(static_cast<double>(a) / static_cast<double>(b));
+    }
+    double a = lhs.as_double();
+    double b = rhs.as_double();
+    if (op == "-") {
+      return Value::Double(a - b);
+    }
+    if (op == "*") {
+      return Value::Double(a * b);
+    }
+    if (b == 0) {
+      return EvalError(expr.line, "division by zero");
+    }
+    if (op == "//") {
+      return Value::Double(std::floor(a / b));
+    }
+    if (op == "%") {
+      return Value::Double(std::fmod(a, b));
+    }
+    return Value::Double(a / b);
+  }
+
+  return EvalError(expr.line, "unknown binary operator '" + op + "'");
+}
+
+Result<Value> Interp::EvalCall(const Expr& expr,
+                               const std::shared_ptr<Environment>& env) {
+  // Special forms: imports and exports, which need interpreter context.
+  if (expr.lhs->kind == Expr::Kind::kName) {
+    const std::string& name = expr.lhs->name;
+    if (name == "import_python" || name == "import_thrift") {
+      if (expr.items.empty()) {
+        return EvalError(expr.line, name + "() needs a path argument");
+      }
+      ASSIGN_OR_RETURN(Value path_value, Eval(*expr.items[0], env));
+      if (!path_value.is_string()) {
+        return EvalError(expr.line, name + "() path must be a string");
+      }
+      const std::string& path = path_value.as_string();
+      if (name == "import_thrift" || path.ends_with(".thrift")) {
+        if (!hooks_.import_schema) {
+          return EvalError(expr.line, "schema imports not available here");
+        }
+        RETURN_IF_ERROR_R(hooks_.import_schema(path));
+        // Newly registered schemas need constructors in the base env.
+        if (registry_ != nullptr && base_env_ != nullptr) {
+          RegisterSchemaConstructors(*registry_, base_env_.get());
+        }
+        return Value::Null();
+      }
+      if (!hooks_.import_module) {
+        return EvalError(expr.line, "module imports not available here");
+      }
+      auto imported = hooks_.import_module(path);
+      if (!imported.ok()) {
+        return imported.status();
+      }
+      // Star import (the default and the paper's convention) copies the
+      // module's globals; a specific symbol may be named instead.
+      std::string filter = "*";
+      if (expr.items.size() >= 2) {
+        ASSIGN_OR_RETURN(Value f, Eval(*expr.items[1], env));
+        if (!f.is_string()) {
+          return EvalError(expr.line, "import filter must be a string");
+        }
+        filter = f.as_string();
+      }
+      for (const auto& [symbol, value] : (*imported)->vars()) {
+        if (filter == "*" || filter == symbol) {
+          env->Define(symbol, value);
+        }
+      }
+      return Value::Null();
+    }
+    if (name == "export_if_last" || name == "export") {
+      std::string export_name;
+      const Expr* value_expr = nullptr;
+      if (name == "export") {
+        if (expr.items.size() != 2) {
+          return EvalError(expr.line, "export(name, value) needs two arguments");
+        }
+        ASSIGN_OR_RETURN(Value n, Eval(*expr.items[0], env));
+        if (!n.is_string()) {
+          return EvalError(expr.line, "export name must be a string");
+        }
+        export_name = n.as_string();
+        value_expr = expr.items[1].get();
+      } else {
+        if (expr.items.size() != 1) {
+          return EvalError(expr.line, "export_if_last(value) needs one argument");
+        }
+        value_expr = expr.items[0].get();
+      }
+      ASSIGN_OR_RETURN(Value value, Eval(*value_expr, env));
+      if (exports_enabled_ && hooks_.export_config) {
+        RETURN_IF_ERROR_R(hooks_.export_config(export_name, value));
+      }
+      return Value::Null();
+    }
+  }
+
+  ASSIGN_OR_RETURN(Value callee, Eval(*expr.lhs, env));
+  if (!callee.is_callable()) {
+    return EvalError(expr.line,
+                     "value of type " + std::string(callee.KindName()) +
+                         " is not callable");
+  }
+
+  std::vector<Value> args;
+  args.reserve(expr.items.size());
+  for (const ExprPtr& arg : expr.items) {
+    ASSIGN_OR_RETURN(Value v, Eval(*arg, env));
+    args.push_back(std::move(v));
+  }
+  std::map<std::string, Value> kwargs;
+  for (const auto& [kw, arg_expr] : expr.kwargs) {
+    ASSIGN_OR_RETURN(Value v, Eval(*arg_expr, env));
+    kwargs[kw] = std::move(v);
+  }
+
+  auto result = CallValue(callee, std::move(args), std::move(kwargs));
+  if (!result.ok()) {
+    // Prefix the call site for a usable "stack trace".
+    return InvalidConfigError(StrFormat("%s:%d: in call: %s",
+                                        current_origin_.c_str(), expr.line,
+                                        result.status().message().c_str()));
+  }
+  return result;
+}
+
+Result<Value> Interp::CallValue(const Value& fn, std::vector<Value> args,
+                                std::map<std::string, Value> kwargs) {
+  if (fn.kind() == Value::Kind::kNative) {
+    return fn.as_native().fn(args, kwargs);
+  }
+  if (fn.kind() != Value::Kind::kClosure) {
+    return InvalidArgumentError("value is not callable");
+  }
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    return InvalidConfigError("recursion limit exceeded");
+  }
+
+  const Closure& closure = fn.as_closure();
+  const FunctionDefStmt& def = *closure.def;
+  auto locals = NewEnvironment(closure.env);
+
+  Status bind_status = OkStatus();
+  size_t n_params = def.params.size();
+  if (args.size() > n_params) {
+    bind_status = InvalidArgumentError(
+        StrFormat("%s() takes at most %zu arguments (%zu given)",
+                  def.name.c_str(), n_params, args.size()));
+  }
+  std::vector<bool> bound(n_params, false);
+  if (bind_status.ok()) {
+    for (size_t i = 0; i < args.size(); ++i) {
+      locals->Define(def.params[i], std::move(args[i]));
+      bound[i] = true;
+    }
+    for (auto& [kw, value] : kwargs) {
+      auto it = std::find(def.params.begin(), def.params.end(), kw);
+      if (it == def.params.end()) {
+        bind_status = InvalidArgumentError(
+            StrFormat("%s() got unexpected keyword argument '%s'",
+                      def.name.c_str(), kw.c_str()));
+        break;
+      }
+      size_t idx = static_cast<size_t>(it - def.params.begin());
+      if (bound[idx]) {
+        bind_status = InvalidArgumentError(
+            StrFormat("%s() got multiple values for '%s'", def.name.c_str(),
+                      kw.c_str()));
+        break;
+      }
+      locals->Define(kw, std::move(value));
+      bound[idx] = true;
+    }
+  }
+  if (bind_status.ok()) {
+    for (size_t i = 0; i < n_params; ++i) {
+      if (bound[i]) {
+        continue;
+      }
+      if (def.defaults[i] != nullptr) {
+        auto dflt = Eval(*def.defaults[i], locals);
+        if (!dflt.ok()) {
+          bind_status = dflt.status();
+          break;
+        }
+        locals->Define(def.params[i], std::move(dflt).value());
+      } else {
+        bind_status = InvalidArgumentError(
+            StrFormat("%s() missing required argument '%s'", def.name.c_str(),
+                      def.params[i].c_str()));
+        break;
+      }
+    }
+  }
+  if (!bind_status.ok()) {
+    --call_depth_;
+    return bind_status;
+  }
+
+  auto flow = ExecBlock(def.body, locals);
+  --call_depth_;
+  if (!flow.ok()) {
+    return flow.status();
+  }
+  if (flow->kind == Flow::Kind::kReturn) {
+    return flow->value;
+  }
+  return Value::Null();
+}
+
+#undef RETURN_IF_ERROR_R
+
+}  // namespace configerator

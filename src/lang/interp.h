@@ -1,0 +1,139 @@
+// Tree-walking evaluator for the config source language.
+//
+// The interpreter is sandboxed on purpose: no filesystem, no network, no
+// clock — config programs are pure functions from source (plus imported
+// modules) to exported JSON, which is what makes compiled configs
+// reproducible and reviewable. Imports and exports are delegated to hooks
+// supplied by the compiler, and a step limit bounds runaway config code.
+
+#ifndef SRC_LANG_INTERP_H_
+#define SRC_LANG_INTERP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/value.h"
+#include "src/schema/schema.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// Lexical scope. Lookup walks the parent chain; assignment writes the
+// innermost scope (Python-like).
+//
+// Lifetime: closures capture their defining environment by shared_ptr, and
+// the environment holds the closure value — a reference cycle. The Interp
+// therefore registers every environment it hands out and clears them all on
+// destruction, breaking the cycles (a session-scoped arena, matching how
+// compile sessions and sitevar stores own their interpreter).
+class Environment {
+ public:
+  explicit Environment(std::shared_ptr<Environment> parent = nullptr)
+      : parent_(std::move(parent)) {}
+
+  // Finds a binding anywhere in the chain; nullptr if absent.
+  Value* Find(const std::string& name);
+
+  // Defines or overwrites in this scope.
+  void Define(const std::string& name, Value value) {
+    vars_[name] = std::move(value);
+  }
+
+  const std::map<std::string, Value>& vars() const { return vars_; }
+
+  // Drops all bindings and the parent link (cycle breaking at session end).
+  void Clear() {
+    vars_.clear();
+    parent_.reset();
+  }
+
+ private:
+  std::map<std::string, Value> vars_;
+  std::shared_ptr<Environment> parent_;
+};
+
+class Interp {
+ public:
+  struct Hooks {
+    // Resolves `import_python(path, ...)`: evaluates (or returns cached)
+    // module globals.
+    std::function<Result<std::shared_ptr<Environment>>(const std::string& path)>
+        import_module;
+    // Resolves `import_thrift(path)`: loads schemas into the registry.
+    std::function<Status(const std::string& path)> import_schema;
+    // Receives `export_if_last(value)` / `export(name, value)` calls.
+    // `name` is empty for export_if_last (compiler names it after the file).
+    std::function<Status(const std::string& name, const Value& value)>
+        export_config;
+  };
+
+  Interp(const SchemaRegistry* registry, Hooks hooks);
+  ~Interp();
+
+  Interp(const Interp&) = delete;
+  Interp& operator=(const Interp&) = delete;
+
+  // Creates an environment owned by this interpreter session. All module
+  // globals and call frames must come from here so closure/environment
+  // reference cycles are reclaimed when the session ends.
+  std::shared_ptr<Environment> NewEnvironment(
+      std::shared_ptr<Environment> parent = nullptr);
+
+  // Evaluates a module body in `globals`. `exports_enabled` is true only for
+  // the entry file — imported library modules calling export_if_last() are
+  // no-ops, matching the paper's semantics ("export if last").
+  Status EvalModule(const Module& module, const std::shared_ptr<Environment>& globals,
+                    bool exports_enabled);
+
+  // Calls a function value with evaluated arguments. Used by the compiler to
+  // invoke validators.
+  Result<Value> CallValue(const Value& fn, std::vector<Value> args,
+                          std::map<std::string, Value> kwargs);
+
+  // Environment pre-populated with builtins, schema constructors and enum
+  // namespaces. New globals should chain from this.
+  std::shared_ptr<Environment> MakeBaseEnvironment();
+
+  // Total evaluation steps allowed per EvalModule (default 20M).
+  void set_step_limit(uint64_t limit) { step_limit_ = limit; }
+
+  const SchemaRegistry* registry() const { return registry_; }
+
+ private:
+  struct Flow {
+    enum class Kind { kNormal, kBreak, kContinue, kReturn };
+    Kind kind = Kind::kNormal;
+    Value value;
+  };
+
+  Status Tick(int line);
+  Status EvalError(int line, const std::string& msg) const;
+
+  Result<Flow> ExecBlock(const std::vector<StmtPtr>& body,
+                         const std::shared_ptr<Environment>& env);
+  Result<Flow> ExecStmt(const Stmt& stmt, const std::shared_ptr<Environment>& env);
+  Result<Value> Eval(const Expr& expr, const std::shared_ptr<Environment>& env);
+  Result<Value> EvalBinary(const Expr& expr, const std::shared_ptr<Environment>& env);
+  Result<Value> EvalCall(const Expr& expr, const std::shared_ptr<Environment>& env);
+  Status Assign(const Expr& target, Value value,
+                const std::shared_ptr<Environment>& env);
+
+  const SchemaRegistry* registry_;
+  Hooks hooks_;
+  std::shared_ptr<Environment> base_env_;
+  std::vector<std::weak_ptr<Environment>> session_envs_;
+  size_t env_compact_threshold_ = 1024;
+  std::string current_origin_;
+  bool exports_enabled_ = false;
+  uint64_t step_limit_ = 20'000'000;
+  uint64_t steps_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_INTERP_H_

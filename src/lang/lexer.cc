@@ -1,0 +1,286 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+// Multi-char operators first so maximal munch works.
+constexpr std::string_view kOperators[] = {
+    "==", "!=", "<=", ">=", "//", "**", "+=", "-=", "*=", "/=",
+    "(",  ")",  "[",  "]",  "{",  "}",  ",",  ":",  ".",  "=",
+    "+",  "-",  "*",  "/",  "%",  "<",  ">",
+};
+
+class Tokenizer {
+ public:
+  Tokenizer(std::string_view source, std::string origin)
+      : src_(source), origin_(std::move(origin)) {
+    indent_stack_.push_back(0);
+  }
+
+  Result<std::vector<CslToken>> Run() {
+    while (pos_ < src_.size()) {
+      if (at_line_start_ && paren_depth_ == 0) {
+        RETURN_IF_ERROR(HandleIndentation());
+        if (pos_ >= src_.size()) {
+          break;
+        }
+      }
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        if (paren_depth_ == 0 && !tokens_.empty() &&
+            tokens_.back().kind != CslToken::Kind::kNewline &&
+            tokens_.back().kind != CslToken::Kind::kIndent &&
+            tokens_.back().kind != CslToken::Kind::kDedent) {
+          Emit(CslToken::Kind::kNewline, "\n");
+        }
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        // Explicit line continuation.
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      at_line_start_ = false;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexName();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        RETURN_IF_ERROR(LexNumber());
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        RETURN_IF_ERROR(LexString());
+        continue;
+      }
+      if (!LexOperator()) {
+        return Error(StrFormat("unexpected character '%c'", c));
+      }
+    }
+    // Close the final logical line and any open indents.
+    if (!tokens_.empty() && tokens_.back().kind != CslToken::Kind::kNewline &&
+        tokens_.back().kind != CslToken::Kind::kDedent) {
+      Emit(CslToken::Kind::kNewline, "\n");
+    }
+    while (indent_stack_.back() > 0) {
+      indent_stack_.pop_back();
+      Emit(CslToken::Kind::kDedent, "");
+    }
+    Emit(CslToken::Kind::kEof, "");
+    return std::move(tokens_);
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return InvalidArgumentError(
+        StrFormat("%s:%d: %s", origin_.c_str(), line_, msg.c_str()));
+  }
+
+  void Emit(CslToken::Kind kind, std::string text) {
+    tokens_.push_back(CslToken{kind, std::move(text), line_});
+  }
+
+  Status HandleIndentation() {
+    // Measure leading whitespace of the next non-blank, non-comment line.
+    while (pos_ < src_.size()) {
+      size_t line_start = pos_;
+      int width = 0;
+      while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+        width += src_[pos_] == '\t' ? 8 - (width % 8) : 1;
+        ++pos_;
+      }
+      if (pos_ < src_.size() && (src_[pos_] == '\n' || src_[pos_] == '#' ||
+                                 src_[pos_] == '\r')) {
+        // Blank or comment-only line: consume and keep scanning.
+        while (pos_ < src_.size() && src_[pos_] != '\n') {
+          ++pos_;
+        }
+        if (pos_ < src_.size()) {
+          ++pos_;
+          ++line_;
+        }
+        continue;
+      }
+      if (pos_ >= src_.size()) {
+        return OkStatus();
+      }
+      (void)line_start;
+      if (width > indent_stack_.back()) {
+        indent_stack_.push_back(width);
+        Emit(CslToken::Kind::kIndent, "");
+      } else {
+        while (width < indent_stack_.back()) {
+          indent_stack_.pop_back();
+          Emit(CslToken::Kind::kDedent, "");
+        }
+        if (width != indent_stack_.back()) {
+          return Error("inconsistent indentation");
+        }
+      }
+      at_line_start_ = false;
+      return OkStatus();
+    }
+    return OkStatus();
+  }
+
+  void LexName() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      ++pos_;
+    }
+    Emit(CslToken::Kind::kName, std::string(src_.substr(start, pos_ - start)));
+  }
+
+  Status LexNumber() {
+    size_t start = pos_;
+    bool is_float = false;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else if (c == '.' && pos_ + 1 < src_.size() &&
+                 std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+        is_float = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && pos_ + 1 < src_.size() &&
+                 (std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])) ||
+                  src_[pos_ + 1] == '-' || src_[pos_ + 1] == '+')) {
+        is_float = true;
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    std::erase(text, '_');
+    Emit(is_float ? CslToken::Kind::kFloat : CslToken::Kind::kInt, std::move(text));
+    return OkStatus();
+  }
+
+  Status LexString() {
+    char quote = src_[pos_++];
+    // Triple-quoted strings.
+    bool triple = false;
+    if (pos_ + 1 < src_.size() && src_[pos_] == quote && src_[pos_ + 1] == quote) {
+      triple = true;
+      pos_ += 2;
+    }
+    std::string value;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (!triple && c == '\n') {
+        return Error("newline in string literal");
+      }
+      if (c == quote) {
+        if (!triple) {
+          ++pos_;
+          Emit(CslToken::Kind::kString, std::move(value));
+          return OkStatus();
+        }
+        if (pos_ + 2 < src_.size() && src_[pos_ + 1] == quote &&
+            src_[pos_ + 2] == quote) {
+          pos_ += 3;
+          Emit(CslToken::Kind::kString, std::move(value));
+          return OkStatus();
+        }
+        value.push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        char esc = src_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case 'n':
+            value.push_back('\n');
+            break;
+          case 't':
+            value.push_back('\t');
+            break;
+          case 'r':
+            value.push_back('\r');
+            break;
+          case '\\':
+            value.push_back('\\');
+            break;
+          case '\'':
+            value.push_back('\'');
+            break;
+          case '"':
+            value.push_back('"');
+            break;
+          case '\n':
+            ++line_;
+            break;  // Escaped newline: joined.
+          default:
+            value.push_back('\\');
+            value.push_back(esc);
+        }
+        continue;
+      }
+      if (c == '\n') {
+        ++line_;
+      }
+      value.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string literal");
+  }
+
+  bool LexOperator() {
+    for (std::string_view op : kOperators) {
+      if (src_.substr(pos_, op.size()) == op) {
+        if (op == "(" || op == "[" || op == "{") {
+          ++paren_depth_;
+        } else if (op == ")" || op == "]" || op == "}") {
+          if (paren_depth_ > 0) {
+            --paren_depth_;
+          }
+        }
+        Emit(CslToken::Kind::kOp, std::string(op));
+        pos_ += op.size();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string_view src_;
+  std::string origin_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int paren_depth_ = 0;
+  bool at_line_start_ = true;
+  std::vector<int> indent_stack_;
+  std::vector<CslToken> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<CslToken>> TokenizeCsl(std::string_view source,
+                                          const std::string& origin) {
+  return Tokenizer(source, origin).Run();
+}
+
+}  // namespace configerator

@@ -1,0 +1,45 @@
+// Tokenizer for the config source language. Python-like: indentation-
+// sensitive (emits INDENT/DEDENT), `#` comments, implicit line joining
+// inside brackets.
+
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace configerator {
+
+struct CslToken {
+  enum class Kind {
+    kName,     // identifier or keyword
+    kInt,      // integer literal
+    kFloat,    // floating-point literal
+    kString,   // string literal (text holds the decoded value)
+    kOp,       // operator / punctuation, text holds the spelling
+    kNewline,  // logical line end
+    kIndent,
+    kDedent,
+    kEof,
+  };
+
+  Kind kind = Kind::kEof;
+  std::string text;
+  int line = 0;
+
+  bool IsOp(std::string_view op) const { return kind == Kind::kOp && text == op; }
+  bool IsName(std::string_view name) const {
+    return kind == Kind::kName && text == name;
+  }
+};
+
+// Tokenizes a whole source file. `origin` labels error messages.
+Result<std::vector<CslToken>> TokenizeCsl(std::string_view source,
+                                          const std::string& origin);
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_LEXER_H_

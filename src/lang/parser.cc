@@ -1,0 +1,580 @@
+#include <cstdlib>
+
+#include "src/lang/ast.h"
+#include "src/lang/lexer.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+#define RETURN_IF_ERROR_R(expr)              \
+  do {                                       \
+    ::configerator::Status _s = (expr);      \
+    if (!_s.ok()) {                          \
+      return _s;                             \
+    }                                        \
+  } while (false)
+
+bool IsKeyword(std::string_view word) {
+  static constexpr std::string_view kKeywords[] = {
+      "def",   "return", "if",   "elif",     "else", "for",  "in",
+      "while", "break",  "continue", "pass", "assert", "not", "and",
+      "or",    "True",   "False", "None",
+  };
+  for (std::string_view k : kKeywords) {
+    if (k == word) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class CslParser {
+ public:
+  CslParser(std::vector<CslToken> tokens, std::string origin)
+      : tokens_(std::move(tokens)), origin_(std::move(origin)) {}
+
+  Result<std::shared_ptr<Module>> Run() {
+    auto module = std::make_shared<Module>();
+    module->path = origin_;
+    while (!At(CslToken::Kind::kEof)) {
+      ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      module->body.push_back(std::move(stmt));
+    }
+    return module;
+  }
+
+ private:
+  const CslToken& Cur() const { return tokens_[pos_]; }
+
+  bool At(CslToken::Kind kind) const { return Cur().kind == kind; }
+  bool AtOp(std::string_view op) const { return Cur().IsOp(op); }
+  bool AtName(std::string_view name) const { return Cur().IsName(name); }
+
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return InvalidArgumentError(
+        StrFormat("%s:%d: %s (near '%s')", origin_.c_str(), Cur().line,
+                  msg.c_str(), Cur().text.c_str()));
+  }
+
+  Status ExpectOp(std::string_view op) {
+    if (!AtOp(op)) {
+      return Error(StrFormat("expected '%s'", std::string(op).c_str()));
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  Status ExpectNewline() {
+    if (!At(CslToken::Kind::kNewline)) {
+      return Error("expected end of statement");
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  ExprPtr NewExpr(Expr::Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = Cur().line;
+    return e;
+  }
+
+  StmtPtr NewStmt(Stmt::Kind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->line = Cur().line;
+    return s;
+  }
+
+  // block: NEWLINE INDENT stmt+ DEDENT
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    RETURN_IF_ERROR_R(ExpectOp(":"));
+    RETURN_IF_ERROR_R(ExpectNewline());
+    if (!At(CslToken::Kind::kIndent)) {
+      return Error("expected indented block");
+    }
+    Advance();
+    std::vector<StmtPtr> body;
+    while (!At(CslToken::Kind::kDedent) && !At(CslToken::Kind::kEof)) {
+      ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+      body.push_back(std::move(stmt));
+    }
+    if (At(CslToken::Kind::kDedent)) {
+      Advance();
+    }
+    if (body.empty()) {
+      return Error("empty block");
+    }
+    return body;
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    if (At(CslToken::Kind::kName)) {
+      const std::string& word = Cur().text;
+      if (word == "def") {
+        return ParseDef();
+      }
+      if (word == "if") {
+        return ParseIf();
+      }
+      if (word == "for") {
+        return ParseFor();
+      }
+      if (word == "while") {
+        return ParseWhile();
+      }
+      if (word == "return") {
+        auto stmt = NewStmt(Stmt::Kind::kReturn);
+        Advance();
+        if (!At(CslToken::Kind::kNewline)) {
+          ASSIGN_OR_RETURN(stmt->target, ParseExpression());
+        }
+        RETURN_IF_ERROR_R(ExpectNewline());
+        return stmt;
+      }
+      if (word == "assert") {
+        auto stmt = NewStmt(Stmt::Kind::kAssert);
+        Advance();
+        ASSIGN_OR_RETURN(stmt->target, ParseExpression());
+        if (AtOp(",")) {
+          Advance();
+          ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+        }
+        RETURN_IF_ERROR_R(ExpectNewline());
+        return stmt;
+      }
+      if (word == "pass" || word == "break" || word == "continue") {
+        auto stmt = NewStmt(word == "pass" ? Stmt::Kind::kPass
+                            : word == "break" ? Stmt::Kind::kBreak
+                                              : Stmt::Kind::kContinue);
+        Advance();
+        RETURN_IF_ERROR_R(ExpectNewline());
+        return stmt;
+      }
+    }
+    // Expression statement or assignment.
+    ASSIGN_OR_RETURN(ExprPtr first, ParseExpression());
+    if (AtOp("=")) {
+      Advance();
+      auto stmt = NewStmt(Stmt::Kind::kAssign);
+      RETURN_IF_ERROR_R(ValidateAssignTarget(*first));
+      stmt->target = std::move(first);
+      ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+      RETURN_IF_ERROR_R(ExpectNewline());
+      return stmt;
+    }
+    for (std::string_view aug : {"+=", "-=", "*=", "/="}) {
+      if (AtOp(aug)) {
+        Advance();
+        auto stmt = NewStmt(Stmt::Kind::kAugAssign);
+        RETURN_IF_ERROR_R(ValidateAssignTarget(*first));
+        stmt->op = std::string(aug.substr(0, 1));
+        stmt->target = std::move(first);
+        ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+        RETURN_IF_ERROR_R(ExpectNewline());
+        return stmt;
+      }
+    }
+    auto stmt = NewStmt(Stmt::Kind::kExpr);
+    stmt->target = std::move(first);
+    RETURN_IF_ERROR_R(ExpectNewline());
+    return stmt;
+  }
+
+  Status ValidateAssignTarget(const Expr& e) {
+    if (e.kind == Expr::Kind::kName || e.kind == Expr::Kind::kAttr ||
+        e.kind == Expr::Kind::kIndex) {
+      return OkStatus();
+    }
+    return Error("invalid assignment target");
+  }
+
+  Result<StmtPtr> ParseDef() {
+    auto stmt = NewStmt(Stmt::Kind::kDef);
+    Advance();  // def
+    if (!At(CslToken::Kind::kName) || IsKeyword(Cur().text)) {
+      return Error("expected function name");
+    }
+    auto def = std::make_unique<FunctionDefStmt>();
+    def->name = Cur().text;
+    def->line = Cur().line;
+    Advance();
+    RETURN_IF_ERROR_R(ExpectOp("("));
+    bool saw_default = false;
+    while (!AtOp(")")) {
+      if (!At(CslToken::Kind::kName) || IsKeyword(Cur().text)) {
+        return Error("expected parameter name");
+      }
+      def->params.push_back(Cur().text);
+      Advance();
+      if (AtOp("=")) {
+        Advance();
+        saw_default = true;
+        ASSIGN_OR_RETURN(ExprPtr dflt, ParseExpression());
+        def->defaults.push_back(std::move(dflt));
+      } else {
+        if (saw_default) {
+          return Error("non-default parameter after default parameter");
+        }
+        def->defaults.push_back(nullptr);
+      }
+      if (AtOp(",")) {
+        Advance();
+      } else if (!AtOp(")")) {
+        return Error("expected ',' or ')' in parameter list");
+      }
+    }
+    Advance();  // ')'
+    ASSIGN_OR_RETURN(def->body, ParseBlock());
+    stmt->def = std::move(def);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = NewStmt(Stmt::Kind::kIf);
+    Advance();  // if / elif
+    ASSIGN_OR_RETURN(stmt->target, ParseExpression());
+    ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    if (AtName("elif")) {
+      ASSIGN_OR_RETURN(StmtPtr nested, ParseIf());
+      stmt->orelse.push_back(std::move(nested));
+    } else if (AtName("else")) {
+      Advance();
+      ASSIGN_OR_RETURN(stmt->orelse, ParseBlock());
+    }
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseFor() {
+    auto stmt = NewStmt(Stmt::Kind::kFor);
+    Advance();  // for
+    while (true) {
+      if (!At(CslToken::Kind::kName) || IsKeyword(Cur().text)) {
+        return Error("expected loop variable");
+      }
+      stmt->loop_vars.push_back(Cur().text);
+      Advance();
+      if (AtOp(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (!AtName("in")) {
+      return Error("expected 'in'");
+    }
+    Advance();
+    ASSIGN_OR_RETURN(stmt->value, ParseExpression());
+    ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    auto stmt = NewStmt(Stmt::Kind::kWhile);
+    Advance();  // while
+    ASSIGN_OR_RETURN(stmt->target, ParseExpression());
+    ASSIGN_OR_RETURN(stmt->body, ParseBlock());
+    return stmt;
+  }
+
+  // expression: or_expr ['if' or_expr 'else' expression]
+  Result<ExprPtr> ParseExpression() {
+    ASSIGN_OR_RETURN(ExprPtr value, ParseOr());
+    if (AtName("if")) {
+      auto ternary = NewExpr(Expr::Kind::kTernary);
+      Advance();
+      ASSIGN_OR_RETURN(ternary->rhs, ParseOr());  // condition
+      if (!AtName("else")) {
+        return Error("expected 'else' in conditional expression");
+      }
+      Advance();
+      ASSIGN_OR_RETURN(ternary->third, ParseExpression());
+      ternary->lhs = std::move(value);
+      return ternary;
+    }
+    return value;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AtName("or")) {
+      auto bin = NewExpr(Expr::Kind::kBinary);
+      bin->name = "or";
+      Advance();
+      ASSIGN_OR_RETURN(bin->rhs, ParseAnd());
+      bin->lhs = std::move(lhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AtName("and")) {
+      auto bin = NewExpr(Expr::Kind::kBinary);
+      bin->name = "and";
+      Advance();
+      ASSIGN_OR_RETURN(bin->rhs, ParseNot());
+      bin->lhs = std::move(lhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AtName("not")) {
+      auto unary = NewExpr(Expr::Kind::kUnary);
+      unary->name = "not";
+      Advance();
+      ASSIGN_OR_RETURN(unary->lhs, ParseNot());
+      return unary;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      std::string op;
+      if (AtOp("==") || AtOp("!=") || AtOp("<") || AtOp("<=") || AtOp(">") ||
+          AtOp(">=")) {
+        op = Cur().text;
+        Advance();
+      } else if (AtName("in")) {
+        op = "in";
+        Advance();
+      } else if (AtName("not")) {
+        // "not in"
+        Advance();
+        if (!AtName("in")) {
+          return Error("expected 'in' after 'not'");
+        }
+        Advance();
+        op = "not in";
+      } else {
+        break;
+      }
+      auto bin = NewExpr(Expr::Kind::kBinary);
+      bin->name = op;
+      ASSIGN_OR_RETURN(bin->rhs, ParseAdditive());
+      bin->lhs = std::move(lhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (AtOp("+") || AtOp("-")) {
+      auto bin = NewExpr(Expr::Kind::kBinary);
+      bin->name = Cur().text;
+      Advance();
+      ASSIGN_OR_RETURN(bin->rhs, ParseMultiplicative());
+      bin->lhs = std::move(lhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (AtOp("*") || AtOp("/") || AtOp("%") || AtOp("//")) {
+      auto bin = NewExpr(Expr::Kind::kBinary);
+      bin->name = Cur().text;
+      Advance();
+      ASSIGN_OR_RETURN(bin->rhs, ParseUnary());
+      bin->lhs = std::move(lhs);
+      lhs = std::move(bin);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AtOp("-")) {
+      auto unary = NewExpr(Expr::Kind::kUnary);
+      unary->name = "-";
+      Advance();
+      ASSIGN_OR_RETURN(unary->lhs, ParseUnary());
+      return unary;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    ASSIGN_OR_RETURN(ExprPtr base, ParsePrimary());
+    while (true) {
+      if (AtOp("(")) {
+        ASSIGN_OR_RETURN(base, ParseCall(std::move(base)));
+      } else if (AtOp(".")) {
+        Advance();
+        if (!At(CslToken::Kind::kName)) {
+          return Error("expected attribute name after '.'");
+        }
+        auto attr = NewExpr(Expr::Kind::kAttr);
+        attr->name = Cur().text;
+        attr->lhs = std::move(base);
+        Advance();
+        base = std::move(attr);
+      } else if (AtOp("[")) {
+        Advance();
+        auto index = NewExpr(Expr::Kind::kIndex);
+        ASSIGN_OR_RETURN(index->rhs, ParseExpression());
+        RETURN_IF_ERROR_R(ExpectOp("]"));
+        index->lhs = std::move(base);
+        base = std::move(index);
+      } else {
+        break;
+      }
+    }
+    return base;
+  }
+
+  Result<ExprPtr> ParseCall(ExprPtr callee) {
+    auto call = NewExpr(Expr::Kind::kCall);
+    call->lhs = std::move(callee);
+    Advance();  // '('
+    bool saw_kwarg = false;
+    while (!AtOp(")")) {
+      // Keyword argument: NAME '=' expr (where '=' is not '==').
+      if (At(CslToken::Kind::kName) && !IsKeyword(Cur().text) &&
+          pos_ + 1 < tokens_.size() && tokens_[pos_ + 1].IsOp("=")) {
+        std::string kw = Cur().text;
+        for (const auto& [existing, value_expr] : call->kwargs) {
+          if (existing == kw) {
+            return Error("duplicate keyword argument '" + kw + "'");
+          }
+        }
+        Advance();
+        Advance();  // '='
+        ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+        call->kwargs.emplace_back(std::move(kw), std::move(value));
+        saw_kwarg = true;
+      } else {
+        if (saw_kwarg) {
+          return Error("positional argument after keyword argument");
+        }
+        ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+        call->items.push_back(std::move(value));
+      }
+      if (AtOp(",")) {
+        Advance();
+      } else if (!AtOp(")")) {
+        return Error("expected ',' or ')' in argument list");
+      }
+    }
+    Advance();  // ')'
+    return call;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (Cur().kind) {
+      case CslToken::Kind::kInt: {
+        auto e = NewExpr(Expr::Kind::kLiteral);
+        e->literal = Value::Int(std::strtoll(Cur().text.c_str(), nullptr, 10));
+        Advance();
+        return e;
+      }
+      case CslToken::Kind::kFloat: {
+        auto e = NewExpr(Expr::Kind::kLiteral);
+        e->literal = Value::Double(std::strtod(Cur().text.c_str(), nullptr));
+        Advance();
+        return e;
+      }
+      case CslToken::Kind::kString: {
+        auto e = NewExpr(Expr::Kind::kLiteral);
+        e->literal = Value::Str(Cur().text);
+        Advance();
+        return e;
+      }
+      case CslToken::Kind::kName: {
+        const std::string& word = Cur().text;
+        if (word == "True" || word == "False") {
+          auto e = NewExpr(Expr::Kind::kLiteral);
+          e->literal = Value::Bool(word == "True");
+          Advance();
+          return e;
+        }
+        if (word == "None") {
+          auto e = NewExpr(Expr::Kind::kLiteral);
+          e->literal = Value::Null();
+          Advance();
+          return e;
+        }
+        if (IsKeyword(word)) {
+          return Error("unexpected keyword '" + word + "'");
+        }
+        auto e = NewExpr(Expr::Kind::kName);
+        e->name = word;
+        Advance();
+        return e;
+      }
+      case CslToken::Kind::kOp: {
+        if (AtOp("(")) {
+          Advance();
+          ASSIGN_OR_RETURN(ExprPtr inner, ParseExpression());
+          RETURN_IF_ERROR_R(ExpectOp(")"));
+          return inner;
+        }
+        if (AtOp("[")) {
+          Advance();
+          auto list = NewExpr(Expr::Kind::kList);
+          while (!AtOp("]")) {
+            ASSIGN_OR_RETURN(ExprPtr item, ParseExpression());
+            list->items.push_back(std::move(item));
+            if (AtOp(",")) {
+              Advance();
+            } else if (!AtOp("]")) {
+              return Error("expected ',' or ']' in list");
+            }
+          }
+          Advance();
+          return list;
+        }
+        if (AtOp("{")) {
+          Advance();
+          auto dict = NewExpr(Expr::Kind::kDict);
+          while (!AtOp("}")) {
+            ASSIGN_OR_RETURN(ExprPtr key, ParseExpression());
+            RETURN_IF_ERROR_R(ExpectOp(":"));
+            ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
+            dict->pairs.emplace_back(std::move(key), std::move(value));
+            if (AtOp(",")) {
+              Advance();
+            } else if (!AtOp("}")) {
+              return Error("expected ',' or '}' in dict");
+            }
+          }
+          Advance();
+          return dict;
+        }
+        return Error("unexpected token");
+      }
+      default:
+        return Error("unexpected token");
+    }
+  }
+
+  std::vector<CslToken> tokens_;
+  std::string origin_;
+  size_t pos_ = 0;
+};
+
+#undef RETURN_IF_ERROR_R
+
+}  // namespace
+
+Result<std::shared_ptr<Module>> ParseCsl(std::string_view source,
+                                         const std::string& origin) {
+  ASSIGN_OR_RETURN(std::vector<CslToken> tokens, TokenizeCsl(source, origin));
+  return CslParser(std::move(tokens), origin).Run();
+}
+
+}  // namespace configerator

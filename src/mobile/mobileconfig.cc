@@ -1,0 +1,238 @@
+#include "src/mobile/mobileconfig.h"
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+std::string_view FieldTypeName(MobileFieldType type) {
+  switch (type) {
+    case MobileFieldType::kBool:
+      return "bool";
+    case MobileFieldType::kInt:
+      return "int";
+    case MobileFieldType::kDouble:
+      return "double";
+    case MobileFieldType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+// Coerces a backend value to the field's declared type; fails loudly on
+// mismatch so a remapped binding can't silently feed garbage to an app.
+Result<Json> CoerceToFieldType(const Json& value, MobileFieldType type,
+                               const std::string& field) {
+  switch (type) {
+    case MobileFieldType::kBool:
+      if (value.is_bool()) {
+        return value;
+      }
+      break;
+    case MobileFieldType::kInt:
+      if (value.is_int()) {
+        return value;
+      }
+      break;
+    case MobileFieldType::kDouble:
+      if (value.is_number()) {
+        return Json(value.as_double());
+      }
+      break;
+    case MobileFieldType::kString:
+      if (value.is_string()) {
+        return value;
+      }
+      break;
+  }
+  return InvalidConfigError(StrFormat(
+      "field '%s' expects %s, backend produced %s", field.c_str(),
+      std::string(FieldTypeName(type)).c_str(),
+      value.is_null() ? "null" : "a mismatched type"));
+}
+
+}  // namespace
+
+Sha256Digest MobileSchema::Hash() const {
+  Sha256 hasher;
+  hasher.Update(config_name);
+  hasher.Update("\0", 1);
+  for (const MobileFieldDef& field : fields) {
+    hasher.Update(field.name);
+    hasher.Update(":");
+    hasher.Update(FieldTypeName(field.type));
+    hasher.Update(";");
+  }
+  return hasher.Finish();
+}
+
+const MobileFieldDef* MobileSchema::FindField(std::string_view name) const {
+  for (const MobileFieldDef& field : fields) {
+    if (field.name == name) {
+      return &field;
+    }
+  }
+  return nullptr;
+}
+
+void TranslationLayer::Bind(const std::string& config_name,
+                            const std::string& field, FieldBinding binding) {
+  bindings_[{config_name, field}] = std::move(binding);
+}
+
+const FieldBinding* TranslationLayer::Find(const std::string& config_name,
+                                           const std::string& field) const {
+  auto it = bindings_.find({config_name, field});
+  return it == bindings_.end() ? nullptr : &it->second;
+}
+
+MobileConfigServer::MobileConfigServer(const TranslationLayer* translation,
+                                       GatekeeperRuntime* gatekeeper,
+                                       ConfigReader config_reader)
+    : translation_(translation), gatekeeper_(gatekeeper),
+      config_reader_(std::move(config_reader)) {}
+
+void MobileConfigServer::RegisterSchema(const MobileSchema& schema) {
+  schemas_by_name_[schema.config_name][schema.Hash().ToHex()] = schema;
+}
+
+Result<Json> MobileConfigServer::ResolveValues(const MobileSchema& schema,
+                                               const UserContext& device) const {
+  Json values = Json::MakeObject();
+  for (const MobileFieldDef& field : schema.fields) {
+    const FieldBinding* binding = translation_->Find(schema.config_name, field.name);
+    if (binding == nullptr) {
+      return NotFoundError(StrFormat("no binding for %s.%s",
+                                     schema.config_name.c_str(),
+                                     field.name.c_str()));
+    }
+    Json raw;
+    switch (binding->kind) {
+      case FieldBinding::Kind::kConstant:
+        raw = binding->constant;
+        break;
+      case FieldBinding::Kind::kGatekeeper:
+        raw = Json(gatekeeper_ != nullptr &&
+                   gatekeeper_->Check(binding->gk_project, device));
+        break;
+      case FieldBinding::Kind::kExperiment: {
+        raw = binding->constant;  // Default arm.
+        if (gatekeeper_ != nullptr) {
+          for (const FieldBinding::ExperimentArm& arm : binding->arms) {
+            if (gatekeeper_->Check(arm.condition_project, device)) {
+              raw = arm.value;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case FieldBinding::Kind::kConfigerator: {
+        if (!config_reader_) {
+          return UnavailableError("no backend config reader wired");
+        }
+        ASSIGN_OR_RETURN(std::string text, config_reader_(binding->config_path));
+        ASSIGN_OR_RETURN(Json config, Json::Parse(text));
+        const Json* field_value = config.Get(binding->config_field);
+        if (field_value == nullptr) {
+          return NotFoundError(StrFormat("config %s has no field '%s'",
+                                         binding->config_path.c_str(),
+                                         binding->config_field.c_str()));
+        }
+        raw = *field_value;
+        break;
+      }
+    }
+    ASSIGN_OR_RETURN(Json coerced, CoerceToFieldType(raw, field.type, field.name));
+    values.Set(field.name, std::move(coerced));
+  }
+  return values;
+}
+
+Sha256Digest MobileConfigServer::HashValues(const Json& values) {
+  return Sha256::Hash(values.Dump());
+}
+
+Result<MobilePullResponse> MobileConfigServer::HandlePull(
+    const MobilePullRequest& request) const {
+  ++pulls_served_;
+  auto by_name = schemas_by_name_.find(request.config_name);
+  if (by_name == schemas_by_name_.end()) {
+    return NotFoundError("unknown mobile config '" + request.config_name + "'");
+  }
+  auto schema_it = by_name->second.find(request.schema_hash.ToHex());
+  if (schema_it == by_name->second.end()) {
+    return NotFoundError(StrFormat(
+        "unknown schema version %s for config %s (app build not registered)",
+        request.schema_hash.ShortHex().c_str(), request.config_name.c_str()));
+  }
+  const MobileSchema& schema = schema_it->second;
+
+  ASSIGN_OR_RETURN(Json values, ResolveValues(schema, request.device));
+  MobilePullResponse response;
+  response.values_hash = HashValues(values);
+  // Stateful mode: compare against the hash we remembered for this client
+  // instead of one carried in the request (footnote 2).
+  Sha256Digest client_hash = request.values_hash;
+  if (stateful_) {
+    auto key = std::make_pair(request.config_name, request.device.user_id);
+    auto it = client_hashes_.find(key);
+    client_hash = it != client_hashes_.end() ? it->second : Sha256Digest{};
+    client_hashes_[key] = response.values_hash;
+  }
+  if (response.values_hash == client_hash) {
+    response.unchanged = true;
+    response.response_bytes = 32;  // Just the hash echo.
+    ++unchanged_;
+    return response;
+  }
+  response.response_bytes = 32 + static_cast<int64_t>(values.Dump().size());
+  response.values = std::move(values);
+  return response;
+}
+
+Result<bool> MobileConfigClient::Sync(const MobileConfigServer& server) {
+  ++syncs_;
+  MobilePullRequest request;
+  request.config_name = schema_.config_name;
+  request.schema_hash = schema_.Hash();
+  request.values_hash = cached_hash_;
+  request.device = device_;
+  // Request payload: config name + schema hash + framing; the values hash is
+  // carried only when the server is stateless (footnote 2).
+  bytes_transferred_ +=
+      (server.stateful() ? 64 : 96) + request.config_name.size();
+
+  ASSIGN_OR_RETURN(MobilePullResponse response, server.HandlePull(request));
+  bytes_transferred_ += static_cast<uint64_t>(response.response_bytes);
+  if (response.unchanged) {
+    return false;
+  }
+  flash_cache_ = std::move(response.values);
+  cached_hash_ = response.values_hash;
+  return true;
+}
+
+bool MobileConfigClient::getBool(const std::string& field, bool dflt) const {
+  const Json* value = flash_cache_.is_object() ? flash_cache_.Get(field) : nullptr;
+  return value != nullptr && value->is_bool() ? value->as_bool() : dflt;
+}
+
+int64_t MobileConfigClient::getInt(const std::string& field, int64_t dflt) const {
+  const Json* value = flash_cache_.is_object() ? flash_cache_.Get(field) : nullptr;
+  return value != nullptr && value->is_int() ? value->as_int() : dflt;
+}
+
+double MobileConfigClient::getDouble(const std::string& field, double dflt) const {
+  const Json* value = flash_cache_.is_object() ? flash_cache_.Get(field) : nullptr;
+  return value != nullptr && value->is_number() ? value->as_double() : dflt;
+}
+
+std::string MobileConfigClient::getString(const std::string& field,
+                                          const std::string& dflt) const {
+  const Json* value = flash_cache_.is_object() ? flash_cache_.Get(field) : nullptr;
+  return value != nullptr && value->is_string() ? value->as_string() : dflt;
+}
+
+}  // namespace configerator

@@ -1,0 +1,218 @@
+// MobileConfig (paper §5): config management for mobile apps.
+//
+// Key behaviours reproduced:
+//  * Context classes: the app reads typed fields (getBool/getInt/...) from a
+//    named config; reads always hit the local flash cache, never the network.
+//  * Pull protocol: the client periodically sends the hash of its config
+//    schema (schema versioning) and the hash of its cached values; the
+//    server replies only with changed values relevant to that schema version
+//    — minimizing mobile bandwidth.
+//  * Emergency push: unreliable push notifications can trigger an immediate
+//    pull (e.g. to disable a buggy feature now, not an hour from now).
+//  * Translation layer: one level of indirection mapping a Mobile field to a
+//    backend — a Gatekeeper project (bool gating), a Gatekeeper-backed
+//    experiment (per-condition parameter values), a Configerator config
+//    field, or a constant. Remapping a field (experiment → constant) needs
+//    no app change.
+
+#ifndef SRC_MOBILE_MOBILECONFIG_H_
+#define SRC_MOBILE_MOBILECONFIG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/gatekeeper/project.h"
+#include "src/json/json.h"
+#include "src/util/sha256.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// ---- Schema ----------------------------------------------------------------
+
+enum class MobileFieldType { kBool, kInt, kDouble, kString };
+
+struct MobileFieldDef {
+  std::string name;
+  MobileFieldType type = MobileFieldType::kBool;
+};
+
+// A mobile config schema version (what a given app build was compiled with).
+struct MobileSchema {
+  std::string config_name;  // e.g. "MY_CONFIG".
+  std::vector<MobileFieldDef> fields;
+
+  Sha256Digest Hash() const;
+  const MobileFieldDef* FindField(std::string_view name) const;
+};
+
+// ---- Translation layer -----------------------------------------------------
+
+// What a mobile field is backed by.
+struct FieldBinding {
+  enum class Kind {
+    kConstant,
+    kGatekeeper,   // bool: gk_check(project, device user).
+    kExperiment,   // first matching condition project supplies the value.
+    kConfigerator, // field of a JSON config from the backend store.
+  };
+
+  Kind kind = Kind::kConstant;
+  Json constant;             // kConstant (and experiment default).
+  std::string gk_project;    // kGatekeeper.
+  struct ExperimentArm {
+    std::string condition_project;  // Gatekeeper project gating this arm.
+    Json value;
+  };
+  std::vector<ExperimentArm> arms;  // kExperiment.
+  std::string config_path;   // kConfigerator: path of the JSON config...
+  std::string config_field;  // ...and the field within it.
+
+  static FieldBinding Constant(Json value) {
+    FieldBinding binding;
+    binding.kind = Kind::kConstant;
+    binding.constant = std::move(value);
+    return binding;
+  }
+  static FieldBinding Gatekeeper(std::string project) {
+    FieldBinding binding;
+    binding.kind = Kind::kGatekeeper;
+    binding.gk_project = std::move(project);
+    return binding;
+  }
+  static FieldBinding Experiment(Json default_value,
+                                 std::vector<ExperimentArm> experiment_arms) {
+    FieldBinding binding;
+    binding.kind = Kind::kExperiment;
+    binding.constant = std::move(default_value);
+    binding.arms = std::move(experiment_arms);
+    return binding;
+  }
+  static FieldBinding Configerator(std::string path, std::string field) {
+    FieldBinding binding;
+    binding.kind = Kind::kConfigerator;
+    binding.config_path = std::move(path);
+    binding.config_field = std::move(field);
+    return binding;
+  }
+};
+
+// The server-side translation layer: (config, field) -> binding. The mapping
+// itself is a config and can be swapped live.
+class TranslationLayer {
+ public:
+  void Bind(const std::string& config_name, const std::string& field,
+            FieldBinding binding);
+
+  const FieldBinding* Find(const std::string& config_name,
+                           const std::string& field) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, FieldBinding> bindings_;
+};
+
+// ---- Server ----------------------------------------------------------------
+
+struct MobilePullRequest {
+  std::string config_name;
+  Sha256Digest schema_hash;
+  Sha256Digest values_hash;  // Hash of the client's cached values.
+  UserContext device;        // Who is asking (device/user attributes).
+};
+
+struct MobilePullResponse {
+  bool unchanged = false;          // Client's cache is current.
+  Json values;                     // Full value set when changed.
+  Sha256Digest values_hash;
+  int64_t response_bytes = 0;      // Modeled payload size.
+};
+
+class MobileConfigServer {
+ public:
+  // `config_reader` resolves kConfigerator bindings: path -> JSON text.
+  using ConfigReader = std::function<Result<std::string>(const std::string&)>;
+
+  MobileConfigServer(const TranslationLayer* translation,
+                     GatekeeperRuntime* gatekeeper, ConfigReader config_reader);
+
+  // Registers a known schema version. Clients are served the field set of
+  // their own version; unknown schema hashes are rejected.
+  void RegisterSchema(const MobileSchema& schema);
+
+  Result<MobilePullResponse> HandlePull(const MobilePullRequest& request) const;
+
+  // The paper's footnote-2 future enhancement: a stateful server remembers
+  // each client's value hash, so pull requests need not carry it (saving
+  // uplink bytes on every poll). Client state is keyed by (config, user).
+  void set_stateful(bool stateful) { stateful_ = stateful; }
+  bool stateful() const { return stateful_; }
+
+  // Resolves the current value of every field of `schema` for `device`.
+  Result<Json> ResolveValues(const MobileSchema& schema,
+                             const UserContext& device) const;
+
+  static Sha256Digest HashValues(const Json& values);
+
+  uint64_t pulls_served() const { return pulls_served_; }
+  uint64_t unchanged_responses() const { return unchanged_; }
+
+ private:
+  const TranslationLayer* translation_;
+  GatekeeperRuntime* gatekeeper_;
+  ConfigReader config_reader_;
+  std::map<std::string, std::map<std::string, MobileSchema>> schemas_by_name_;
+  // (keyed by config name, then schema hash hex)
+  bool stateful_ = false;
+  // Stateful mode: last served value hash per (config name, user id).
+  mutable std::map<std::pair<std::string, int64_t>, Sha256Digest> client_hashes_;
+  mutable uint64_t pulls_served_ = 0;
+  mutable uint64_t unchanged_ = 0;
+};
+
+// ---- Client ----------------------------------------------------------------
+
+// The device-side client library (the C++ core shared by iOS and Android in
+// the paper). Reads are local; Sync() performs one pull round.
+class MobileConfigClient {
+ public:
+  MobileConfigClient(MobileSchema schema, UserContext device)
+      : schema_(std::move(schema)), device_(std::move(device)) {}
+
+  // One pull round against the server. Returns true if new values landed.
+  Result<bool> Sync(const MobileConfigServer& server);
+
+  // Emergency push receipt: force a sync regardless of poll schedule.
+  Result<bool> OnEmergencyPush(const MobileConfigServer& server) {
+    return Sync(server);
+  }
+
+  // Typed getters with defaults, reading the flash cache.
+  bool getBool(const std::string& field, bool dflt = false) const;
+  int64_t getInt(const std::string& field, int64_t dflt = 0) const;
+  double getDouble(const std::string& field, double dflt = 0) const;
+  std::string getString(const std::string& field,
+                        const std::string& dflt = "") const;
+
+  bool has_values() const { return flash_cache_.is_object(); }
+  const UserContext& device() const { return device_; }
+  const MobileSchema& schema() const { return schema_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  MobileSchema schema_;
+  UserContext device_;
+  Json flash_cache_;  // Survives app restarts (device flash).
+  Sha256Digest cached_hash_{};
+  uint64_t bytes_transferred_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_MOBILE_MOBILECONFIG_H_

@@ -1,0 +1,133 @@
+#include "src/pipeline/ci.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/canary/canary.h"
+#include "src/gatekeeper/project.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+Sandcastle::Sandcastle(const Repository* repo, const DependencyService* deps)
+    : repo_(repo), deps_(deps) {
+  // Builtin raw-config validators, keyed by path convention. Ordering
+  // matters: the most specific check that applies decides.
+  raw_validators_.push_back(
+      [](const std::string& path, const std::string& content) -> Status {
+        if (!path.starts_with("gatekeeper/") || !path.ends_with(".json")) {
+          return OkStatus();
+        }
+        ASSIGN_OR_RETURN(Json json, Json::Parse(content));
+        ASSIGN_OR_RETURN(GatekeeperProject project,
+                         GatekeeperProject::FromJson(json));
+        (void)project;
+        return OkStatus();
+      });
+  raw_validators_.push_back(
+      [](const std::string& path, const std::string& content) -> Status {
+        if (!path.ends_with(".canary.json")) {
+          return OkStatus();
+        }
+        ASSIGN_OR_RETURN(Json json, Json::Parse(content));
+        ASSIGN_OR_RETURN(CanarySpec spec, CanarySpec::FromJson(json));
+        (void)spec;
+        return OkStatus();
+      });
+  raw_validators_.push_back(
+      [](const std::string& path, const std::string& content) -> Status {
+        if (!path.ends_with(".json")) {
+          return OkStatus();
+        }
+        ASSIGN_OR_RETURN(Json json, Json::Parse(content));
+        (void)json;
+        return OkStatus();
+      });
+}
+
+void Sandcastle::RegisterRawValidator(RawValidator validator) {
+  raw_validators_.push_back(std::move(validator));
+}
+
+std::string CiReport::Summary() const {
+  std::string out = passed ? "PASS" : "FAIL";
+  out += StrFormat(": %zu entries recompiled", compiled_entries.size());
+  for (const std::string& failure : failures) {
+    out += "\n  " + failure;
+  }
+  return out;
+}
+
+FileReader Sandcastle::OverlayReader(const ProposedDiff& diff) const {
+  // Copy the diff's writes into the closure: the reader may outlive the call.
+  auto overlay = std::make_shared<std::map<std::string, std::optional<std::string>>>();
+  for (const FileWrite& write : diff.writes) {
+    (*overlay)[write.path] = write.content;
+  }
+  const Repository* repo = repo_;
+  return [overlay, repo](const std::string& path) -> Result<std::string> {
+    auto it = overlay->find(path);
+    if (it != overlay->end()) {
+      if (!it->second.has_value()) {
+        return NotFoundError("deleted in diff: " + path);
+      }
+      return *it->second;
+    }
+    return repo->ReadFile(path);
+  };
+}
+
+CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
+  CiReport report;
+  // Entries to rebuild: every known entry affected by a touched path, plus
+  // touched .cconf files themselves (they may be new entries).
+  std::vector<std::string> changed;
+  changed.reserve(diff.writes.size());
+  for (const FileWrite& write : diff.writes) {
+    changed.push_back(write.path);
+  }
+  std::set<std::string> entries;
+  for (const std::string& entry : deps_->EntriesAffectedBy(changed)) {
+    entries.insert(entry);
+  }
+  for (const FileWrite& write : diff.writes) {
+    if (write.path.ends_with(".cconf") && write.content.has_value()) {
+      entries.insert(write.path);
+    }
+    if (!write.content.has_value()) {
+      // An entry deleted by this diff no longer needs to compile.
+      entries.erase(write.path);
+    }
+  }
+
+  ConfigCompiler compiler(OverlayReader(diff));
+  report.passed = true;
+  for (const std::string& entry : entries) {
+    auto output = compiler.Compile(entry);
+    if (output.ok()) {
+      report.compiled_entries.push_back(entry);
+    } else {
+      report.passed = false;
+      report.failures.push_back(entry + ": " + output.status().ToString());
+    }
+  }
+
+  // Raw-config validation for every written path (compiled outputs included
+  // — a malformed generated JSON would indicate a compiler bug).
+  for (const FileWrite& write : diff.writes) {
+    if (!write.content.has_value()) {
+      continue;
+    }
+    for (const RawValidator& validator : raw_validators_) {
+      Status status = validator(write.path, *write.content);
+      if (!status.ok()) {
+        report.passed = false;
+        report.failures.push_back(write.path + ": " + status.ToString());
+        break;  // One failure per path is enough signal.
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace configerator

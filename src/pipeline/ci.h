@@ -1,0 +1,58 @@
+// Sandcastle (paper §3.3): automated continuous-integration tests that run
+// in a sandbox against the proposed config change before it can land. Here
+// the sandbox is an overlay of the diff on top of the repository head: every
+// entry config affected by the change is recompiled (schema checks and
+// validators run as part of compilation), and the results are posted to the
+// review.
+
+#ifndef SRC_PIPELINE_CI_H_
+#define SRC_PIPELINE_CI_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/pipeline/dependency.h"
+#include "src/pipeline/landing_strip.h"
+#include "src/vcs/repository.h"
+
+namespace configerator {
+
+struct CiReport {
+  bool passed = false;
+  std::vector<std::string> compiled_entries;
+  std::vector<std::string> failures;  // One message per failing entry.
+
+  std::string Summary() const;
+};
+
+class Sandcastle {
+ public:
+  // Validates one raw config's content by its path convention; empty status
+  // = no validator applies. Registered via RegisterRawValidator.
+  using RawValidator =
+      std::function<Status(const std::string& path, const std::string& content)>;
+
+  Sandcastle(const Repository* repo, const DependencyService* deps);
+
+  // Recompiles every entry config affected by `diff` in a sandbox overlay,
+  // and runs raw-config validators over touched non-compiled configs
+  // (Gatekeeper project JSON must compile into a project; canary specs must
+  // parse; any "*.json" must at least be valid JSON).
+  CiReport RunTests(const ProposedDiff& diff) const;
+
+  // A FileReader that resolves through `diff` first, then the repo head.
+  FileReader OverlayReader(const ProposedDiff& diff) const;
+
+  // Adds a custom raw-config validator (run for every written path).
+  void RegisterRawValidator(RawValidator validator);
+
+ private:
+  const Repository* repo_;
+  const DependencyService* deps_;
+  std::vector<RawValidator> raw_validators_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_PIPELINE_CI_H_

@@ -1,0 +1,58 @@
+#include "src/pipeline/dependency.h"
+
+#include <algorithm>
+
+namespace configerator {
+
+void DependencyService::UpdateEntry(const std::string& entry,
+                                    const std::vector<std::string>& deps) {
+  RemoveEntry(entry);
+  std::set<std::string>& dep_set = deps_of_entry_[entry];
+  dep_set.insert(entry);
+  for (const std::string& dep : deps) {
+    dep_set.insert(dep);
+  }
+  for (const std::string& dep : dep_set) {
+    entries_of_dep_[dep].insert(entry);
+  }
+}
+
+void DependencyService::RemoveEntry(const std::string& entry) {
+  auto it = deps_of_entry_.find(entry);
+  if (it == deps_of_entry_.end()) {
+    return;
+  }
+  for (const std::string& dep : it->second) {
+    auto inv = entries_of_dep_.find(dep);
+    if (inv != entries_of_dep_.end()) {
+      inv->second.erase(entry);
+      if (inv->second.empty()) {
+        entries_of_dep_.erase(inv);
+      }
+    }
+  }
+  deps_of_entry_.erase(it);
+}
+
+std::vector<std::string> DependencyService::EntriesAffectedBy(
+    const std::vector<std::string>& changed_paths) const {
+  std::set<std::string> affected;
+  for (const std::string& path : changed_paths) {
+    auto it = entries_of_dep_.find(path);
+    if (it != entries_of_dep_.end()) {
+      affected.insert(it->second.begin(), it->second.end());
+    }
+  }
+  return {affected.begin(), affected.end()};
+}
+
+std::vector<std::string> DependencyService::DependenciesOf(
+    const std::string& entry) const {
+  auto it = deps_of_entry_.find(entry);
+  if (it == deps_of_entry_.end()) {
+    return {};
+  }
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace configerator

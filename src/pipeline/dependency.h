@@ -1,0 +1,43 @@
+// Dependency Service (paper Fig 3 / §3.1): tracks which entry configs
+// transitively depend on which source files, extracted automatically from
+// import statements by the compiler — "without the need to manually edit a
+// makefile". When a shared file (e.g. app_port.cinc) changes, the service
+// answers which .cconf entries must be recompiled so all affected JSON
+// configs update in one commit.
+
+#ifndef SRC_PIPELINE_DEPENDENCY_H_
+#define SRC_PIPELINE_DEPENDENCY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+class DependencyService {
+ public:
+  // Records (replaces) the dependency set of one entry config. The entry
+  // itself is always implicitly a dependency.
+  void UpdateEntry(const std::string& entry, const std::vector<std::string>& deps);
+
+  // Removes an entry (its source was deleted).
+  void RemoveEntry(const std::string& entry);
+
+  // All entries affected by changes to `changed_paths` (sorted, unique).
+  std::vector<std::string> EntriesAffectedBy(
+      const std::vector<std::string>& changed_paths) const;
+
+  // Direct dependencies of an entry (empty if unknown).
+  std::vector<std::string> DependenciesOf(const std::string& entry) const;
+
+  size_t entry_count() const { return deps_of_entry_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> deps_of_entry_;
+  std::map<std::string, std::set<std::string>> entries_of_dep_;  // Inverted.
+};
+
+}  // namespace configerator
+
+#endif  // SRC_PIPELINE_DEPENDENCY_H_

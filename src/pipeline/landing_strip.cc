@@ -1,0 +1,76 @@
+#include "src/pipeline/landing_strip.h"
+
+#include "src/util/sha256.h"
+
+namespace configerator {
+
+namespace {
+
+// Blob id a path would have for `content` — matches ObjectStore::PutBlob.
+ObjectId BlobIdFor(const std::string& content) {
+  Sha256 hasher;
+  hasher.Update("blob");
+  hasher.Update("\0", 1);
+  hasher.Update(content);
+  return hasher.Finish();
+}
+
+}  // namespace
+
+ProposedDiff MakeProposedDiff(const Repository& repo, std::string author,
+                              std::string message, std::vector<FileWrite> writes,
+                              int64_t timestamp_ms) {
+  ProposedDiff diff;
+  diff.author = std::move(author);
+  diff.message = std::move(message);
+  diff.timestamp_ms = timestamp_ms;
+  for (const FileWrite& write : writes) {
+    auto content = repo.ReadFile(write.path);
+    if (content.ok()) {
+      diff.base[write.path] = BlobIdFor(*content);
+    } else {
+      diff.base[write.path] = std::nullopt;
+    }
+  }
+  diff.writes = std::move(writes);
+  return diff;
+}
+
+Result<ObjectId> LandingStrip::Land(const ProposedDiff& diff) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // True-conflict check: every touched path must still be at the diff's base
+  // version. Changes to *other* files never force a rebase — that is the
+  // whole point of the landing strip.
+  for (const auto& [path, base_id] : diff.base) {
+    auto head_content = repo_->ReadFile(path);
+    std::optional<ObjectId> head_id;
+    if (head_content.ok()) {
+      head_id = BlobIdFor(*head_content);
+    } else if (head_content.status().code() != StatusCode::kNotFound) {
+      return head_content.status();
+    }
+    if (head_id != base_id) {
+      ++conflicts_;
+      return ConflictError("path '" + path +
+                           "' changed since the diff was created; update and "
+                           "resolve the conflict");
+    }
+  }
+  // Deleting a path that never existed would fail in Repository::Commit;
+  // filter such no-op deletes (can happen when racing diffs both delete).
+  std::vector<FileWrite> writes;
+  writes.reserve(diff.writes.size());
+  for (const FileWrite& write : diff.writes) {
+    if (!write.content.has_value() && !repo_->FileExists(write.path)) {
+      continue;
+    }
+    writes.push_back(write);
+  }
+  auto commit = repo_->Commit(diff.author, diff.message, writes, diff.timestamp_ms);
+  if (commit.ok()) {
+    ++landed_;
+  }
+  return commit;
+}
+
+}  // namespace configerator

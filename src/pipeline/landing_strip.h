@@ -1,0 +1,58 @@
+// Landing Strip (paper §3.6): commits are delegated to a single lander per
+// repository, which serializes diffs first-come-first-served and pushes them
+// on behalf of committers — so a committer never needs to rebase just
+// because unrelated files changed. Only a *true* conflict (the diff's base
+// version of a touched file is no longer head) is rejected back to the
+// committer.
+
+#ifndef SRC_PIPELINE_LANDING_STRIP_H_
+#define SRC_PIPELINE_LANDING_STRIP_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/vcs/multirepo.h"
+#include "src/vcs/repository.h"
+
+namespace configerator {
+
+// A proposed change: writes plus the base blob ids the author based them on.
+struct ProposedDiff {
+  std::string author;
+  std::string message;
+  std::vector<FileWrite> writes;
+  // Blob id of each touched path when the diff was authored; nullopt = the
+  // path did not exist. Used for true-conflict detection.
+  std::map<std::string, std::optional<ObjectId>> base;
+  int64_t timestamp_ms = 0;
+};
+
+// Snapshots the current head state of each touched path into diff.base.
+ProposedDiff MakeProposedDiff(const Repository& repo, std::string author,
+                              std::string message, std::vector<FileWrite> writes,
+                              int64_t timestamp_ms = 0);
+
+class LandingStrip {
+ public:
+  explicit LandingStrip(Repository* repo) : repo_(repo) {}
+
+  // Lands the diff (FCFS under an internal lock). Returns the commit id, or
+  // kConflict if any touched path changed since the diff's base.
+  Result<ObjectId> Land(const ProposedDiff& diff);
+
+  uint64_t landed() const { return landed_; }
+  uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  Repository* repo_;
+  std::mutex mutex_;
+  uint64_t landed_ = 0;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_PIPELINE_LANDING_STRIP_H_

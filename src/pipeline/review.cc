@@ -1,0 +1,74 @@
+#include "src/pipeline/review.h"
+
+namespace configerator {
+
+int64_t ReviewService::Submit(ProposedDiff diff) {
+  int64_t id = next_id_++;
+  ReviewRecord record;
+  record.id = id;
+  record.diff = std::move(diff);
+  reviews_.emplace(id, std::move(record));
+  return id;
+}
+
+Status ReviewService::PostTestResults(int64_t review_id, std::string results) {
+  auto it = reviews_.find(review_id);
+  if (it == reviews_.end()) {
+    return NotFoundError("no review " + std::to_string(review_id));
+  }
+  it->second.test_results.push_back(std::move(results));
+  return OkStatus();
+}
+
+Status ReviewService::Approve(int64_t review_id, const std::string& reviewer) {
+  auto it = reviews_.find(review_id);
+  if (it == reviews_.end()) {
+    return NotFoundError("no review " + std::to_string(review_id));
+  }
+  if (reviewer == it->second.diff.author) {
+    return RejectedError("self-review is not allowed");
+  }
+  if (it->second.state == ReviewState::kRejected) {
+    return RejectedError("review was already rejected");
+  }
+  it->second.state = ReviewState::kApproved;
+  it->second.reviewer = reviewer;
+  return OkStatus();
+}
+
+Status ReviewService::Reject(int64_t review_id, const std::string& reviewer,
+                             std::string reason) {
+  auto it = reviews_.find(review_id);
+  if (it == reviews_.end()) {
+    return NotFoundError("no review " + std::to_string(review_id));
+  }
+  it->second.state = ReviewState::kRejected;
+  it->second.reviewer = reviewer;
+  it->second.rejection_reason = std::move(reason);
+  return OkStatus();
+}
+
+Result<const ReviewRecord*> ReviewService::Get(int64_t review_id) const {
+  auto it = reviews_.find(review_id);
+  if (it == reviews_.end()) {
+    return NotFoundError("no review " + std::to_string(review_id));
+  }
+  return &it->second;
+}
+
+bool ReviewService::IsApproved(int64_t review_id) const {
+  auto it = reviews_.find(review_id);
+  return it != reviews_.end() && it->second.state == ReviewState::kApproved;
+}
+
+size_t ReviewService::open_reviews() const {
+  size_t open = 0;
+  for (const auto& [id, record] : reviews_) {
+    if (record.state == ReviewState::kPending) {
+      ++open;
+    }
+  }
+  return open;
+}
+
+}  // namespace configerator

@@ -1,0 +1,54 @@
+// Code review (the Phabricator stage of Fig 3): every config change — source
+// and generated JSON alike — goes through the same review flow as code.
+// Sandcastle posts its CI results onto the review so reviewers see them.
+
+#ifndef SRC_PIPELINE_REVIEW_H_
+#define SRC_PIPELINE_REVIEW_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/landing_strip.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+enum class ReviewState { kPending, kApproved, kRejected };
+
+struct ReviewRecord {
+  int64_t id = 0;
+  ProposedDiff diff;
+  ReviewState state = ReviewState::kPending;
+  std::string reviewer;
+  std::string rejection_reason;
+  std::vector<std::string> test_results;  // Posted by Sandcastle.
+};
+
+class ReviewService {
+ public:
+  // Opens a review for the diff; returns its id.
+  int64_t Submit(ProposedDiff diff);
+
+  // Attaches CI output to the review.
+  Status PostTestResults(int64_t review_id, std::string results);
+
+  // Approve/reject. Self-review is not allowed.
+  Status Approve(int64_t review_id, const std::string& reviewer);
+  Status Reject(int64_t review_id, const std::string& reviewer,
+                std::string reason);
+
+  Result<const ReviewRecord*> Get(int64_t review_id) const;
+  bool IsApproved(int64_t review_id) const;
+
+  size_t open_reviews() const;
+
+ private:
+  std::map<int64_t, ReviewRecord> reviews_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_PIPELINE_REVIEW_H_

@@ -1,0 +1,132 @@
+#include "src/pipeline/risk.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+#include "src/vcs/diff.h"
+
+namespace configerator {
+
+Status RiskAdvisor::IndexHistory(const Repository& repo) {
+  if (repo.head() == last_indexed_) {
+    return OkStatus();  // Already current.
+  }
+  ASSIGN_OR_RETURN(std::vector<ObjectId> log,
+                   repo.Log(options_.max_history_commits));
+  // Keep only commits newer than the last indexed head, oldest first.
+  std::vector<ObjectId> fresh;
+  for (const ObjectId& commit_id : log) {
+    if (last_indexed_.has_value() && commit_id == *last_indexed_) {
+      break;
+    }
+    fresh.push_back(commit_id);
+  }
+  std::reverse(fresh.begin(), fresh.end());
+  std::optional<ObjectId> previous = last_indexed_;
+  for (const ObjectId& commit_id : fresh) {
+    ASSIGN_OR_RETURN(CommitObject commit, repo.GetCommit(commit_id));
+    ASSIGN_OR_RETURN(std::vector<FileDelta> deltas,
+                     repo.DiffCommits(previous, commit_id));
+    for (const FileDelta& delta : deltas) {
+      PathHistory& entry = history_[delta.path];
+      entry.update_times_ms.push_back(commit.timestamp_ms);
+      entry.authors.insert(commit.author);
+      // Change size: line diff of this path across the commit.
+      auto line_diff = repo.DiffFile(previous, commit_id, delta.path);
+      if (line_diff.ok()) {
+        double lines = static_cast<double>(line_diff->changed_lines());
+        entry.mean_change_lines =
+            (entry.mean_change_lines * static_cast<double>(entry.change_count) +
+             lines) /
+            static_cast<double>(entry.change_count + 1);
+        ++entry.change_count;
+      }
+    }
+    previous = commit_id;
+  }
+  last_indexed_ = repo.head();
+  return OkStatus();
+}
+
+const RiskAdvisor::PathHistory* RiskAdvisor::HistoryFor(
+    const std::string& path) const {
+  auto it = history_.find(path);
+  return it == history_.end() ? nullptr : &it->second;
+}
+
+RiskAssessment RiskAdvisor::Assess(const ProposedDiff& diff,
+                                   const DependencyService* deps) const {
+  RiskAssessment assessment;
+
+  for (const FileWrite& write : diff.writes) {
+    const PathHistory* history = HistoryFor(write.path);
+    if (history == nullptr) {
+      continue;  // New path: no history-based signal.
+    }
+
+    // Dormant config suddenly changed.
+    if (!history->update_times_ms.empty() && diff.timestamp_ms > 0) {
+      int64_t idle = diff.timestamp_ms - history->update_times_ms.back();
+      if (idle >= options_.dormant_ms) {
+        assessment.score += 1.0;
+        assessment.reasons.push_back(StrFormat(
+            "%s has been dormant for %lld days", write.path.c_str(),
+            static_cast<long long>(idle / (24LL * 3600 * 1000))));
+      }
+    }
+
+    // Highly-shared config.
+    if (history->authors.size() >= options_.shared_author_threshold) {
+      assessment.score += 1.0;
+      assessment.reasons.push_back(StrFormat(
+          "%s is highly shared (%zu distinct authors)", write.path.c_str(),
+          history->authors.size()));
+    }
+
+    // First-time author on a config others own.
+    if (!history->authors.empty() && history->authors.count(diff.author) == 0) {
+      assessment.score += 0.5;
+      assessment.reasons.push_back(StrFormat(
+          "%s has never been updated by %s before", write.path.c_str(),
+          diff.author.c_str()));
+    }
+
+    // Unusually large change vs this config's own history.
+    if (write.content.has_value() && history->change_count >= 3 &&
+        history->mean_change_lines > 0) {
+      // The proposed change size is unknown without the base content; use
+      // the new content's line count as an upper bound when the file is
+      // being replaced wholesale, which is the risky case.
+      double new_lines = static_cast<double>(SplitLines(*write.content).size());
+      if (new_lines >
+          history->mean_change_lines * options_.unusual_size_multiplier &&
+          new_lines > 20) {
+        assessment.score += 1.0;
+        assessment.reasons.push_back(StrFormat(
+            "%s: change touches ~%.0f lines vs a historical mean of %.1f",
+            write.path.c_str(), new_lines, history->mean_change_lines));
+      }
+    }
+
+    // Deleting a config many entries depend on.
+    if (!write.content.has_value()) {
+      assessment.score += 0.5;
+      assessment.reasons.push_back(write.path + " is being deleted");
+    }
+
+    // High fan-in source file.
+    if (deps != nullptr) {
+      size_t fan_in = deps->EntriesAffectedBy({write.path}).size();
+      if (fan_in >= options_.fan_in_threshold) {
+        assessment.score += 1.0;
+        assessment.reasons.push_back(StrFormat(
+            "%zu entry configs depend on %s", fan_in, write.path.c_str()));
+      }
+    }
+  }
+
+  assessment.high_risk = assessment.score >= options_.high_risk_score;
+  return assessment;
+}
+
+}  // namespace configerator

@@ -1,0 +1,76 @@
+// Risk advisor — the paper's proposed future work, §6.2/§8: "it would be
+// helpful to automatically flag high-risk updates on these highly-shared
+// configs" and "a dormant config is suddenly changed in an unusual way".
+//
+// The advisor indexes the repository history once (per-path update times,
+// author sets, and change sizes) and scores a proposed diff against it:
+//   * dormant-config edits (untouched for months, now changing),
+//   * edits to highly-shared configs (many distinct co-authors),
+//   * changes much larger than the config's historical edits,
+//   * first-time authors on a config others own,
+//   * edits to high-fan-in sources (many entries depend on them).
+// Scores are advisory: they annotate the review, they do not block.
+
+#ifndef SRC_PIPELINE_RISK_H_
+#define SRC_PIPELINE_RISK_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/pipeline/dependency.h"
+#include "src/pipeline/landing_strip.h"
+#include "src/util/status.h"
+#include "src/vcs/repository.h"
+
+namespace configerator {
+
+struct RiskAssessment {
+  double score = 0;  // >= threshold -> high risk.
+  std::vector<std::string> reasons;
+  bool high_risk = false;
+};
+
+class RiskAdvisor {
+ public:
+  struct Options {
+    int64_t dormant_ms = 180LL * 24 * 3600 * 1000;  // 180 days.
+    size_t shared_author_threshold = 10;
+    double unusual_size_multiplier = 5.0;  // vs historical mean change.
+    size_t fan_in_threshold = 10;          // Dependent entries.
+    double high_risk_score = 2.0;
+    size_t max_history_commits = 10'000;
+  };
+
+  explicit RiskAdvisor(Options options) : options_(options) {}
+  RiskAdvisor() : RiskAdvisor(Options{}) {}
+
+  // Builds (or incrementally extends) the history index from the repository
+  // log: only commits newer than the last indexed head are walked, so
+  // calling this per-proposal stays O(new commits), not O(history).
+  Status IndexHistory(const Repository& repo);
+
+  // Scores a proposed diff. `deps` may be null (skips the fan-in signal).
+  RiskAssessment Assess(const ProposedDiff& diff,
+                        const DependencyService* deps = nullptr) const;
+
+  // Per-path history snapshot (for tests and UIs).
+  struct PathHistory {
+    std::vector<int64_t> update_times_ms;  // Ascending.
+    std::set<std::string> authors;
+    double mean_change_lines = 0;
+    size_t change_count = 0;
+  };
+  const PathHistory* HistoryFor(const std::string& path) const;
+
+ private:
+  Options options_;
+  std::map<std::string, PathHistory> history_;
+  std::optional<ObjectId> last_indexed_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_PIPELINE_RISK_H_

@@ -1,0 +1,103 @@
+// Schema definitions (structs, enums) parsed from Thrift-subset IDL text,
+// plus the registry that resolves named types across files.
+//
+// Grammar (subset of Apache Thrift):
+//
+//   include "path/to/other.thrift"
+//   enum Name { A = 0, B = 1, }
+//   struct Name {
+//     1: required string field;
+//     2: optional i32 other = 42;   // default value
+//     3: optional list<string> tags;
+//     4: optional map<string, i64> limits;
+//     5: optional OtherStruct nested;
+//   }
+//
+// Comments: // and # to end of line, /* ... */.
+
+#ifndef SRC_SCHEMA_SCHEMA_H_
+#define SRC_SCHEMA_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/json/json.h"
+#include "src/schema/types.h"
+#include "src/util/sha256.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// One field of a struct.
+struct FieldDef {
+  int32_t id = 0;          // Thrift field id; drives compatibility rules.
+  std::string name;
+  Type type = Type::String();
+  bool required = false;
+  std::optional<Json> default_value;  // Literal default, already JSON-typed.
+};
+
+struct StructDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+
+  const FieldDef* FindField(std::string_view field_name) const;
+  const FieldDef* FindFieldById(int32_t id) const;
+};
+
+struct EnumDef {
+  std::string name;
+  // Ordered (name, value) pairs.
+  std::vector<std::pair<std::string, int64_t>> values;
+
+  bool HasValue(int64_t v) const;
+  std::optional<int64_t> ValueOf(std::string_view value_name) const;
+  std::optional<std::string> NameOf(int64_t v) const;
+};
+
+// Holds all structs/enums known to the config compiler. Thread-compatible.
+class SchemaRegistry {
+ public:
+  // Parses IDL `text` and registers its definitions. `origin` names the file
+  // for error messages. `include_resolver`, if given, is called for each
+  // `include "path"` statement and must return the included file's text.
+  Status ParseAndRegister(
+      std::string_view text, const std::string& origin,
+      const std::function<Result<std::string>(const std::string&)>&
+          include_resolver = nullptr);
+
+  Status RegisterStruct(StructDef def);
+  Status RegisterEnum(EnumDef def);
+
+  const StructDef* FindStruct(std::string_view name) const;
+  const EnumDef* FindEnum(std::string_view name) const;
+
+  // Verifies every struct/enum reference inside registered definitions
+  // resolves. Call after all files are loaded.
+  Status ResolveAll() const;
+
+  // Canonical fingerprint of one struct including transitively referenced
+  // types. MobileConfig sends this hash to detect schema version changes.
+  Result<Sha256Digest> SchemaHash(std::string_view struct_name) const;
+
+  std::vector<std::string> StructNames() const;
+  std::vector<std::string> EnumNames() const;
+
+ private:
+  std::map<std::string, StructDef, std::less<>> structs_;
+  std::map<std::string, EnumDef, std::less<>> enums_;
+};
+
+// Backward compatibility: can a reader with `new_def` read data written under
+// `old_def`? Rules (mirroring Thrift semantics the incident in §6.4 hinged
+// on): a field id may not change type; a required field may not be added; a
+// field may not become required.
+Status CheckBackwardCompatible(const StructDef& old_def, const StructDef& new_def);
+
+}  // namespace configerator
+
+#endif  // SRC_SCHEMA_SCHEMA_H_

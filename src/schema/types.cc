@@ -1,0 +1,95 @@
+#include "src/schema/types.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace configerator {
+
+Type Type::List(Type elem) {
+  Type t(TypeKind::kList);
+  t.element_ = std::make_shared<Type>(std::move(elem));
+  return t;
+}
+
+Type Type::Map(Type value) {
+  Type t(TypeKind::kMap);
+  t.element_ = std::make_shared<Type>(std::move(value));
+  return t;
+}
+
+Type Type::StructRef(std::string name) {
+  Type t(TypeKind::kStruct);
+  t.name_ = std::move(name);
+  return t;
+}
+
+Type Type::EnumRef(std::string name) {
+  Type t(TypeKind::kEnum);
+  t.name_ = std::move(name);
+  return t;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kI16:
+      return "i16";
+    case TypeKind::kI32:
+      return "i32";
+    case TypeKind::kI64:
+      return "i64";
+    case TypeKind::kDouble:
+      return "double";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kList:
+      return "list<" + element_->ToString() + ">";
+    case TypeKind::kMap:
+      return "map<string, " + element_->ToString() + ">";
+    case TypeKind::kStruct:
+    case TypeKind::kEnum:
+      return name_;
+  }
+  return "?";
+}
+
+bool Type::operator==(const Type& other) const {
+  if (kind_ != other.kind_) {
+    return false;
+  }
+  switch (kind_) {
+    case TypeKind::kList:
+    case TypeKind::kMap:
+      return *element_ == *other.element_;
+    case TypeKind::kStruct:
+    case TypeKind::kEnum:
+      return name_ == other.name_;
+    default:
+      return true;
+  }
+}
+
+int64_t IntTypeMin(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kI16:
+      return std::numeric_limits<int16_t>::min();
+    case TypeKind::kI32:
+      return std::numeric_limits<int32_t>::min();
+    default:
+      return std::numeric_limits<int64_t>::min();
+  }
+}
+
+int64_t IntTypeMax(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kI16:
+      return std::numeric_limits<int16_t>::max();
+    case TypeKind::kI32:
+      return std::numeric_limits<int32_t>::max();
+    default:
+      return std::numeric_limits<int64_t>::max();
+  }
+}
+
+}  // namespace configerator

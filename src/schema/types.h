@@ -1,0 +1,77 @@
+// Type system for the Thrift-subset IDL used to describe config schemas.
+//
+// The paper defines every config's data schema "in the platform-independent
+// Thrift language". We implement the subset that configs actually need:
+// primitives, enums, structs, list<T> and map<string, T> (JSON object keys
+// are strings). Types are resolved by name against a SchemaRegistry.
+
+#ifndef SRC_SCHEMA_TYPES_H_
+#define SRC_SCHEMA_TYPES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+enum class TypeKind {
+  kBool,
+  kI16,
+  kI32,
+  kI64,
+  kDouble,
+  kString,
+  kList,    // list<elem>
+  kMap,     // map<string, elem>
+  kStruct,  // named struct reference
+  kEnum,    // named enum reference
+};
+
+// A (possibly parameterized) type reference. Value type with shared inner
+// nodes; cheap to copy.
+class Type {
+ public:
+  static Type Bool() { return Type(TypeKind::kBool); }
+  static Type I16() { return Type(TypeKind::kI16); }
+  static Type I32() { return Type(TypeKind::kI32); }
+  static Type I64() { return Type(TypeKind::kI64); }
+  static Type Double() { return Type(TypeKind::kDouble); }
+  static Type String() { return Type(TypeKind::kString); }
+  static Type List(Type elem);
+  static Type Map(Type value);
+  static Type StructRef(std::string name);
+  static Type EnumRef(std::string name);
+
+  TypeKind kind() const { return kind_; }
+  bool is_integer() const {
+    return kind_ == TypeKind::kI16 || kind_ == TypeKind::kI32 ||
+           kind_ == TypeKind::kI64;
+  }
+
+  // Element type for list, value type for map. Precondition: parameterized.
+  const Type& element() const { return *element_; }
+
+  // Referenced struct/enum name. Precondition: kStruct or kEnum.
+  const std::string& name() const { return name_; }
+
+  // Canonical rendering: "list<map<string, i32>>", "Job", etc. Feeds the
+  // schema hash, so it must be stable.
+  std::string ToString() const;
+
+  bool operator==(const Type& other) const;
+
+ private:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::shared_ptr<const Type> element_;
+  std::string name_;
+};
+
+// Integer bounds per integral kind, used by the type checker.
+int64_t IntTypeMin(TypeKind kind);
+int64_t IntTypeMax(TypeKind kind);
+
+}  // namespace configerator
+
+#endif  // SRC_SCHEMA_TYPES_H_

@@ -1,0 +1,55 @@
+#include "src/sim/network.h"
+
+namespace configerator {
+
+Network::Network(Simulator* sim, Topology topology, uint64_t seed)
+    : sim_(sim), topology_(std::move(topology)), rng_(seed) {}
+
+void Network::Send(const ServerId& from, const ServerId& to, int64_t bytes,
+                   std::function<void()> deliver) {
+  if (failures_.IsDown(from) || failures_.IsDown(to)) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_sent_;
+  bytes_sent_ += static_cast<uint64_t>(bytes);
+  SimTime delay = topology_.Latency(from, to, rng_) + topology_.TransmitTime(bytes);
+  ServerId dest = to;
+  sim_->Schedule(delay, [this, dest, deliver = std::move(deliver)] {
+    if (failures_.IsDown(dest)) {
+      ++messages_dropped_;
+      return;
+    }
+    deliver();
+  });
+}
+
+void Network::SendFifo(const ServerId& from, const ServerId& to, int64_t bytes,
+                       std::function<void()> deliver) {
+  if (failures_.IsDown(from) || failures_.IsDown(to)) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_sent_;
+  bytes_sent_ += static_cast<uint64_t>(bytes);
+  SimTime delay = topology_.Latency(from, to, rng_) + topology_.TransmitTime(bytes);
+  // Channel key: mix both endpoint hashes.
+  uint64_t key = std::hash<ServerId>{}(from) * 0x9e3779b97f4a7c15ULL +
+                 std::hash<ServerId>{}(to);
+  SimTime arrival = sim_->now() + delay;
+  SimTime& clock = channel_clock_[key];
+  if (arrival <= clock) {
+    arrival = clock + 1;  // Preserve order: never overtake the channel.
+  }
+  clock = arrival;
+  ServerId dest = to;
+  sim_->ScheduleAt(arrival, [this, dest, deliver = std::move(deliver)] {
+    if (failures_.IsDown(dest)) {
+      ++messages_dropped_;
+      return;
+    }
+    deliver();
+  });
+}
+
+}  // namespace configerator

@@ -1,0 +1,75 @@
+// Message-passing layer over the simulator: point-to-point sends with
+// topology-derived latency and crash-style failure injection ("failures are
+// the norm" — §3.4). Components register handlers per server and exchange
+// opaque payloads; a message to a down server is silently dropped, like a
+// TCP connection that will time out.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+
+// Injects crashes/recoveries and answers liveness queries.
+class FailureInjector {
+ public:
+  void Crash(const ServerId& id) { down_.insert(id); }
+  void Recover(const ServerId& id) { down_.erase(id); }
+  bool IsDown(const ServerId& id) const { return down_.count(id) > 0; }
+  size_t down_count() const { return down_.size(); }
+
+ private:
+  std::unordered_set<ServerId> down_;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, Topology topology, uint64_t seed = 1);
+
+  Simulator& sim() { return *sim_; }
+  const Topology& topology() const { return topology_; }
+  FailureInjector& failures() { return failures_; }
+  const FailureInjector& failures() const { return failures_; }
+  Rng& rng() { return rng_; }
+
+  // Delivers `deliver` at the destination after latency + serialization time
+  // for `bytes`. Dropped if either endpoint is down at send or receive time.
+  // `deliver` runs only if the destination is still up on arrival.
+  void Send(const ServerId& from, const ServerId& to, int64_t bytes,
+            std::function<void()> deliver);
+
+  // Like Send, but messages on the same (from, to) channel are delivered in
+  // send order — the TCP-connection semantics ZooKeeper's ordering guarantees
+  // rest on.
+  void SendFifo(const ServerId& from, const ServerId& to, int64_t bytes,
+                std::function<void()> deliver);
+
+  // Messages sent / dropped — benches report these as overhead measures.
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulator* sim_;
+  Topology topology_;
+  FailureInjector failures_;
+  Rng rng_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+  // Last scheduled arrival per FIFO channel (from, to).
+  std::unordered_map<uint64_t, SimTime> channel_clock_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,74 @@
+// Discrete-event simulator. The distribution experiments (Figs 14, the
+// PackageVessel and push-vs-pull benches) run the real protocol code over
+// this clock instead of wall time, so a fleet of hundreds of thousands of
+// servers across continents fits on a laptop.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace configerator {
+
+// Simulated time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kSimMicrosecond = 1;
+constexpr SimTime kSimMillisecond = 1000;
+constexpr SimTime kSimSecond = 1'000'000;
+constexpr SimTime kSimMinute = 60 * kSimSecond;
+constexpr SimTime kSimHour = 60 * kSimMinute;
+constexpr SimTime kSimDay = 24 * kSimHour;
+
+inline double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSimSecond);
+}
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (clamped to >= 0). Events at the
+  // same instant run in scheduling order (stable).
+  void Schedule(SimTime delay, std::function<void()> fn);
+  void ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs the next event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs events with timestamp <= `deadline`; the clock ends at `deadline`.
+  void RunUntil(SimTime deadline);
+
+  // Runs until no events remain (or `max_events` processed).
+  void RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t processed_events() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // Tie-break: FIFO among same-time events.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,86 @@
+#include "src/sim/topology.h"
+
+#include <cassert>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+std::string ServerId::ToString() const {
+  return StrFormat("r%d/c%d/s%d", region, cluster, server);
+}
+
+Topology::Topology(int regions, int clusters_per_region, int servers_per_cluster,
+                   LatencyModel latency)
+    : regions_(regions),
+      clusters_per_region_(clusters_per_region),
+      servers_per_cluster_(servers_per_cluster),
+      latency_(latency) {
+  assert(regions > 0 && clusters_per_region > 0 && servers_per_cluster > 0);
+}
+
+bool Topology::Contains(const ServerId& id) const {
+  return id.region >= 0 && id.region < regions_ && id.cluster >= 0 &&
+         id.cluster < clusters_per_region_ && id.server >= 0 &&
+         id.server < servers_per_cluster_;
+}
+
+SimTime Topology::Latency(const ServerId& from, const ServerId& to,
+                          Rng& rng) const {
+  SimTime base;
+  if (from.region != to.region) {
+    base = latency_.inter_region;
+  } else if (from.cluster != to.cluster) {
+    base = latency_.intra_region;
+  } else if (from.server != to.server) {
+    base = latency_.intra_cluster;
+  } else {
+    return 0;  // Local delivery.
+  }
+  double jitter = 1.0 + latency_.jitter_fraction * rng.NextDouble();
+  return static_cast<SimTime>(static_cast<double>(base) * jitter);
+}
+
+SimTime Topology::TransmitTime(int64_t bytes) const {
+  double seconds = static_cast<double>(bytes) / latency_.nic_bytes_per_sec;
+  return static_cast<SimTime>(seconds * static_cast<double>(kSimSecond));
+}
+
+std::vector<ServerId> Topology::AllServers() const {
+  std::vector<ServerId> out;
+  out.reserve(static_cast<size_t>(total_servers()));
+  for (int r = 0; r < regions_; ++r) {
+    for (int c = 0; c < clusters_per_region_; ++c) {
+      for (int s = 0; s < servers_per_cluster_; ++s) {
+        out.push_back(ServerId{r, c, s});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ServerId> Topology::ServersInCluster(int region, int cluster) const {
+  std::vector<ServerId> out;
+  out.reserve(static_cast<size_t>(servers_per_cluster_));
+  for (int s = 0; s < servers_per_cluster_; ++s) {
+    out.push_back(ServerId{region, cluster, s});
+  }
+  return out;
+}
+
+int64_t Topology::FlatIndex(const ServerId& id) const {
+  return (static_cast<int64_t>(id.region) * clusters_per_region_ + id.cluster) *
+             servers_per_cluster_ +
+         id.server;
+}
+
+ServerId Topology::FromFlatIndex(int64_t index) const {
+  ServerId id;
+  id.server = static_cast<int32_t>(index % servers_per_cluster_);
+  int64_t rest = index / servers_per_cluster_;
+  id.cluster = static_cast<int32_t>(rest % clusters_per_region_);
+  id.region = static_cast<int32_t>(rest / clusters_per_region_);
+  return id;
+}
+
+}  // namespace configerator

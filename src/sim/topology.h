@@ -1,0 +1,90 @@
+// Fleet topology: regions → clusters → servers, with a latency model shaped
+// like Facebook's geo-distributed deployment in the paper (multiple regions
+// across continents; each data center has clusters of thousands of servers).
+
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+
+// Dense server address. Comparable/hashable so it can key maps.
+struct ServerId {
+  int32_t region = 0;
+  int32_t cluster = 0;  // Within region.
+  int32_t server = 0;   // Within cluster.
+
+  bool operator==(const ServerId&) const = default;
+  auto operator<=>(const ServerId&) const = default;
+
+  std::string ToString() const;
+};
+
+struct LatencyModel {
+  // One-way network latencies (before jitter).
+  SimTime intra_cluster = 200 * kSimMicrosecond;
+  SimTime intra_region = 1 * kSimMillisecond;
+  SimTime inter_region = 40 * kSimMillisecond;  // Continent-scale.
+  double jitter_fraction = 0.2;  // Uniform [0, f) multiplicative jitter.
+
+  // Per-server NIC bandwidth, used by PackageVessel transfer modeling.
+  double nic_bytes_per_sec = 1.25e9;  // 10 Gbps.
+};
+
+class Topology {
+ public:
+  Topology(int regions, int clusters_per_region, int servers_per_cluster,
+           LatencyModel latency = LatencyModel{});
+
+  int regions() const { return regions_; }
+  int clusters_per_region() const { return clusters_per_region_; }
+  int servers_per_cluster() const { return servers_per_cluster_; }
+  int64_t total_servers() const {
+    return static_cast<int64_t>(regions_) * clusters_per_region_ *
+           servers_per_cluster_;
+  }
+  const LatencyModel& latency_model() const { return latency_; }
+
+  bool Contains(const ServerId& id) const;
+
+  // One-way latency between two servers including jitter.
+  SimTime Latency(const ServerId& from, const ServerId& to, Rng& rng) const;
+
+  // Transfer time for `bytes` at NIC line rate (excluding propagation).
+  SimTime TransmitTime(int64_t bytes) const;
+
+  // Enumerate all servers (row-major). Useful for fleet setup loops.
+  std::vector<ServerId> AllServers() const;
+  std::vector<ServerId> ServersInCluster(int region, int cluster) const;
+
+  // Dense index in [0, total_servers) for per-server arrays.
+  int64_t FlatIndex(const ServerId& id) const;
+  ServerId FromFlatIndex(int64_t index) const;
+
+ private:
+  int regions_;
+  int clusters_per_region_;
+  int servers_per_cluster_;
+  LatencyModel latency_;
+};
+
+}  // namespace configerator
+
+template <>
+struct std::hash<configerator::ServerId> {
+  size_t operator()(const configerator::ServerId& id) const noexcept {
+    uint64_t packed = (static_cast<uint64_t>(static_cast<uint32_t>(id.region)) << 42) ^
+                      (static_cast<uint64_t>(static_cast<uint32_t>(id.cluster)) << 21) ^
+                      static_cast<uint64_t>(static_cast<uint32_t>(id.server));
+    uint64_t state = packed;
+    return static_cast<size_t>(configerator::SplitMix64(state));
+  }
+};
+
+#endif  // SRC_SIM_TOPOLOGY_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logger. All components of the stack log through this so
+// tests and benches can silence or capture output uniformly.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace configerator {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are dropped. Defaults to kWarning
+// so tests and benches stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: emit one formatted line to stderr.
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+// Stream-style log sink used by the CLOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define CLOG(level)                                                       \
+  if (::configerator::LogLevel::k##level < ::configerator::GetLogLevel()) \
+    ;                                                                     \
+  else                                                                    \
+    ::configerator::LogMessage(::configerator::LogLevel::k##level,        \
+                               __FILE__, __LINE__)                        \
+        .stream()
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,30 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace configerator {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) {
+    v /= sum;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace configerator

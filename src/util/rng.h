@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation and the statistical
+// distributions the workload generators need (uniform, Zipf, log-normal,
+// Poisson arrivals). Everything is seedable so experiments reproduce exactly.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace configerator {
+
+// SplitMix64: used to expand a single seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256**: fast, high-quality, deterministic PRNG. Satisfies the
+// UniformRandomBitGenerator concept so it plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : state_) {
+      s = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    uint64_t result = RotL(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = RotL(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  // Standard normal via Box–Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Log-normal with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+  // Exponential inter-arrival time with the given rate (events per unit time).
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    if (u < 1e-300) {
+      u = 1e-300;
+    }
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+// Zipf(s) distribution over ranks 1..n — models the heavy skew of config
+// update popularity the paper reports (top 1% of raw configs receive 92.8% of
+// updates). Uses a precomputed CDF; O(log n) sampling.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  // Returns a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Stable 64-bit hash of a string, for deterministic per-(project,user)
+// sampling in Gatekeeper. FNV-1a core with a SplitMix64 finalizer: plain FNV
+// has weak high bits, which would bias sampling probabilities derived from
+// the top of the hash.
+inline uint64_t StableHash64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  uint64_t state = h;
+  return SplitMix64(state);
+}
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_RNG_H_

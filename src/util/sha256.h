@@ -1,0 +1,69 @@
+// From-scratch SHA-256 (FIPS 180-4). The VCS substrate content-addresses
+// blobs/trees/commits by SHA-256, PackageVessel verifies chunk integrity with
+// it, and MobileConfig uses it for schema/value hashes. No OpenSSL dependency.
+
+#ifndef SRC_UTIL_SHA256_H_
+#define SRC_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace configerator {
+
+// A 32-byte SHA-256 digest. Value type; comparable and hashable so it can key
+// maps in the object store.
+struct Sha256Digest {
+  std::array<uint8_t, 32> bytes{};
+
+  // 64-char lowercase hex rendering (object ids in the VCS).
+  std::string ToHex() const;
+
+  // Parse a 64-char hex string; returns false on malformed input.
+  static bool FromHex(std::string_view hex, Sha256Digest* out);
+
+  // Truncated hex for logs, like git's short ids.
+  std::string ShortHex(size_t chars = 12) const { return ToHex().substr(0, chars); }
+
+  bool operator==(const Sha256Digest&) const = default;
+  auto operator<=>(const Sha256Digest&) const = default;
+};
+
+// Incremental hasher: Update() any number of times, then Finish().
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, size_t len);
+  void Update(std::string_view data) { Update(data.data(), data.size()); }
+
+  // Finalizes and returns the digest. The hasher must not be reused after.
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  uint64_t total_len_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace configerator
+
+// std::hash support so digests can key unordered_map.
+template <>
+struct std::hash<configerator::Sha256Digest> {
+  size_t operator()(const configerator::Sha256Digest& d) const noexcept {
+    size_t h;
+    static_assert(sizeof(h) <= sizeof(d.bytes));
+    __builtin_memcpy(&h, d.bytes.data(), sizeof(h));
+    return h;
+  }
+};
+
+#endif  // SRC_UTIL_SHA256_H_

@@ -1,0 +1,101 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace configerator {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) {
+    return 0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  if (p <= 0) {
+    return samples_.front();
+  }
+  if (p >= 100) {
+    return samples_.back();
+  }
+  double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) {
+    return samples_.back();
+  }
+  return samples_[lo] * (1 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::CdfAt(double x) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  EnsureSorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<CdfPoint> TabulateCdf(const SampleSet& samples,
+                                  const std::vector<double>& probes) {
+  std::vector<CdfPoint> out;
+  out.reserve(probes.size());
+  for (double p : probes) {
+    out.push_back({p, samples.CdfAt(p)});
+  }
+  return out;
+}
+
+double FractionInRange(const SampleSet& samples, double lo, double hi) {
+  if (samples.empty()) {
+    return 0;
+  }
+  size_t n = 0;
+  for (double s : samples.samples()) {
+    if (s >= lo && s <= hi) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(samples.size());
+}
+
+}  // namespace configerator

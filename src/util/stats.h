@@ -1,0 +1,84 @@
+// Descriptive statistics used by the benchmark harness: online mean/stddev,
+// exact percentiles over collected samples, CDF tabulation and fixed-width
+// histograms. The paper reports everything as CDFs and percentile tables, so
+// these helpers produce those shapes directly.
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+// Welford online mean / variance / min / max.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Collects samples; answers percentile / CDF queries. Sorting is deferred and
+// cached.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // p in [0,100]. Nearest-rank percentile.
+  double Percentile(double p) const;
+
+  // Fraction of samples <= x, in [0,1].
+  double CdfAt(double x) const;
+
+  double Mean() const;
+  double Min() const { return Percentile(0); }
+  double Max() const { return Percentile(100); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// One row of a tabulated CDF: value and cumulative fraction.
+struct CdfPoint {
+  double value = 0;
+  double cumulative = 0;  // in [0,1]
+};
+
+// Tabulate the CDF of `samples` at the given probe values.
+std::vector<CdfPoint> TabulateCdf(const SampleSet& samples,
+                                  const std::vector<double>& probes);
+
+// Fraction of `samples` falling in [lo, hi] — used for the paper's bucketed
+// tables (Tables 1–3).
+double FractionInRange(const SampleSet& samples, double lo, double hi);
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_STATS_H_

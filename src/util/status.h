@@ -1,0 +1,179 @@
+// Lightweight error-handling vocabulary used across the configuration stack.
+//
+// The stack is exception-free in its steady-state paths: operations that can
+// fail return `Status` (no payload) or `Result<T>` (payload or error), in the
+// style of absl::Status / std::expected. This keeps control-plane failure
+// handling explicit, which matters for a system whose availability story is
+// "the application keeps running no matter which management component died".
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace configerator {
+
+// Error taxonomy. Mirrors the failure classes the paper's components surface:
+// validation failures (kInvalidConfig), review/canary rejections (kRejected),
+// VCS conflicts (kConflict), lookups (kNotFound), and infrastructure faults
+// (kUnavailable).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kInvalidConfig,   // Validator or schema violation.
+  kNotFound,
+  kAlreadyExists,
+  kConflict,        // VCS true-conflict between diffs.
+  kRejected,        // Review / canary / CI rejected the change.
+  kUnavailable,     // Component down or quorum lost.
+  kDeadlineExceeded,
+  kCorruption,      // Hash mismatch, torn read, malformed object.
+  kInternal,
+};
+
+// Human-readable name for a status code ("OK", "CONFLICT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Status: a code plus a context message. Cheap to copy for the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl.
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status InvalidConfigError(std::string msg) {
+  return Status(StatusCode::kInvalidConfig, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status ConflictError(std::string msg) {
+  return Status(StatusCode::kConflict, std::move(msg));
+}
+inline Status RejectedError(std::string msg) {
+  return Status(StatusCode::kRejected, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status CorruptionError(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError();` both
+  // work at call sites, like absl::StatusOr.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // value() if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// RETURN_IF_ERROR(expr): early-return a non-OK Status from a Status-returning
+// function.
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::configerator::Status _status = (expr);         \
+    if (!_status.ok()) {                             \
+      return _status;                                \
+    }                                                \
+  } while (false)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): evaluate a Result-returning expression and
+// bind its value, or propagate the error.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  auto CONFIGERATOR_CONCAT_(_result_, __LINE__) = (rexpr);        \
+  if (!CONFIGERATOR_CONCAT_(_result_, __LINE__).ok()) {           \
+    return CONFIGERATOR_CONCAT_(_result_, __LINE__).status();     \
+  }                                                  \
+  lhs = std::move(CONFIGERATOR_CONCAT_(_result_, __LINE__)).value()
+
+#define CONFIGERATOR_CONCAT_INNER_(a, b) a##b
+#define CONFIGERATOR_CONCAT_(a, b) CONFIGERATOR_CONCAT_INNER_(a, b)
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_STATUS_H_

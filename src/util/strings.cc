@@ -1,0 +1,114 @@
+#include "src/util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace configerator {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(std::string_view s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (start < s.size()) {
+    out.emplace_back(s.substr(start));
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StrTrim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool LooksLikeTimestamp(std::string_view s) {
+  s = StrTrim(s);
+  // "YYYY-MM-DD" prefix form.
+  if (s.size() >= 10 && std::isdigit(static_cast<unsigned char>(s[0])) &&
+      std::isdigit(static_cast<unsigned char>(s[1])) &&
+      std::isdigit(static_cast<unsigned char>(s[2])) &&
+      std::isdigit(static_cast<unsigned char>(s[3])) && s[4] == '-' &&
+      std::isdigit(static_cast<unsigned char>(s[5])) &&
+      std::isdigit(static_cast<unsigned char>(s[6])) && s[7] == '-' &&
+      std::isdigit(static_cast<unsigned char>(s[8])) &&
+      std::isdigit(static_cast<unsigned char>(s[9]))) {
+    return true;
+  }
+  // Plausible unix epoch seconds: all digits, 9-11 chars (2001..2286-ish).
+  if (s.size() >= 9 && s.size() <= 11) {
+    for (char c : s) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  if (u == 0) {
+    return StrFormat("%.0f %s", bytes, units[u]);
+  }
+  return StrFormat("%.1f %s", bytes, units[u]);
+}
+
+}  // namespace configerator

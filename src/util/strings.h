@@ -1,0 +1,38 @@
+// Small string utilities shared across modules.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace configerator {
+
+// Split `s` on `sep`; keeps empty pieces ("a//b" on '/' -> {"a","","b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Split into lines, treating a trailing '\n' as a terminator (no empty last
+// line). Used by the diff engine.
+std::vector<std::string> SplitLines(std::string_view s);
+
+// Join with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view StrTrim(std::string_view s);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// True if `s` looks like an ISO-8601-ish timestamp ("2015-10-04",
+// "2015-10-04 12:30:00", "2015-10-04T12:30:00Z") or a plausible unix epoch
+// number. Sitevars uses this for historical type inference.
+bool LooksLikeTimestamp(std::string_view s);
+
+// Human-readable byte count ("1.5 KB", "14.8 MB").
+std::string HumanBytes(double bytes);
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,57 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+
+namespace configerator {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::string sep;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep += "  ";
+    sep.append(widths[c], '-');
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintBenchHeader(const std::string& experiment, const std::string& description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace configerator

@@ -1,0 +1,40 @@
+// Aligned-text table printer used by every benchmark binary to report
+// paper-reported vs. measured rows in a uniform format.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+// Builds and prints a fixed-column text table:
+//
+//   TextTable t({"phase", "paper", "measured"});
+//   t.AddRow({"commit", "5 s", "4.8 s"});
+//   t.Print();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  std::string ToString() const;
+
+  // ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints the standard benchmark banner: experiment id + one-line description.
+void PrintBenchHeader(const std::string& experiment, const std::string& description);
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_TABLE_H_

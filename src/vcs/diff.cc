@@ -1,0 +1,185 @@
+#include "src/vcs/diff.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+// Myers' greedy O((N+M)D) shortest-edit-script, with linear-space trace of
+// the V arrays per d-round. For pathological inputs (huge, totally different
+// files) we cap D and fall back to delete-all/add-all.
+// Bounded so the O(D) V-array snapshots stay small (≤ ~32 MB transient);
+// beyond this a config edit is effectively a rewrite anyway.
+constexpr size_t kMaxEditDistance = 2'000;
+
+struct Script {
+  // For each index pair step: produced directly from backtracking.
+  std::vector<DiffOp> ops;
+};
+
+std::vector<DiffOp> MyersDiff(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  const int max_d = std::min<int>(n + m, static_cast<int>(kMaxEditDistance));
+  const int offset = max_d;
+
+  std::vector<int> v(static_cast<size_t>(2 * max_d + 1), 0);
+  std::vector<std::vector<int>> trace;
+
+  int found_d = -1;
+  for (int d = 0; d <= max_d; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d || (k != d && v[static_cast<size_t>(offset + k - 1)] <
+                                    v[static_cast<size_t>(offset + k + 1)])) {
+        x = v[static_cast<size_t>(offset + k + 1)];  // Down: insertion.
+      } else {
+        x = v[static_cast<size_t>(offset + k - 1)] + 1;  // Right: deletion.
+      }
+      int y = x - k;
+      while (x < n && y < m && a[static_cast<size_t>(x)] == b[static_cast<size_t>(y)]) {
+        ++x;
+        ++y;
+      }
+      v[static_cast<size_t>(offset + k)] = x;
+      if (x >= n && y >= m) {
+        found_d = d;
+        break;
+      }
+    }
+    if (found_d >= 0) {
+      break;
+    }
+  }
+
+  if (found_d < 0) {
+    // Capped out: whole-file replacement.
+    std::vector<DiffOp> ops;
+    ops.reserve(a.size() + b.size());
+    for (const std::string& line : a) {
+      ops.push_back({DiffOp::Kind::kDelete, line});
+    }
+    for (const std::string& line : b) {
+      ops.push_back({DiffOp::Kind::kAdd, line});
+    }
+    return ops;
+  }
+
+  // Backtrack from (n, m) through the recorded V arrays.
+  std::vector<DiffOp> reversed;
+  int x = n;
+  int y = m;
+  for (int d = found_d; d > 0; --d) {
+    const std::vector<int>& pv = trace[static_cast<size_t>(d)];
+    int k = x - y;
+    int prev_k;
+    if (k == -d || (k != d && pv[static_cast<size_t>(offset + k - 1)] <
+                                  pv[static_cast<size_t>(offset + k + 1)])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    int prev_x = pv[static_cast<size_t>(offset + prev_k)];
+    int prev_y = prev_x - prev_k;
+    while (x > prev_x && y > prev_y) {
+      reversed.push_back({DiffOp::Kind::kKeep, a[static_cast<size_t>(x - 1)]});
+      --x;
+      --y;
+    }
+    if (x == prev_x) {
+      reversed.push_back({DiffOp::Kind::kAdd, b[static_cast<size_t>(y - 1)]});
+      --y;
+    } else {
+      reversed.push_back({DiffOp::Kind::kDelete, a[static_cast<size_t>(x - 1)]});
+      --x;
+    }
+  }
+  while (x > 0 && y > 0) {
+    reversed.push_back({DiffOp::Kind::kKeep, a[static_cast<size_t>(x - 1)]});
+    --x;
+    --y;
+  }
+  while (x > 0) {
+    reversed.push_back({DiffOp::Kind::kDelete, a[static_cast<size_t>(x - 1)]});
+    --x;
+  }
+  while (y > 0) {
+    reversed.push_back({DiffOp::Kind::kAdd, b[static_cast<size_t>(y - 1)]});
+    --y;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+}  // namespace
+
+LineDiff DiffLines(const std::string& old_text, const std::string& new_text) {
+  LineDiff diff;
+  if (old_text == new_text) {
+    for (const std::string& line : SplitLines(old_text)) {
+      diff.ops.push_back({DiffOp::Kind::kKeep, line});
+    }
+    return diff;
+  }
+  std::vector<std::string> a = SplitLines(old_text);
+  std::vector<std::string> b = SplitLines(new_text);
+
+  // Trim common prefix/suffix before running Myers — config edits are
+  // typically tiny deltas in large files.
+  size_t prefix = 0;
+  while (prefix < a.size() && prefix < b.size() && a[prefix] == b[prefix]) {
+    ++prefix;
+  }
+  size_t suffix = 0;
+  while (suffix < a.size() - prefix && suffix < b.size() - prefix &&
+         a[a.size() - 1 - suffix] == b[b.size() - 1 - suffix]) {
+    ++suffix;
+  }
+
+  for (size_t i = 0; i < prefix; ++i) {
+    diff.ops.push_back({DiffOp::Kind::kKeep, a[i]});
+  }
+  std::vector<std::string> mid_a(a.begin() + static_cast<long>(prefix),
+                                 a.end() - static_cast<long>(suffix));
+  std::vector<std::string> mid_b(b.begin() + static_cast<long>(prefix),
+                                 b.end() - static_cast<long>(suffix));
+  for (DiffOp& op : MyersDiff(mid_a, mid_b)) {
+    diff.ops.push_back(std::move(op));
+  }
+  for (size_t i = a.size() - suffix; i < a.size(); ++i) {
+    diff.ops.push_back({DiffOp::Kind::kKeep, a[i]});
+  }
+
+  for (const DiffOp& op : diff.ops) {
+    if (op.kind == DiffOp::Kind::kAdd) {
+      ++diff.added;
+    } else if (op.kind == DiffOp::Kind::kDelete) {
+      ++diff.deleted;
+    }
+  }
+  return diff;
+}
+
+std::string RenderDiff(const LineDiff& diff) {
+  std::string out;
+  for (const DiffOp& op : diff.ops) {
+    switch (op.kind) {
+      case DiffOp::Kind::kKeep:
+        continue;
+      case DiffOp::Kind::kAdd:
+        out += "+" + op.text + "\n";
+        break;
+      case DiffOp::Kind::kDelete:
+        out += "-" + op.text + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace configerator

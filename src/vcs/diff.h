@@ -1,0 +1,39 @@
+// Line-oriented diff (Myers O(ND) algorithm) used for change-size statistics
+// (Table 2 reports "line changes per config update" with Unix diff
+// semantics: a modified line counts as one delete plus one add), for review
+// rendering, and for conflict analysis in the landing strip.
+
+#ifndef SRC_VCS_DIFF_H_
+#define SRC_VCS_DIFF_H_
+
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+struct DiffOp {
+  enum class Kind { kKeep, kAdd, kDelete };
+  Kind kind = Kind::kKeep;
+  std::string text;  // The line (without trailing newline).
+};
+
+struct LineDiff {
+  std::vector<DiffOp> ops;
+  size_t added = 0;
+  size_t deleted = 0;
+
+  // Unix-diff line-change count: adds + deletes (a modification = 2).
+  size_t changed_lines() const { return added + deleted; }
+  bool identical() const { return added == 0 && deleted == 0; }
+};
+
+// Computes the line diff from `old_text` to `new_text`.
+LineDiff DiffLines(const std::string& old_text, const std::string& new_text);
+
+// Renders a compact unified-ish diff ("-old line" / "+new line" with 0
+// context) for review UIs and logs.
+std::string RenderDiff(const LineDiff& diff);
+
+}  // namespace configerator
+
+#endif  // SRC_VCS_DIFF_H_

@@ -1,0 +1,168 @@
+#include "src/vcs/objects.h"
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+const char* KindTag(ObjectKind kind) {
+  switch (kind) {
+    case ObjectKind::kBlob:
+      return "blob";
+    case ObjectKind::kTree:
+      return "tree";
+    case ObjectKind::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TreeObject::Encode() const {
+  // Lines: "<t|b> <hex-id> <name>\n". Names are sorted by std::map order, so
+  // the encoding (and hence the id) is canonical.
+  std::string out;
+  for (const auto& [name, entry] : entries) {
+    out += entry.is_tree ? 't' : 'b';
+    out += ' ';
+    out += entry.id.ToHex();
+    out += ' ';
+    out += name;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<TreeObject> TreeObject::Decode(std::string_view data) {
+  TreeObject tree;
+  for (const std::string& line : SplitLines(data)) {
+    if (line.size() < 3 + 64) {
+      return CorruptionError("malformed tree entry: " + line);
+    }
+    Entry entry;
+    entry.is_tree = line[0] == 't';
+    if (line[0] != 't' && line[0] != 'b') {
+      return CorruptionError("malformed tree entry kind");
+    }
+    if (!Sha256Digest::FromHex(std::string_view(line).substr(2, 64), &entry.id)) {
+      return CorruptionError("malformed tree entry id");
+    }
+    std::string name = line.substr(2 + 64 + 1);
+    if (name.empty()) {
+      return CorruptionError("empty tree entry name");
+    }
+    tree.entries.emplace(std::move(name), entry);
+  }
+  return tree;
+}
+
+std::string CommitObject::Encode() const {
+  std::string out = "tree " + tree.ToHex() + "\n";
+  for (const ObjectId& parent : parents) {
+    out += "parent " + parent.ToHex() + "\n";
+  }
+  out += "author " + author + "\n";
+  out += StrFormat("timestamp %lld\n", static_cast<long long>(timestamp_ms));
+  out += "\n";
+  out += message;
+  return out;
+}
+
+Result<CommitObject> CommitObject::Decode(std::string_view data) {
+  CommitObject commit;
+  size_t pos = 0;
+  bool saw_tree = false;
+  while (pos < data.size()) {
+    size_t eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      return CorruptionError("malformed commit: missing header terminator");
+    }
+    std::string_view line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      commit.message = std::string(data.substr(pos));
+      if (!saw_tree) {
+        return CorruptionError("malformed commit: no tree");
+      }
+      return commit;
+    }
+    if (line.starts_with("tree ")) {
+      if (!Sha256Digest::FromHex(line.substr(5), &commit.tree)) {
+        return CorruptionError("malformed commit tree id");
+      }
+      saw_tree = true;
+    } else if (line.starts_with("parent ")) {
+      ObjectId parent;
+      if (!Sha256Digest::FromHex(line.substr(7), &parent)) {
+        return CorruptionError("malformed commit parent id");
+      }
+      commit.parents.push_back(parent);
+    } else if (line.starts_with("author ")) {
+      commit.author = std::string(line.substr(7));
+    } else if (line.starts_with("timestamp ")) {
+      commit.timestamp_ms = std::strtoll(std::string(line.substr(10)).c_str(),
+                                         nullptr, 10);
+    } else {
+      return CorruptionError("malformed commit header line");
+    }
+  }
+  return CorruptionError("malformed commit: truncated");
+}
+
+ObjectId ObjectStore::Put(ObjectKind kind, std::string data) {
+  Sha256 hasher;
+  hasher.Update(KindTag(kind));
+  hasher.Update("\0", 1);
+  hasher.Update(data);
+  ObjectId id = hasher.Finish();
+  auto [it, inserted] = objects_.try_emplace(id, Stored{kind, std::move(data)});
+  if (inserted) {
+    total_bytes_ += it->second.data.size();
+  }
+  return id;
+}
+
+Result<const ObjectStore::Stored*> ObjectStore::Get(const ObjectId& id,
+                                                    ObjectKind expected) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return NotFoundError("no object " + id.ShortHex());
+  }
+  if (it->second.kind != expected) {
+    return CorruptionError(StrFormat("object %s is a %s, expected %s",
+                                     id.ShortHex().c_str(),
+                                     KindTag(it->second.kind), KindTag(expected)));
+  }
+  return &it->second;
+}
+
+ObjectId ObjectStore::PutBlob(std::string data) {
+  return Put(ObjectKind::kBlob, std::move(data));
+}
+
+ObjectId ObjectStore::PutTree(const TreeObject& tree) {
+  return Put(ObjectKind::kTree, tree.Encode());
+}
+
+ObjectId ObjectStore::PutCommit(const CommitObject& commit) {
+  return Put(ObjectKind::kCommit, commit.Encode());
+}
+
+Result<std::string> ObjectStore::GetBlob(const ObjectId& id) const {
+  ASSIGN_OR_RETURN(const Stored* stored, Get(id, ObjectKind::kBlob));
+  return stored->data;
+}
+
+Result<TreeObject> ObjectStore::GetTree(const ObjectId& id) const {
+  ASSIGN_OR_RETURN(const Stored* stored, Get(id, ObjectKind::kTree));
+  return TreeObject::Decode(stored->data);
+}
+
+Result<CommitObject> ObjectStore::GetCommit(const ObjectId& id) const {
+  ASSIGN_OR_RETURN(const Stored* stored, Get(id, ObjectKind::kCommit));
+  return CommitObject::Decode(stored->data);
+}
+
+}  // namespace configerator

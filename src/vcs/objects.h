@@ -1,0 +1,86 @@
+// Content-addressed object model for the version-control substrate: blobs,
+// trees and commits, identified by the SHA-256 of their canonical encoding —
+// the same shape as git's object database. The paper stores config source
+// and compiled JSON in git; this substrate reproduces the behaviours the
+// evaluation depends on (commit cost growth, conflict detection, history).
+
+#ifndef SRC_VCS_OBJECTS_H_
+#define SRC_VCS_OBJECTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/sha256.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+using ObjectId = Sha256Digest;
+
+enum class ObjectKind { kBlob, kTree, kCommit };
+
+// A directory: name -> (object id, is_tree). Names within a tree are unique
+// and sorted (std::map), making tree encoding canonical.
+struct TreeObject {
+  struct Entry {
+    ObjectId id;
+    bool is_tree = false;
+
+    bool operator==(const Entry&) const = default;
+  };
+  std::map<std::string, Entry> entries;
+
+  std::string Encode() const;
+  static Result<TreeObject> Decode(std::string_view data);
+};
+
+struct CommitObject {
+  ObjectId tree;
+  std::vector<ObjectId> parents;
+  std::string author;
+  std::string message;
+  int64_t timestamp_ms = 0;  // Logical/simulated time, supplied by callers.
+
+  std::string Encode() const;
+  static Result<CommitObject> Decode(std::string_view data);
+};
+
+// In-memory content-addressed store. Objects are immutable once inserted.
+class ObjectStore {
+ public:
+  // Stores `data` under its content hash (prefixed with the kind) and
+  // returns the id. Idempotent.
+  ObjectId PutBlob(std::string data);
+  ObjectId PutTree(const TreeObject& tree);
+  ObjectId PutCommit(const CommitObject& commit);
+
+  Result<std::string> GetBlob(const ObjectId& id) const;
+  Result<TreeObject> GetTree(const ObjectId& id) const;
+  Result<CommitObject> GetCommit(const ObjectId& id) const;
+
+  bool Contains(const ObjectId& id) const { return objects_.count(id) > 0; }
+  size_t object_count() const { return objects_.size(); }
+  // Total encoded bytes stored — proxy for repository size on disk.
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Stored {
+    ObjectKind kind;
+    std::string data;
+  };
+
+  ObjectId Put(ObjectKind kind, std::string data);
+  Result<const Stored*> Get(const ObjectId& id, ObjectKind expected) const;
+
+  std::unordered_map<ObjectId, Stored> objects_;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_VCS_OBJECTS_H_

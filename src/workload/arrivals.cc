@@ -1,0 +1,81 @@
+#include "src/workload/arrivals.h"
+
+#include <cmath>
+
+namespace configerator {
+
+double CommitArrivalModel::HourProfile(int hour) {
+  // Normalized so the mean over 24h is ~1. Quiet nights, ramp from 8am,
+  // peak 10-18, taper evenings.
+  static constexpr double kProfile[24] = {
+      0.15, 0.10, 0.08, 0.08, 0.10, 0.15, 0.30, 0.60,  // 0-7
+      1.20, 1.90, 2.40, 2.50, 2.30, 2.40, 2.50, 2.40,  // 8-15
+      2.20, 1.90, 1.40, 0.90, 0.60, 0.45, 0.30, 0.20,  // 16-23
+  };
+  return kProfile[hour % 24];
+}
+
+double CommitArrivalModel::WeekdayProfile(int day_of_week) {
+  // Monday..Friday ~1, Saturday/Sunday near zero for humans.
+  static constexpr double kProfile[7] = {1.0, 1.05, 1.1, 1.05, 0.95, 0.08, 0.06};
+  return kProfile[day_of_week % 7];
+}
+
+double CommitArrivalModel::ExpectedCommits(int day, int hour) const {
+  double daily = params_.initial_daily_commits *
+                 std::pow(1.0 + params_.daily_growth, static_cast<double>(day));
+  double human_daily = daily * (1.0 - params_.automation_share);
+  double automation_daily = daily * params_.automation_share;
+
+  double human_hourly = human_daily / 24.0 * HourProfile(hour) *
+                        WeekdayProfile(day % 7);
+  double automation_hourly = automation_daily / 24.0;  // Flat, 24/7.
+  return human_hourly + automation_hourly;
+}
+
+std::vector<int> CommitArrivalModel::SampleHourly(int days) {
+  std::vector<int> series;
+  series.reserve(static_cast<size_t>(days) * 24);
+  for (int day = 0; day < days; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      double lambda = ExpectedCommits(day, hour);
+      // Poisson sampling via inversion for small lambda, normal
+      // approximation for large.
+      int count;
+      if (lambda < 30) {
+        double l = std::exp(-lambda);
+        double p = 1.0;
+        int k = 0;
+        do {
+          ++k;
+          p *= rng_.NextDouble();
+        } while (p > l);
+        count = k - 1;
+      } else {
+        double g = rng_.NextGaussian();
+        count = static_cast<int>(std::max(0.0, lambda + std::sqrt(lambda) * g));
+      }
+      series.push_back(count);
+    }
+  }
+  return series;
+}
+
+std::vector<int64_t> CommitArrivalModel::DailyTotals(const std::vector<int>& hourly) {
+  std::vector<int64_t> daily;
+  daily.reserve(hourly.size() / 24 + 1);
+  int64_t acc = 0;
+  for (size_t i = 0; i < hourly.size(); ++i) {
+    acc += hourly[i];
+    if ((i + 1) % 24 == 0) {
+      daily.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (hourly.size() % 24 != 0) {
+    daily.push_back(acc);
+  }
+  return daily;
+}
+
+}  // namespace configerator

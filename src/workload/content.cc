@@ -1,0 +1,186 @@
+#include "src/workload/content.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+const char* const kFieldStems[] = {
+    "timeout_ms", "max_connections", "cache_bytes", "batch_size", "enabled",
+    "endpoint",   "retry_limit",     "sample_rate", "prefetch",   "region",
+    "threshold",  "capacity",        "ttl_seconds", "pool_size",  "rate_limit",
+};
+
+Json RandomScalar(Rng& rng) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return Json(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+    case 1:
+      return Json(rng.NextDouble() * 100.0);
+    case 2:
+      return Json(rng.NextBool(0.5));
+    default:
+      return Json(StrFormat("value-%llu",
+                            static_cast<unsigned long long>(rng.NextBounded(100'000))));
+  }
+}
+
+std::string FieldName(Rng& rng, int ordinal) {
+  const char* stem = kFieldStems[rng.NextBounded(std::size(kFieldStems))];
+  return StrFormat("%s_%d", stem, ordinal);
+}
+
+// Builds an object with ~n scalar fields (plus occasional lists/sections).
+Json BuildObject(int fields, Rng& rng, int depth) {
+  Json obj = Json::MakeObject();
+  for (int i = 0; i < fields; ++i) {
+    std::string name = FieldName(rng, i);
+    uint64_t shape = rng.NextBounded(10);
+    if (shape == 0 && depth < 2) {
+      obj.Set(name, BuildObject(3 + static_cast<int>(rng.NextBounded(5)), rng,
+                                depth + 1));
+    } else if (shape == 1) {
+      Json list = Json::MakeArray();
+      size_t n = 1 + rng.NextBounded(6);
+      for (size_t j = 0; j < n; ++j) {
+        list.Append(RandomScalar(rng));
+      }
+      obj.Set(name, std::move(list));
+    } else {
+      obj.Set(name, RandomScalar(rng));
+    }
+  }
+  return obj;
+}
+
+// Collects pointers to all scalar-valued keys of an object tree.
+void CollectScalarSlots(Json* node, std::vector<std::pair<Json*, std::string>>* out) {
+  if (!node->is_object()) {
+    return;
+  }
+  for (auto& [key, value] : node->as_object()) {
+    if (value.is_object()) {
+      CollectScalarSlots(&value, out);
+    } else if (!value.is_array()) {
+      out->emplace_back(node, key);
+    }
+  }
+}
+
+void CollectSections(Json* node, std::vector<std::pair<Json*, std::string>>* out) {
+  if (!node->is_object()) {
+    return;
+  }
+  for (auto& [key, value] : node->as_object()) {
+    if (value.is_object()) {
+      out->emplace_back(node, key);
+      CollectSections(&value, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string GenerateConfigContent(int64_t target_bytes, Rng& rng) {
+  // A scalar field pretty-prints to ~30 bytes/line.
+  int fields = std::max(1, static_cast<int>(target_bytes / 30));
+  fields = std::min(fields, 200'000);
+  Json obj = BuildObject(fields, rng, 0);
+  return obj.DumpPretty();
+}
+
+EditKind SampleEditKind(Rng& rng) {
+  // Mix tuned to Table 2: ~half of updates are a single modified value
+  // (two-line change); multi-value edits fill the 3-50 line buckets; a tail
+  // of section rewrites produces the >100-line mass.
+  double u = rng.NextDouble();
+  if (u < 0.47) {
+    return EditKind::kModifyScalar;
+  }
+  if (u < 0.50) {
+    return EditKind::kAddField;
+  }
+  if (u < 0.52) {
+    return EditKind::kRemoveField;
+  }
+  if (u < 0.90) {
+    return EditKind::kModifySeveral;
+  }
+  return EditKind::kRewriteSection;
+}
+
+std::string ApplyEdit(const std::string& content, EditKind kind, Rng& rng) {
+  auto parsed = Json::Parse(content);
+  if (!parsed.ok() || !parsed->is_object()) {
+    // Not JSON (raw config of another format): emulate a line edit by
+    // appending a marker line.
+    return content + StrFormat("# edit %llu\n",
+                               static_cast<unsigned long long>(rng.Next()));
+  }
+  Json root = std::move(parsed).value();
+
+  std::vector<std::pair<Json*, std::string>> scalars;
+  CollectScalarSlots(&root, &scalars);
+
+  auto modify_one = [&rng, &scalars] {
+    if (scalars.empty()) {
+      return false;
+    }
+    auto& [node, key] = scalars[rng.NextBounded(scalars.size())];
+    node->Set(key, RandomScalar(rng));
+    return true;
+  };
+
+  switch (kind) {
+    case EditKind::kModifyScalar:
+      if (!modify_one()) {
+        root.Set("added_field", RandomScalar(rng));
+      }
+      break;
+    case EditKind::kAddField: {
+      root.Set(StrFormat("added_%llu",
+                         static_cast<unsigned long long>(rng.NextBounded(1'000'000))),
+               RandomScalar(rng));
+      break;
+    }
+    case EditKind::kRemoveField: {
+      if (scalars.empty()) {
+        root.Set("added_field", RandomScalar(rng));
+        break;
+      }
+      auto& [node, key] = scalars[rng.NextBounded(scalars.size())];
+      node->as_object().erase(key);
+      break;
+    }
+    case EditKind::kModifySeveral: {
+      // Mostly a pair of related values (a 4-line diff), sometimes a wider
+      // sweep — matching Table 2's mid buckets.
+      size_t n = rng.NextBool(0.3) ? 2 : 3 + rng.NextBounded(7);
+      for (size_t i = 0; i < n; ++i) {
+        if (!modify_one()) {
+          break;
+        }
+      }
+      break;
+    }
+    case EditKind::kRewriteSection: {
+      std::vector<std::pair<Json*, std::string>> sections;
+      CollectSections(&root, &sections);
+      int new_fields = 10 + static_cast<int>(rng.NextBounded(80));
+      if (sections.empty()) {
+        root.Set("rewritten_section", BuildObject(new_fields, rng, 1));
+      } else {
+        auto& [node, key] = sections[rng.NextBounded(sections.size())];
+        node->Set(key, BuildObject(new_fields, rng, 1));
+      }
+      break;
+    }
+  }
+  return root.DumpPretty();
+}
+
+}  // namespace configerator

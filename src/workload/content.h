@@ -1,0 +1,41 @@
+// Generates realistic JSON config contents and applies typed edits to them.
+// Table 2 ("line changes per config update") is measured by running our real
+// diff engine over before/after contents produced here — not by sampling a
+// line-count distribution directly.
+
+#ifndef SRC_WORKLOAD_CONTENT_H_
+#define SRC_WORKLOAD_CONTENT_H_
+
+#include <string>
+
+#include "src/json/json.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+
+// Generates a pretty-printed JSON config of roughly `target_bytes` (an
+// object of scalar fields, string lists and nested sections, like compiled
+// configs look).
+std::string GenerateConfigContent(int64_t target_bytes, Rng& rng);
+
+// The kinds of edits engineers (and automation) make.
+enum class EditKind {
+  kModifyScalar,   // Change one value: a 2-line diff (delete + add).
+  kAddField,       // Add one field.
+  kRemoveField,    // Remove one field.
+  kModifySeveral,  // Touch a handful of values.
+  kRewriteSection, // Replace a nested section wholesale (large diff).
+};
+
+// Samples an edit kind with the empirical mix behind Table 2 (about half of
+// updates are single-value modifications).
+EditKind SampleEditKind(Rng& rng);
+
+// Applies `kind` to pretty-printed JSON `content`; returns the new content.
+// Falls back to appending a field if the requested edit isn't applicable
+// (e.g. removing from an empty object).
+std::string ApplyEdit(const std::string& content, EditKind kind, Rng& rng);
+
+}  // namespace configerator
+
+#endif  // SRC_WORKLOAD_CONTENT_H_

@@ -1,0 +1,350 @@
+#include "src/workload/population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+size_t SyntheticConfig::distinct_authors() const {
+  std::set<std::string> unique(authors.begin(), authors.end());
+  return unique.size();
+}
+
+PopulationModel::PopulationModel(Params params)
+    : params_(params), rng_(params.seed) {}
+
+int64_t PopulationModel::SampleSize(ConfigKind kind, Rng& rng) {
+  // Log-normal fitted to the published percentiles:
+  //   raw:      P50 = 400 B, P95 = 25 KB  -> mu = ln 400,  sigma = 2.51
+  //   compiled: P50 = 1 KB,  P95 = 45 KB  -> mu = ln 1000, sigma = 2.31
+  // (sigma = ln(P95/P50) / 1.645). The tail is clamped at 16 MB — anything
+  // larger goes through PackageVessel and only metadata lands here.
+  double mu;
+  double sigma;
+  if (kind == ConfigKind::kRaw) {
+    mu = std::log(400.0);
+    sigma = 2.51;
+  } else {
+    mu = std::log(1000.0);
+    sigma = 2.31;
+  }
+  double size = rng.NextLogNormal(mu, sigma);
+  size = std::clamp(size, 16.0, 16.0 * 1024 * 1024);
+  return static_cast<int64_t>(size);
+}
+
+double PopulationModel::SampleGamma(double shape, double mean) {
+  // Marsaglia–Tsang for shape >= 1; boosting trick for shape < 1.
+  double k = shape;
+  double boost = 1.0;
+  if (k < 1.0) {
+    double u = std::max(rng_.NextDouble(), 1e-12);
+    boost = std::pow(u, 1.0 / k);
+    k += 1.0;
+  }
+  double d = k - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  double sample;
+  for (;;) {
+    double x = rng_.NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0) {
+      continue;
+    }
+    v = v * v * v;
+    double u = std::max(rng_.NextDouble(), 1e-12);
+    if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v)) {
+      sample = d * v;
+      break;
+    }
+  }
+  sample *= boost;
+  return sample * mean / shape;  // Scale so the mean is `mean`.
+}
+
+double PopulationModel::SamplePopularity(ConfigKind kind) {
+  // Head/body mixture producing the Table 1 marginals: popularity equals the
+  // config's expected lifetime updates (relative weights; the update pass
+  // normalizes totals per kind).
+  double mean;
+  double head_prob;
+  double head_share;
+  double body_shape;
+  if (kind == ConfigKind::kRaw) {
+    mean = params_.mean_updates_raw;
+    head_prob = params_.raw_head_probability;
+    head_share = params_.raw_head_share;
+    body_shape = params_.raw_body_gamma_shape;
+  } else {
+    mean = params_.mean_updates_compiled;
+    head_prob = params_.compiled_head_probability;
+    head_share = params_.compiled_head_share;
+    body_shape = params_.compiled_body_gamma_shape;
+  }
+  if (rng_.NextBool(head_prob)) {
+    double head_mean = head_share * mean / head_prob;
+    // Spread the head exponentially so head configs are not identical.
+    return head_mean * std::max(rng_.NextExponential(1.0), 1e-3);
+  }
+  double body_mean = (1.0 - head_share) * mean / (1.0 - head_prob);
+  return SampleGamma(body_shape, body_mean);
+}
+
+void PopulationModel::CreateConfig(ConfigKind kind, int day) {
+  SyntheticConfig config;
+  config.kind = kind;
+  config.created_day = day;
+  config.size_bytes = SampleSize(kind, rng_);
+  config.popularity = SamplePopularity(kind);
+
+  // Author pool: mostly 1-2 humans, occasionally a crowd. Pool size
+  // correlates with popularity — a widely shared, frequently updated config
+  // accumulates many co-authors (the paper saw one sitevar with 727 authors
+  // over two years).
+  size_t pool_size = 1;
+  double continue_p = config.popularity > 50 ? 0.75 : 0.48;
+  while (pool_size < 400 && rng_.NextBool(continue_p)) {
+    ++pool_size;
+  }
+  if (config.popularity > 200 && rng_.NextBool(0.25)) {
+    pool_size = 50 + rng_.NextBounded(700);
+  }
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(StrFormat(
+        "eng%llu", static_cast<unsigned long long>(rng_.NextBounded(100'000))));
+  }
+  config.authors.push_back(pool.front());  // Creation counts as first touch.
+
+  configs_.push_back(std::move(config));
+  author_pool_.push_back(std::move(pool));
+}
+
+void PopulationModel::Run() {
+  configs_.clear();
+  author_pool_.clear();
+  configs_.reserve(params_.final_configs);
+
+  const int days = params_.total_days;
+  const double growth_exponent = 2.2;  // Fig 7's superlinear growth.
+
+  // Pass 1: creations. cumulative(d) = final * (d/D)^k, plus the migration
+  // bump (Gatekeeper projects arriving as compiled configs).
+  size_t migration_extra = static_cast<size_t>(
+      params_.gatekeeper_migration_size * static_cast<double>(params_.final_configs));
+  size_t organic_total = params_.final_configs - migration_extra;
+  size_t created = 0;
+  for (int day = 1; day <= days; ++day) {
+    double frac = std::pow(static_cast<double>(day) / days, growth_exponent);
+    size_t target = static_cast<size_t>(frac * static_cast<double>(organic_total));
+    while (created < target) {
+      ConfigKind kind = rng_.NextBool(params_.compiled_fraction)
+                            ? ConfigKind::kCompiled
+                            : ConfigKind::kRaw;
+      CreateConfig(kind, day);
+      ++created;
+    }
+    if (day == params_.gatekeeper_migration_day) {
+      for (size_t i = 0; i < migration_extra; ++i) {
+        CreateConfig(ConfigKind::kCompiled, day);
+      }
+    }
+  }
+
+  // Pass 2: updates, independently per kind. For each kind build the
+  // creation-ordered prefix-sum of popularity; each day's update budget is
+  // proportional to the kind's alive population, and updates are drawn from
+  // the alive prefix weighted by popularity.
+  for (ConfigKind kind : {ConfigKind::kCompiled, ConfigKind::kRaw}) {
+    std::vector<size_t> members;      // Config indices, creation order.
+    std::vector<double> cumulative;   // Prefix popularity sums.
+    double total_popularity = 0;
+    for (size_t i = 0; i < configs_.size(); ++i) {
+      if (configs_[i].kind != kind) {
+        continue;
+      }
+      members.push_back(i);
+      total_popularity += configs_[i].popularity;
+      cumulative.push_back(total_popularity);
+    }
+    if (members.empty()) {
+      continue;
+    }
+    double mean_updates = kind == ConfigKind::kRaw ? params_.mean_updates_raw
+                                                   : params_.mean_updates_compiled;
+    double total_updates = mean_updates * static_cast<double>(members.size());
+
+    // Alive-count per day for this kind (members are creation-ordered).
+    std::vector<size_t> alive_by_day(static_cast<size_t>(days) + 1, 0);
+    {
+      size_t next = 0;
+      for (int day = 1; day <= days; ++day) {
+        while (next < members.size() &&
+               configs_[members[next]].created_day <= day) {
+          ++next;
+        }
+        alive_by_day[static_cast<size_t>(day)] = next;
+      }
+    }
+    double weight_sum = 0;
+    for (int day = 1; day <= days; ++day) {
+      weight_sum += static_cast<double>(alive_by_day[static_cast<size_t>(day)]);
+    }
+    if (weight_sum == 0) {
+      continue;
+    }
+
+    for (int day = 1; day <= days; ++day) {
+      size_t alive = alive_by_day[static_cast<size_t>(day)];
+      if (alive == 0) {
+        continue;
+      }
+      double day_weight = static_cast<double>(alive) / weight_sum;
+      size_t updates_today =
+          static_cast<size_t>(total_updates * day_weight + rng_.NextDouble());
+      double limit = cumulative[alive - 1];
+      for (size_t i = 0; i < updates_today; ++i) {
+        // Popularity-weighted sample with recency-biased rejection: effective
+        // weight = popularity * (1 + age/tau)^-beta.
+        size_t idx = members[alive - 1];
+        for (int attempt = 0; attempt < 24; ++attempt) {
+          double u = rng_.NextDouble() * limit;
+          auto it = std::upper_bound(
+              cumulative.begin(), cumulative.begin() + static_cast<long>(alive),
+              u);
+          size_t pos = static_cast<size_t>(it - cumulative.begin());
+          if (pos >= alive) {
+            pos = alive - 1;
+          }
+          size_t candidate = members[pos];
+          double age = static_cast<double>(day - configs_[candidate].created_day);
+          double decay = std::pow(1.0 + age / params_.decay_tau_days,
+                                  -params_.decay_beta);
+          if (rng_.NextDouble() < decay) {
+            idx = candidate;
+            break;
+          }
+          idx = candidate;  // Fallback if every attempt rejects.
+        }
+        SyntheticConfig& config = configs_[idx];
+        config.update_days.push_back(day);
+
+        // Author of this update.
+        bool automated;
+        if (config.kind == ConfigKind::kRaw) {
+          automated = rng_.NextBool(params_.raw_automation_share);
+        } else {
+          automated = rng_.NextBool(0.30);
+        }
+        if (automated) {
+          config.authors.push_back("automation");
+        } else {
+          const std::vector<std::string>& pool = author_pool_[idx];
+          // Sticky authorship: usually the previous human author returns.
+          if (config.authors.size() > 1 && rng_.NextBool(0.6)) {
+            config.authors.push_back(config.authors.back() == "automation"
+                                         ? pool[rng_.NextBounded(pool.size())]
+                                         : config.authors.back());
+          } else {
+            config.authors.push_back(pool[rng_.NextBounded(pool.size())]);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<PopulationModel::DailyCount> PopulationModel::CountsByDay() const {
+  std::vector<DailyCount> counts(static_cast<size_t>(params_.total_days) + 1);
+  for (const SyntheticConfig& config : configs_) {
+    size_t day = static_cast<size_t>(config.created_day);
+    if (config.kind == ConfigKind::kCompiled) {
+      ++counts[day].compiled;
+    } else {
+      ++counts[day].raw;
+    }
+  }
+  for (size_t day = 1; day < counts.size(); ++day) {
+    counts[day].compiled += counts[day - 1].compiled;
+    counts[day].raw += counts[day - 1].raw;
+  }
+  return counts;
+}
+
+SampleSet PopulationModel::Sizes(ConfigKind kind) const {
+  SampleSet samples;
+  for (const SyntheticConfig& config : configs_) {
+    if (config.kind == kind) {
+      samples.Add(static_cast<double>(config.size_bytes));
+    }
+  }
+  return samples;
+}
+
+SampleSet PopulationModel::Freshness() const {
+  SampleSet samples;
+  for (const SyntheticConfig& config : configs_) {
+    samples.Add(static_cast<double>(params_.total_days - config.last_touched_day()));
+  }
+  return samples;
+}
+
+SampleSet PopulationModel::AgeAtUpdate() const {
+  SampleSet samples;
+  for (const SyntheticConfig& config : configs_) {
+    for (int day : config.update_days) {
+      samples.Add(static_cast<double>(day - config.created_day));
+    }
+  }
+  return samples;
+}
+
+SampleSet PopulationModel::UpdateCounts(ConfigKind kind) const {
+  SampleSet samples;
+  for (const SyntheticConfig& config : configs_) {
+    if (config.kind == kind) {
+      // The paper's Table 1 counts "written once" as created-never-updated,
+      // so the count reported is 1 + updates.
+      samples.Add(static_cast<double>(1 + config.update_count()));
+    }
+  }
+  return samples;
+}
+
+double PopulationModel::TopUpdateShare(ConfigKind kind, double fraction) const {
+  std::vector<size_t> counts;
+  size_t total = 0;
+  for (const SyntheticConfig& config : configs_) {
+    if (config.kind == kind) {
+      counts.push_back(config.update_count());
+      total += config.update_count();
+    }
+  }
+  if (counts.empty() || total == 0) {
+    return 0;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  size_t top_n = std::max<size_t>(
+      1, static_cast<size_t>(fraction * static_cast<double>(counts.size())));
+  size_t top_updates = 0;
+  for (size_t i = 0; i < top_n; ++i) {
+    top_updates += counts[i];
+  }
+  return static_cast<double>(top_updates) / static_cast<double>(total);
+}
+
+SampleSet PopulationModel::CoauthorCounts(ConfigKind kind) const {
+  SampleSet samples;
+  for (const SyntheticConfig& config : configs_) {
+    if (config.kind == kind) {
+      samples.Add(static_cast<double>(config.distinct_authors()));
+    }
+  }
+  return samples;
+}
+
+}  // namespace configerator

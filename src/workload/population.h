@@ -1,0 +1,131 @@
+// Synthetic config-population model calibrated to the paper's §6 statistics.
+//
+// The paper's Figures 7–10 and Tables 1–3 are measurements of organic usage
+// of the production repository. To regenerate their *shape*, this model
+// evolves a config population day by day:
+//   * configs are created at an accelerating rate (Fig 7's growth curve),
+//     with a one-time migration bump when Gatekeeper moved onto
+//     Configerator;
+//   * each config draws a heavy-tailed popularity weight at creation;
+//     updates are allocated proportionally to popularity across the alive
+//     population — which reproduces the extreme update skew (Table 1), the
+//     freshness mix (Fig 9) and the old-configs-still-get-updated effect
+//     (Fig 10) from one mechanism;
+//   * sizes are log-normal with a heavy tail, fitted to the published
+//     percentiles (Fig 8);
+//   * authorship mixes sticky human co-author pools with automation actors
+//     (89% of raw-config updates are automated) for Table 3.
+
+#ifndef SRC_WORKLOAD_POPULATION_H_
+#define SRC_WORKLOAD_POPULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace configerator {
+
+enum class ConfigKind { kCompiled, kRaw };
+
+struct SyntheticConfig {
+  ConfigKind kind = ConfigKind::kCompiled;
+  int created_day = 0;
+  double popularity = 1.0;
+  int64_t size_bytes = 0;
+  std::vector<int> update_days;       // Sorted (generation order is by day).
+  std::vector<std::string> authors;   // Author per update (creation first).
+
+  size_t update_count() const { return update_days.size(); }
+  size_t distinct_authors() const;
+  int last_touched_day() const {
+    return update_days.empty() ? created_day : update_days.back();
+  }
+};
+
+class PopulationModel {
+ public:
+  struct Params {
+    int total_days = 1400;
+    // Final population size (the paper's "hundreds of thousands" scaled to
+    // bench-friendly size; shape is size-invariant).
+    size_t final_configs = 30'000;
+    double compiled_fraction = 0.75;
+    // Mean lifetime updates (paper: 16 compiled / 44 raw).
+    double mean_updates_compiled = 16.0;
+    double mean_updates_raw = 44.0;
+    double raw_automation_share = 0.89;
+    // Popularity (expected lifetime updates) is a head/body mixture per
+    // kind, calibrated to Table 1's marginals simultaneously: the share of
+    // never-updated configs, the mean update count, and the update share of
+    // the top 1%. `head_probability` configs form the hot head (automation-
+    // driven for raw); the rest draw a Gamma-distributed body popularity.
+    double compiled_head_probability = 0.010;
+    double compiled_head_share = 0.645;  // Top updates share (Table 1).
+    double compiled_body_gamma_shape = 0.6;
+    double raw_head_probability = 0.012;
+    double raw_head_share = 0.928;
+    double raw_body_gamma_shape = 0.2;
+    // Update recency bias: a config's effective update weight decays as
+    // (1 + age/decay_tau_days)^-decay_beta. This produces Fig 10's "29% of
+    // updates hit configs younger than 60 days" while old configs still
+    // receive a meaningful share, and Fig 9's dormancy mass.
+    double decay_tau_days = 60;
+    double decay_beta = 0.75;
+    // Day when Gatekeeper's configs migrated onto Configerator (Fig 7 bump).
+    int gatekeeper_migration_day = 420;
+    double gatekeeper_migration_size = 0.08;  // Fraction of final population.
+    uint64_t seed = 42;
+  };
+
+  explicit PopulationModel(Params params);
+
+  // Generates the full population and update history.
+  void Run();
+
+  const std::vector<SyntheticConfig>& configs() const { return configs_; }
+  const Params& params() const { return params_; }
+
+  // Count of configs existing at end of `day`, split by kind.
+  struct DailyCount {
+    size_t compiled = 0;
+    size_t raw = 0;
+  };
+  std::vector<DailyCount> CountsByDay() const;
+
+  // --- Statistic extraction for the benches (measured over the final
+  //     population, like the paper measured its repository) ---
+
+  // Fig 8: config sizes in bytes.
+  SampleSet Sizes(ConfigKind kind) const;
+  // Fig 9: days since last modification (relative to the final day).
+  SampleSet Freshness() const;
+  // Fig 10: config age (days) at each update event.
+  SampleSet AgeAtUpdate() const;
+  // Table 1: lifetime update counts.
+  SampleSet UpdateCounts(ConfigKind kind) const;
+  // Table 1 bold claims: share of total updates taken by the top
+  // `fraction` most-updated configs.
+  double TopUpdateShare(ConfigKind kind, double fraction) const;
+  // Table 3: distinct co-author counts.
+  SampleSet CoauthorCounts(ConfigKind kind) const;
+
+  // Sample a size for a new config (also used by content generation).
+  static int64_t SampleSize(ConfigKind kind, Rng& rng);
+
+ private:
+  void CreateConfig(ConfigKind kind, int day);
+  double SamplePopularity(ConfigKind kind);
+  double SampleGamma(double shape, double mean);
+
+  Params params_;
+  Rng rng_;
+  std::vector<SyntheticConfig> configs_;
+  std::vector<std::vector<std::string>> author_pool_;  // Per config.
+};
+
+}  // namespace configerator
+
+#endif  // SRC_WORKLOAD_POPULATION_H_

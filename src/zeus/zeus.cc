@@ -1,0 +1,359 @@
+#include "src/zeus/zeus.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/logging.h"
+
+namespace configerator {
+
+ZeusEnsemble::ZeusEnsemble(Network* net, std::vector<ServerId> members,
+                           std::vector<ServerId> observers, Options options)
+    : net_(net), options_(options) {
+  assert(!members.empty());
+  members_.reserve(members.size());
+  for (const ServerId& id : members) {
+    Member m;
+    m.id = id;
+    members_.push_back(std::move(m));
+  }
+  observer_ids_ = std::move(observers);
+  observer_states_.reserve(observer_ids_.size());
+  for (const ServerId& id : observer_ids_) {
+    Observer obs;
+    obs.id = id;
+    observer_states_.push_back(std::move(obs));
+  }
+  // Periodic anti-entropy keeps lagging observers converging.
+  net_->sim().Schedule(options_.anti_entropy_interval, [this] { AntiEntropyTick(); });
+}
+
+size_t ZeusEnsemble::LiveMemberCount() const {
+  size_t live = 0;
+  for (const Member& m : members_) {
+    if (!net_->failures().IsDown(m.id)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+bool ZeusEnsemble::has_quorum() const {
+  return LiveMemberCount() * 2 > members_.size();
+}
+
+void ZeusEnsemble::Write(const ServerId& from, std::string key, std::string value,
+                         WriteCallback done) {
+  // Client → leader hop.
+  int64_t bytes = static_cast<int64_t>(key.size() + value.size() + 64);
+  ServerId leader_id = members_[leader_idx_].id;
+  if (net_->failures().IsDown(leader_id)) {
+    StartElection();
+  }
+  if (election_in_progress_) {
+    // Queue behind the election.
+    pending_writes_.push_back(
+        [this, from, key = std::move(key), value = std::move(value),
+         done = std::move(done)]() mutable {
+          Write(from, std::move(key), std::move(value), std::move(done));
+        });
+    return;
+  }
+  if (!has_quorum()) {
+    done(UnavailableError("Zeus ensemble has no quorum"));
+    return;
+  }
+  net_->Send(from, members_[leader_idx_].id, bytes,
+             [this, key = std::move(key), value = std::move(value),
+              done = std::move(done)]() mutable {
+               CommitOnLeader(std::move(key), std::move(value), std::move(done));
+             });
+}
+
+void ZeusEnsemble::CommitOnLeader(std::string key, std::string value,
+                                  WriteCallback done) {
+  if (!has_quorum()) {
+    done(UnavailableError("Zeus ensemble lost quorum"));
+    return;
+  }
+  Member& leader = members_[leader_idx_];
+  ZeusTxn txn;
+  txn.key = std::move(key);
+  txn.value = std::move(value);
+
+  // Propose to followers; count acks. The leader implicitly acks itself.
+  auto acks = std::make_shared<size_t>(1);
+  auto committed_flag = std::make_shared<bool>(false);
+  size_t quorum = members_.size() / 2 + 1;
+  int64_t bytes = static_cast<int64_t>(txn.key.size() + txn.value.size() + 64);
+
+  auto maybe_commit = [this, acks, committed_flag, quorum, txn,
+                       done = std::move(done)]() mutable {
+    if (*committed_flag || *acks < quorum) {
+      return;
+    }
+    *committed_flag = true;
+    // Commit: assign the zxid *at commit time* — FIFO proposal/ack channels
+    // make commits complete in proposal order, so the committed zxid stream
+    // is contiguous (failed proposals leave no holes). Apply on leader
+    // state, append to the logs of live members, then fan out to observers
+    // after the processing delay (log fsync etc.).
+    txn.zxid = ++last_committed_zxid_;
+    committed_[txn.key] = ZeusValue{txn.value, txn.zxid};
+    for (Member& m : members_) {
+      if (!net_->failures().IsDown(m.id)) {
+        m.log.push_back(txn);
+        m.last_logged_zxid = txn.zxid;
+      }
+    }
+    net_->sim().Schedule(options_.processing_delay,
+                         [this, txn] { PushToObservers(txn); });
+    done(txn.zxid);
+  };
+
+  for (size_t i = 0; i < members_.size(); ++i) {
+    if (i == leader_idx_) {
+      continue;
+    }
+    const ServerId& follower = members_[i].id;
+    if (net_->failures().IsDown(follower)) {
+      continue;
+    }
+    // Round trip: leader → follower (proposal) → leader (ack).
+    ServerId leader_id = leader.id;
+    net_->SendFifo(leader_id, follower, bytes,
+               [this, leader_id, follower, acks, maybe_commit]() mutable {
+                 net_->SendFifo(follower, leader_id, 64,
+                            [acks, maybe_commit]() mutable {
+                              ++*acks;
+                              maybe_commit();
+                            });
+               });
+  }
+  // A single-member ensemble commits immediately.
+  maybe_commit();
+}
+
+void ZeusEnsemble::StartElection() {
+  if (election_in_progress_) {
+    return;
+  }
+  election_in_progress_ = true;
+  net_->sim().Schedule(options_.election_delay, [this] {
+    // Elect the live member with the longest committed log.
+    size_t best = members_.size();
+    for (size_t i = 0; i < members_.size(); ++i) {
+      if (net_->failures().IsDown(members_[i].id)) {
+        continue;
+      }
+      if (best == members_.size() ||
+          members_[i].last_logged_zxid > members_[best].last_logged_zxid) {
+        best = i;
+      }
+    }
+    election_in_progress_ = false;
+    if (best == members_.size() || !has_quorum()) {
+      // No quorum: fail queued writes.
+      while (!pending_writes_.empty()) {
+        pending_writes_.pop_front();
+      }
+      CLOG(Warning) << "Zeus election failed: no quorum";
+      return;
+    }
+    leader_idx_ = best;
+    CLOG(Info) << "Zeus elected leader " << members_[best].id.ToString();
+    std::deque<std::function<void()>> queued;
+    queued.swap(pending_writes_);
+    for (auto& fn : queued) {
+      fn();
+    }
+  });
+}
+
+void ZeusEnsemble::PushToObservers(const ZeusTxn& txn) {
+  const ServerId& leader_id = members_[leader_idx_].id;
+  int64_t bytes = static_cast<int64_t>(txn.key.size() + txn.value.size() + 64);
+  for (Observer& obs : observer_states_) {
+    if (net_->failures().IsDown(obs.id)) {
+      continue;  // Anti-entropy catches it up on recovery.
+    }
+    Observer* obs_ptr = &obs;
+    net_->SendFifo(leader_id, obs.id, bytes,
+               [this, obs_ptr, txn] { ApplyOnObserver(obs_ptr, txn); });
+  }
+}
+
+void ZeusEnsemble::ApplyOnObserver(Observer* obs, const ZeusTxn& txn) {
+  if (txn.zxid <= obs->last_zxid) {
+    return;  // Stale or duplicate (anti-entropy overlap).
+  }
+  // Buffer, then apply the contiguous prefix. A gap means pushes were lost
+  // while this observer was down; applying txn N+2 before N would let a
+  // later anti-entropy pass believe the observer is current and leave key N
+  // permanently stale.
+  obs->pending.emplace(txn.zxid, txn);
+  while (!obs->pending.empty() &&
+         obs->pending.begin()->first == obs->last_zxid + 1) {
+    const ZeusTxn& next = obs->pending.begin()->second;
+    obs->last_zxid = next.zxid;
+    obs->data[next.key] = ZeusValue{next.value, next.zxid};
+    // Notify watching proxies (observer → proxy hop of the tree).
+    auto it = obs->watches.find(next.key);
+    if (it != obs->watches.end()) {
+      int64_t bytes =
+          static_cast<int64_t>(next.key.size() + next.value.size() + 64);
+      for (const Watch& watch : it->second) {
+        ZeusTxn copy = next;
+        UpdateCallback cb = watch.callback;
+        net_->SendFifo(obs->id, watch.proxy, bytes,
+                       [cb = std::move(cb), copy = std::move(copy)] { cb(copy); });
+      }
+    }
+    obs->pending.erase(obs->pending.begin());
+  }
+}
+
+void ZeusEnsemble::AntiEntropyTick() {
+  const ServerId& leader_id = members_[leader_idx_].id;
+  if (!net_->failures().IsDown(leader_id)) {
+    for (Observer& obs : observer_states_) {
+      if (net_->failures().IsDown(obs.id) || obs.last_zxid >= last_committed_zxid_) {
+        continue;
+      }
+      // Replay the missing suffix from the leader's log, in order.
+      const Member& leader = members_[leader_idx_];
+      Observer* obs_ptr = &obs;
+      for (const ZeusTxn& txn : leader.log) {
+        if (txn.zxid <= obs.last_zxid) {
+          continue;
+        }
+        int64_t bytes = static_cast<int64_t>(txn.key.size() + txn.value.size() + 64);
+        net_->SendFifo(leader_id, obs.id, bytes,
+                   [this, obs_ptr, txn] { ApplyOnObserver(obs_ptr, txn); });
+      }
+    }
+  }
+  net_->sim().Schedule(options_.anti_entropy_interval, [this] { AntiEntropyTick(); });
+}
+
+void ZeusEnsemble::Subscribe(const ServerId& proxy, const ServerId& observer,
+                             const std::string& key, UpdateCallback on_update) {
+  Observer* obs = FindObserver(observer);
+  if (obs == nullptr) {
+    return;
+  }
+  // Register the watch at the observer (proxy → observer hop), then deliver
+  // the current value if one exists.
+  int64_t bytes = static_cast<int64_t>(key.size() + 64);
+  net_->Send(proxy, observer, bytes,
+             [this, obs, proxy, key, on_update = std::move(on_update)] {
+               // One watch per (proxy, key): a resubscription (proxy restart,
+               // observer failover) replaces the old registration instead of
+               // stacking duplicate deliveries.
+               std::vector<Watch>& watches = obs->watches[key];
+               bool replaced = false;
+               for (Watch& watch : watches) {
+                 if (watch.proxy == proxy) {
+                   watch.callback = on_update;
+                   replaced = true;
+                   break;
+                 }
+               }
+               if (!replaced) {
+                 watches.push_back(Watch{proxy, on_update});
+               }
+               auto it = obs->data.find(key);
+               if (it == obs->data.end()) {
+                 return;
+               }
+               ZeusTxn txn;
+               txn.zxid = it->second.zxid;
+               txn.key = key;
+               txn.value = it->second.value;
+               int64_t reply_bytes =
+                   static_cast<int64_t>(key.size() + txn.value.size() + 64);
+               net_->SendFifo(obs->id, proxy, reply_bytes,
+                          [on_update, txn = std::move(txn)] { on_update(txn); });
+             });
+}
+
+void ZeusEnsemble::Fetch(const ServerId& proxy, const ServerId& observer,
+                         const std::string& key, FetchCallback done) {
+  Observer* obs = FindObserver(observer);
+  if (obs == nullptr) {
+    done(NotFoundError("no such observer"));
+    return;
+  }
+  if (net_->failures().IsDown(observer)) {
+    done(UnavailableError("observer down"));
+    return;
+  }
+  int64_t bytes = static_cast<int64_t>(key.size() + 64);
+  net_->Send(proxy, observer, bytes, [this, obs, proxy, key, done = std::move(done)] {
+    auto it = obs->data.find(key);
+    if (it == obs->data.end()) {
+      // Reply with NotFound over the network (small message).
+      net_->Send(obs->id, proxy, 64,
+                 [done, key] { done(NotFoundError("no config '" + key + "'")); });
+      return;
+    }
+    ZeusValue value = it->second;
+    int64_t reply_bytes = static_cast<int64_t>(key.size() + value.value.size() + 64);
+    net_->Send(obs->id, proxy, reply_bytes,
+               [done, value = std::move(value)] { done(value); });
+  });
+}
+
+void ZeusEnsemble::Crash(const ServerId& id) {
+  net_->failures().Crash(id);
+  if (id == members_[leader_idx_].id) {
+    StartElection();
+  }
+}
+
+void ZeusEnsemble::Recover(const ServerId& id) { net_->failures().Recover(id); }
+
+ZeusEnsemble::Observer* ZeusEnsemble::FindObserver(const ServerId& id) {
+  for (Observer& obs : observer_states_) {
+    if (obs.id == id) {
+      return &obs;
+    }
+  }
+  return nullptr;
+}
+
+const ZeusEnsemble::Observer* ZeusEnsemble::FindObserver(const ServerId& id) const {
+  for (const Observer& obs : observer_states_) {
+    if (obs.id == id) {
+      return &obs;
+    }
+  }
+  return nullptr;
+}
+
+int64_t ZeusEnsemble::ObserverLastZxid(const ServerId& observer) const {
+  const Observer* obs = FindObserver(observer);
+  return obs == nullptr ? -1 : obs->last_zxid;
+}
+
+ServerId ZeusEnsemble::PickObserverFor(const ServerId& proxy, Rng& rng) const {
+  std::vector<const ServerId*> same_cluster;
+  std::vector<const ServerId*> live;
+  for (const ServerId& obs : observer_ids_) {
+    if (net_->failures().IsDown(obs)) {
+      continue;
+    }
+    live.push_back(&obs);
+    if (obs.region == proxy.region && obs.cluster == proxy.cluster) {
+      same_cluster.push_back(&obs);
+    }
+  }
+  const std::vector<const ServerId*>& pool =
+      !same_cluster.empty() ? same_cluster : live;
+  if (pool.empty()) {
+    return observer_ids_.empty() ? proxy : observer_ids_.front();
+  }
+  return *pool[rng.NextBounded(pool.size())];
+}
+
+}  // namespace configerator

@@ -1,0 +1,157 @@
+// Zeus: the ZooKeeper-like replicated config store at the heart of
+// Configerator's distribution pipeline (paper §3.4).
+//
+// Faithful behaviours:
+//  * A leader and followers form an ensemble; a write commits after a quorum
+//    of acks and is applied in zxid order (the commit log guarantees in-order
+//    delivery of config changes).
+//  * If the leader fails, a follower with the longest committed log is
+//    elected leader after an election delay.
+//  * Observers keep a full read-only replica, fed asynchronously by the
+//    leader; a recovering observer reports its last zxid and receives the
+//    missing suffix (anti-entropy runs periodically).
+//  * Proxies subscribe per-key at an observer of their choice; the observer
+//    pushes updated values down the tree (leader → observer → proxy).
+//
+// Simplifications vs. production ZAB, documented in DESIGN.md: epochs are a
+// counter (no full leader-activation handshake), and the election picks the
+// longest-log live member directly instead of running voting rounds. These
+// do not affect the distribution-latency or fan-out behaviour the paper
+// evaluates.
+
+#ifndef SRC_ZEUS_ZEUS_H_
+#define SRC_ZEUS_ZEUS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// One committed write.
+struct ZeusTxn {
+  int64_t zxid = 0;
+  std::string key;
+  std::string value;
+};
+
+// Value + version returned by reads.
+struct ZeusValue {
+  std::string value;
+  int64_t zxid = 0;
+};
+
+class ZeusEnsemble {
+ public:
+  struct Options {
+    SimTime election_delay = 2 * kSimSecond;
+    SimTime anti_entropy_interval = 1 * kSimSecond;
+    // Extra per-hop processing delay at each tree level (serialization,
+    // fsync of the commit log, etc.).
+    SimTime processing_delay = 2 * kSimMillisecond;
+  };
+
+  using UpdateCallback = std::function<void(const ZeusTxn& txn)>;
+  using WriteCallback = std::function<void(Result<int64_t> zxid)>;
+  using FetchCallback = std::function<void(Result<ZeusValue>)>;
+
+  // `members`: ensemble servers (members[0] starts as leader). `observers`:
+  // observer servers, typically several per cluster. All must be distinct.
+  ZeusEnsemble(Network* net, std::vector<ServerId> members,
+               std::vector<ServerId> observers, Options options);
+  ZeusEnsemble(Network* net, std::vector<ServerId> members,
+               std::vector<ServerId> observers)
+      : ZeusEnsemble(net, std::move(members), std::move(observers), Options{}) {}
+
+  // --- Client (tailer) API ---
+
+  // Proposes key=value from server `from`. `done` fires on commit (with the
+  // zxid) or with kUnavailable if no quorum / no leader.
+  void Write(const ServerId& from, std::string key, std::string value,
+             WriteCallback done);
+
+  // --- Proxy-facing observer API (all via simulated network) ---
+
+  // Registers a persistent subscription for `key` at `observer`; `on_update`
+  // runs on the proxy side for the current value (immediately, as a fetch)
+  // and for every later committed update pushed down the tree.
+  void Subscribe(const ServerId& proxy, const ServerId& observer,
+                 const std::string& key, UpdateCallback on_update);
+
+  // One-shot read of `key` from `observer`.
+  void Fetch(const ServerId& proxy, const ServerId& observer,
+             const std::string& key, FetchCallback done);
+
+  // --- Failure hooks (benches/tests drive these) ---
+
+  // Crash/recover members or observers. Member crash may trigger election on
+  // the next write; observer recovery catches up via anti-entropy.
+  void Crash(const ServerId& id);
+  void Recover(const ServerId& id);
+
+  // --- Introspection ---
+
+  const ServerId& leader() const { return members_[leader_idx_].id; }
+  bool has_quorum() const;
+  int64_t last_committed_zxid() const { return last_committed_zxid_; }
+  int64_t ObserverLastZxid(const ServerId& observer) const;
+  const std::vector<ServerId>& observers() const { return observer_ids_; }
+
+  // Picks the observer co-located with `proxy`'s cluster if one exists,
+  // else a random one (the paper: "randomly picks an observer in the same
+  // cluster").
+  ServerId PickObserverFor(const ServerId& proxy, Rng& rng) const;
+
+ private:
+  struct Member {
+    ServerId id;
+    int64_t last_logged_zxid = 0;
+    std::vector<ZeusTxn> log;  // Committed prefix only (simplification).
+  };
+
+  struct Watch {
+    ServerId proxy;
+    UpdateCallback callback;
+  };
+
+  struct Observer {
+    ServerId id;
+    int64_t last_zxid = 0;
+    // Out-of-order arrivals (holes happen when pushes were dropped while the
+    // observer was down). Applied only once contiguous — ZooKeeper's
+    // in-order delivery guarantee; anti-entropy fills the holes.
+    std::map<int64_t, ZeusTxn> pending;
+    std::unordered_map<std::string, ZeusValue> data;
+    std::unordered_map<std::string, std::vector<Watch>> watches;
+  };
+
+  void CommitOnLeader(std::string key, std::string value, WriteCallback done);
+  void StartElection();
+  void PushToObservers(const ZeusTxn& txn);
+  void ApplyOnObserver(Observer* obs, const ZeusTxn& txn);
+  void AntiEntropyTick();
+  Observer* FindObserver(const ServerId& id);
+  const Observer* FindObserver(const ServerId& id) const;
+  size_t LiveMemberCount() const;
+
+  Network* net_;
+  Options options_;
+  std::vector<Member> members_;
+  std::vector<ServerId> observer_ids_;
+  std::vector<Observer> observer_states_;
+  std::unordered_map<std::string, ZeusValue> committed_;  // Leader KV state.
+  size_t leader_idx_ = 0;
+  int64_t last_committed_zxid_ = 0;
+  bool election_in_progress_ = false;
+  std::deque<std::function<void()>> pending_writes_;  // Queued during election.
+};
+
+}  // namespace configerator
+
+#endif  // SRC_ZEUS_ZEUS_H_

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "src/canary/canary.h"
+#include "src/util/stats.h"
+
+namespace configerator {
+namespace {
+
+class CanaryTest : public ::testing::Test {
+ protected:
+  Status RunCanary(const CanarySpec& spec, ConfigDefect defect,
+                   double severity = 1.0, uint64_t seed = 1) {
+    CanaryService::Options options;
+    options.fleet_size = 200'000;
+    CanaryService service(&sim_, options);
+    DefectServiceModel::Params params;
+    params.severity = severity;
+    DefectServiceModel model(defect, params, seed);
+    Status verdict = InternalError("canary never finished");
+    bool fired = false;
+    service.RunTest(spec, &model, [&](Status s) {
+      verdict = std::move(s);
+      fired = true;
+    });
+    sim_.RunUntilIdle();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(service.active_tests(), 0u);
+    return verdict;
+  }
+
+  Simulator sim_;
+};
+
+TEST_F(CanaryTest, CleanConfigPasses) {
+  EXPECT_TRUE(RunCanary(CanarySpec::Default(), ConfigDefect::kNone).ok());
+}
+
+TEST_F(CanaryTest, ImmediateErrorCaughtInPhaseOne) {
+  Status verdict = RunCanary(CanarySpec::Default(), ConfigDefect::kImmediateError);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), StatusCode::kRejected);
+  EXPECT_NE(verdict.message().find("phase1"), std::string::npos);
+}
+
+TEST_F(CanaryTest, LoadIssueEscapesSmallPhaseOnly) {
+  // The §6.4 incident: with only the 20-server phase, a load-sensitive
+  // defect is invisible (20 / 200k of the fleet barely moves the needle).
+  Status small_only =
+      RunCanary(CanarySpec::SmallOnly(), ConfigDefect::kLoadSensitive);
+  EXPECT_TRUE(small_only.ok());
+}
+
+TEST_F(CanaryTest, LoadIssueCaughtByClusterPhase) {
+  Status full = RunCanary(CanarySpec::Default(), ConfigDefect::kLoadSensitive);
+  ASSERT_FALSE(full.ok());
+  EXPECT_NE(full.message().find("phase2"), std::string::npos);
+}
+
+TEST_F(CanaryTest, LatentCrashCaught) {
+  Status verdict = RunCanary(CanarySpec::Default(), ConfigDefect::kLatentCrash);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_NE(verdict.message().find("crash rate"), std::string::npos);
+}
+
+TEST_F(CanaryTest, TakesRoughlyTenMinutes) {
+  CanaryService service(&sim_, CanaryService::Options{});
+  DefectServiceModel model(ConfigDefect::kNone, DefectServiceModel::Params{}, 2);
+  SimTime finished = 0;
+  service.RunTest(CanarySpec::Default(), &model,
+                  [&](Status) { finished = sim_.now(); });
+  sim_.RunUntilIdle();
+  // Paper: "it takes about ten minutes to go through automated canary tests".
+  EXPECT_GE(finished, 9 * kSimMinute);
+  EXPECT_LE(finished, 12 * kSimMinute);
+}
+
+TEST_F(CanaryTest, EmptySpecRejected) {
+  CanaryService service(&sim_, CanaryService::Options{});
+  DefectServiceModel model(ConfigDefect::kNone, DefectServiceModel::Params{}, 3);
+  Status verdict = OkStatus();
+  service.RunTest(CanarySpec{}, &model, [&](Status s) { verdict = s; });
+  sim_.RunUntilIdle();
+  EXPECT_FALSE(verdict.ok());
+}
+
+TEST_F(CanaryTest, ConcurrentTestsTracked) {
+  CanaryService service(&sim_, CanaryService::Options{});
+  DefectServiceModel model(ConfigDefect::kNone, DefectServiceModel::Params{}, 4);
+  int completed = 0;
+  service.RunTest(CanarySpec::Default(), &model, [&](Status) { ++completed; });
+  service.RunTest(CanarySpec::Default(), &model, [&](Status) { ++completed; });
+  EXPECT_EQ(service.active_tests(), 2u);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(DefectModelTest, NamesCoverAllDefects) {
+  EXPECT_EQ(ConfigDefectName(ConfigDefect::kNone), "none");
+  EXPECT_NE(ConfigDefectName(ConfigDefect::kImmediateError), "?");
+  EXPECT_NE(ConfigDefectName(ConfigDefect::kLoadSensitive), "?");
+  EXPECT_NE(ConfigDefectName(ConfigDefect::kLatentCrash), "?");
+}
+
+TEST(DefectModelTest, ImmediateErrorElevatesCanaryOnly) {
+  DefectServiceModel model(ConfigDefect::kImmediateError,
+                           DefectServiceModel::Params{}, 5);
+  GroupMetrics canary = model.Measure(true, 2000, 200'000);
+  GroupMetrics control = model.Measure(false, 198'000, 200'000);
+  EXPECT_GT(canary.error_rate, control.error_rate * 3);
+}
+
+TEST(DefectModelTest, LoadSensitiveScalesWithDeployedFraction) {
+  DefectServiceModel model(ConfigDefect::kLoadSensitive,
+                           DefectServiceModel::Params{}, 6);
+  GroupMetrics small = model.Measure(true, 20, 200'000);
+  GroupMetrics large = model.Measure(true, 100'000, 200'000);
+  EXPECT_GT(large.latency_ms, small.latency_ms * 2);
+}
+
+// ---- Canary specs as configs (§3.3) -------------------------------------------
+
+TEST(CanarySpecTest, JsonRoundTrip) {
+  CanarySpec spec = CanarySpec::Default();
+  auto parsed = CanarySpec::FromJson(spec.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->phases.size(), spec.phases.size());
+  for (size_t i = 0; i < spec.phases.size(); ++i) {
+    EXPECT_EQ(parsed->phases[i].name, spec.phases[i].name);
+    EXPECT_EQ(parsed->phases[i].num_servers, spec.phases[i].num_servers);
+    EXPECT_EQ(parsed->phases[i].hold_time, spec.phases[i].hold_time);
+    EXPECT_DOUBLE_EQ(parsed->phases[i].max_error_rate_ratio,
+                     spec.phases[i].max_error_rate_ratio);
+  }
+}
+
+TEST(CanarySpecTest, ParsesHandWrittenSpec) {
+  auto json = Json::Parse(R"({
+    "phases": [
+      {"num_servers": 10, "hold_time_s": 60},
+      {"name": "cluster", "num_servers": 5000, "hold_time_s": 300,
+       "max_latency_ratio": 1.2}
+    ]
+  })");
+  ASSERT_TRUE(json.ok());
+  auto spec = CanarySpec::FromJson(*json);
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0].name, "phase1");  // Auto-named.
+  EXPECT_EQ(spec->phases[0].hold_time, 60 * kSimSecond);
+  EXPECT_EQ(spec->phases[1].num_servers, 5000u);
+  EXPECT_DOUBLE_EQ(spec->phases[1].max_latency_ratio, 1.2);
+  // Unspecified predicates keep defaults.
+  EXPECT_DOUBLE_EQ(spec->phases[1].max_error_rate_ratio, 1.5);
+}
+
+TEST(CanarySpecTest, RejectsMalformedSpecs) {
+  for (const char* bad : {
+           R"({})",
+           R"({"phases": []})",
+           R"({"phases": [{"num_servers": 0}]})",
+           R"({"phases": [{"num_servers": 10, "hold_time_s": -5}]})",
+           // Phases must grow.
+           R"({"phases": [{"num_servers": 100}, {"num_servers": 20}]})",
+           R"({"phases": [{"num_servers": 10, "max_crash_rate": -1}]})",
+       }) {
+    auto json = Json::Parse(bad);
+    ASSERT_TRUE(json.ok()) << bad;
+    EXPECT_FALSE(CanarySpec::FromJson(*json).ok()) << bad;
+  }
+}
+
+TEST(CanarySpecTest, ParsedSpecDrivesService) {
+  auto json = Json::Parse(
+      R"({"phases": [{"num_servers": 20, "hold_time_s": 30}]})");
+  auto spec = CanarySpec::FromJson(*json);
+  ASSERT_TRUE(spec.ok());
+  Simulator sim;
+  CanaryService service(&sim, CanaryService::Options{});
+  DefectServiceModel model(ConfigDefect::kNone, DefectServiceModel::Params{}, 9);
+  Status verdict = InternalError("pending");
+  service.RunTest(*spec, &model, [&](Status s) { verdict = std::move(s); });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(verdict.ok());
+  EXPECT_LT(sim.now(), 2 * kSimMinute);  // 30s hold + deploy, not 10min.
+}
+
+TEST(DefectModelTest, NoiseShrinksWithGroupSize) {
+  DefectServiceModel::Params params;
+  DefectServiceModel model(ConfigDefect::kNone, params, 7);
+  OnlineStats small_stats;
+  OnlineStats large_stats;
+  for (int i = 0; i < 300; ++i) {
+    small_stats.Add(model.Measure(true, 20, 200'000).latency_ms);
+    large_stats.Add(model.Measure(true, 20'000, 200'000).latency_ms);
+  }
+  EXPECT_GT(small_stats.stddev(), large_stats.stddev() * 3);
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,0 +1,686 @@
+#include <gtest/gtest.h>
+
+#include "src/lang/builtins.h"
+#include "src/lang/interp.h"
+#include "src/lang/lexer.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+namespace {
+
+// Evaluates a CSL module and returns the resulting globals (no imports).
+class LangTest : public ::testing::Test {
+ protected:
+  // Runs `source`; on success `globals_` holds the module bindings.
+  Status Run(const std::string& source) {
+    interp_ = std::make_unique<Interp>(registry_.get(), Interp::Hooks{});
+    auto module = ParseCsl(source, "test.cconf");
+    if (!module.ok()) {
+      return module.status();
+    }
+    module_ = *module;  // Keep AST alive for closures.
+    globals_ = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    return interp_->EvalModule(*module_, globals_, /*exports_enabled=*/true);
+  }
+
+  Value Get(const std::string& name) {
+    Value* v = globals_->Find(name);
+    EXPECT_NE(v, nullptr) << "undefined: " << name;
+    return v == nullptr ? Value::Null() : *v;
+  }
+
+  std::unique_ptr<SchemaRegistry> registry_;
+  std::unique_ptr<Interp> interp_;
+  std::shared_ptr<Module> module_;
+  std::shared_ptr<Environment> globals_;
+};
+
+// ---- Lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasics) {
+  auto tokens = TokenizeCsl("x = 1 + 2.5\n", "t");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 6u);
+  EXPECT_EQ((*tokens)[0].kind, CslToken::Kind::kName);
+  EXPECT_EQ((*tokens)[0].text, "x");
+  EXPECT_TRUE((*tokens)[1].IsOp("="));
+  EXPECT_EQ((*tokens)[2].kind, CslToken::Kind::kInt);
+  EXPECT_TRUE((*tokens)[3].IsOp("+"));
+  EXPECT_EQ((*tokens)[4].kind, CslToken::Kind::kFloat);
+}
+
+TEST(LexerTest, IndentDedent) {
+  auto tokens = TokenizeCsl("if x:\n    y = 1\nz = 2\n", "t");
+  ASSERT_TRUE(tokens.ok());
+  int indents = 0;
+  int dedents = 0;
+  for (const CslToken& tok : *tokens) {
+    if (tok.kind == CslToken::Kind::kIndent) {
+      ++indents;
+    }
+    if (tok.kind == CslToken::Kind::kDedent) {
+      ++dedents;
+    }
+  }
+  EXPECT_EQ(indents, 1);
+  EXPECT_EQ(dedents, 1);
+}
+
+TEST(LexerTest, BlankAndCommentLinesDontAffectIndentation) {
+  auto tokens = TokenizeCsl("if x:\n    a = 1\n\n    # comment\n    b = 2\n", "t");
+  ASSERT_TRUE(tokens.ok());
+  int dedents = 0;
+  for (const CslToken& tok : *tokens) {
+    if (tok.kind == CslToken::Kind::kDedent) {
+      ++dedents;
+    }
+  }
+  EXPECT_EQ(dedents, 1);  // Only the final dedent at EOF.
+}
+
+TEST(LexerTest, ImplicitLineJoiningInBrackets) {
+  auto tokens = TokenizeCsl("x = [1,\n     2,\n     3]\n", "t");
+  ASSERT_TRUE(tokens.ok());
+  int newlines = 0;
+  for (const CslToken& tok : *tokens) {
+    if (tok.kind == CslToken::Kind::kNewline) {
+      ++newlines;
+    }
+  }
+  EXPECT_EQ(newlines, 1);  // Only the final logical newline.
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = TokenizeCsl(R"(s = "a\nb\t\"c\"")"
+                            "\n",
+                            "t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "a\nb\t\"c\"");
+}
+
+TEST(LexerTest, TripleQuotedString) {
+  auto tokens = TokenizeCsl("s = \"\"\"line1\nline2\"\"\"\n", "t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].text, "line1\nline2");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(TokenizeCsl("s = \"oops\n", "t").ok());
+}
+
+TEST(LexerTest, InconsistentIndentationFails) {
+  EXPECT_FALSE(TokenizeCsl("if x:\n    a = 1\n  b = 2\n", "t").ok());
+}
+
+// ---- Expressions ------------------------------------------------------------
+
+TEST_F(LangTest, Arithmetic) {
+  ASSERT_TRUE(Run("a = 2 + 3 * 4\n"
+                  "b = (2 + 3) * 4\n"
+                  "c = 7 / 2\n"
+                  "d = 7 // 2\n"
+                  "e = 7 % 3\n"
+                  "f = -5 + 1\n"
+                  "g = 2.5 * 2\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_int(), 14);
+  EXPECT_EQ(Get("b").as_int(), 20);
+  EXPECT_DOUBLE_EQ(Get("c").as_double(), 3.5);
+  EXPECT_EQ(Get("d").as_int(), 3);
+  EXPECT_EQ(Get("e").as_int(), 1);
+  EXPECT_EQ(Get("f").as_int(), -4);
+  EXPECT_DOUBLE_EQ(Get("g").as_double(), 5.0);
+}
+
+TEST_F(LangTest, PythonFloorDivAndModSemantics) {
+  ASSERT_TRUE(Run("a = -7 // 2\nb = -7 % 2\nc = 7 % -2\n").ok());
+  EXPECT_EQ(Get("a").as_int(), -4);
+  EXPECT_EQ(Get("b").as_int(), 1);
+  EXPECT_EQ(Get("c").as_int(), -1);
+}
+
+TEST_F(LangTest, DivisionByZeroFails) {
+  EXPECT_FALSE(Run("a = 1 / 0\n").ok());
+  EXPECT_FALSE(Run("a = 1 % 0\n").ok());
+}
+
+TEST_F(LangTest, StringOperations) {
+  ASSERT_TRUE(Run("a = \"foo\" + \"bar\"\n"
+                  "b = \"ab\" * 3\n"
+                  "c = \"ll\" in \"hello\"\n"
+                  "d = \"hello\"[1]\n"
+                  "e = \"hello\"[-1]\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_string(), "foobar");
+  EXPECT_EQ(Get("b").as_string(), "ababab");
+  EXPECT_TRUE(Get("c").as_bool());
+  EXPECT_EQ(Get("d").as_string(), "e");
+  EXPECT_EQ(Get("e").as_string(), "o");
+}
+
+TEST_F(LangTest, Comparisons) {
+  ASSERT_TRUE(Run("a = 1 < 2\n"
+                  "b = 2 <= 2\n"
+                  "c = \"a\" < \"b\"\n"
+                  "d = 1 == 1.0\n"
+                  "e = [1, 2] == [1, 2]\n"
+                  "f = {\"x\": 1} == {\"x\": 1}\n"
+                  "g = 3 != 4\n")
+                  .ok());
+  for (const char* name : {"a", "b", "c", "d", "e", "f", "g"}) {
+    EXPECT_TRUE(Get(name).as_bool()) << name;
+  }
+}
+
+TEST_F(LangTest, LogicalOperatorsShortCircuit) {
+  // `or` returns the deciding operand; the divide-by-zero never evaluates.
+  ASSERT_TRUE(Run("a = True or (1 / 0)\n"
+                  "b = False and (1 / 0)\n"
+                  "c = not False\n"
+                  "d = 0 or \"fallback\"\n")
+                  .ok());
+  EXPECT_TRUE(Get("a").as_bool());
+  EXPECT_FALSE(Get("b").as_bool());
+  EXPECT_TRUE(Get("c").as_bool());
+  EXPECT_EQ(Get("d").as_string(), "fallback");
+}
+
+TEST_F(LangTest, TernaryExpression) {
+  ASSERT_TRUE(Run("a = \"big\" if 10 > 5 else \"small\"\n"
+                  "b = \"big\" if 1 > 5 else \"small\"\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_string(), "big");
+  EXPECT_EQ(Get("b").as_string(), "small");
+}
+
+TEST_F(LangTest, InOperator) {
+  ASSERT_TRUE(Run("a = 2 in [1, 2, 3]\n"
+                  "b = \"k\" in {\"k\": 1}\n"
+                  "c = 5 not in [1, 2]\n")
+                  .ok());
+  EXPECT_TRUE(Get("a").as_bool());
+  EXPECT_TRUE(Get("b").as_bool());
+  EXPECT_TRUE(Get("c").as_bool());
+}
+
+TEST_F(LangTest, ListsAndDicts) {
+  ASSERT_TRUE(Run("l = [1, 2, 3]\n"
+                  "l[1] = 20\n"
+                  "d = {\"a\": 1}\n"
+                  "d[\"b\"] = 2\n"
+                  "x = l[1] + d[\"b\"]\n"
+                  "n = len(l) + len(d)\n")
+                  .ok());
+  EXPECT_EQ(Get("x").as_int(), 22);
+  EXPECT_EQ(Get("n").as_int(), 5);
+}
+
+TEST_F(LangTest, ReferenceSemanticsForContainers) {
+  ASSERT_TRUE(Run("a = {\"x\": 1}\n"
+                  "b = a\n"
+                  "b[\"x\"] = 99\n"
+                  "v = a[\"x\"]\n")
+                  .ok());
+  EXPECT_EQ(Get("v").as_int(), 99);
+}
+
+TEST_F(LangTest, AttributeAccessOnDicts) {
+  ASSERT_TRUE(Run("cfg = {\"port\": 8089}\n"
+                  "p = cfg.port\n"
+                  "cfg.port = 9090\n"
+                  "q = cfg[\"port\"]\n")
+                  .ok());
+  EXPECT_EQ(Get("p").as_int(), 8089);
+  EXPECT_EQ(Get("q").as_int(), 9090);
+}
+
+TEST_F(LangTest, IndexOutOfRangeFails) {
+  EXPECT_FALSE(Run("a = [1][5]\n").ok());
+  EXPECT_FALSE(Run("a = {\"x\": 1}[\"y\"]\n").ok());
+}
+
+TEST_F(LangTest, UndefinedNameFails) {
+  Status s = Run("a = nosuchname\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nosuchname"), std::string::npos);
+}
+
+// ---- Statements -------------------------------------------------------------
+
+TEST_F(LangTest, IfElifElse) {
+  ASSERT_TRUE(Run("x = 7\n"
+                  "if x > 10:\n"
+                  "    r = \"big\"\n"
+                  "elif x > 5:\n"
+                  "    r = \"medium\"\n"
+                  "else:\n"
+                  "    r = \"small\"\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_string(), "medium");
+}
+
+TEST_F(LangTest, ForLoopOverList) {
+  ASSERT_TRUE(Run("total = 0\n"
+                  "for x in [1, 2, 3, 4]:\n"
+                  "    total = total + x\n")
+                  .ok());
+  EXPECT_EQ(Get("total").as_int(), 10);
+}
+
+TEST_F(LangTest, ForLoopOverRangeWithBreakContinue) {
+  ASSERT_TRUE(Run("total = 0\n"
+                  "for i in range(10):\n"
+                  "    if i == 3:\n"
+                  "        continue\n"
+                  "    if i == 6:\n"
+                  "        break\n"
+                  "    total = total + i\n")
+                  .ok());
+  EXPECT_EQ(Get("total").as_int(), 0 + 1 + 2 + 4 + 5);
+}
+
+TEST_F(LangTest, ForLoopUnpacking) {
+  ASSERT_TRUE(Run("acc = \"\"\n"
+                  "for k, v in items({\"a\": 1, \"b\": 2}):\n"
+                  "    acc = acc + k + str(v)\n")
+                  .ok());
+  EXPECT_EQ(Get("acc").as_string(), "a1b2");
+}
+
+TEST_F(LangTest, ForLoopOverDictYieldsKeys) {
+  ASSERT_TRUE(Run("acc = \"\"\n"
+                  "for k in {\"b\": 1, \"a\": 2}:\n"
+                  "    acc = acc + k\n")
+                  .ok());
+  EXPECT_EQ(Get("acc").as_string(), "ab");  // Sorted (deterministic).
+}
+
+TEST_F(LangTest, WhileLoop) {
+  ASSERT_TRUE(Run("n = 0\n"
+                  "while n < 5:\n"
+                  "    n = n + 1\n")
+                  .ok());
+  EXPECT_EQ(Get("n").as_int(), 5);
+}
+
+TEST_F(LangTest, InfiniteLoopHitsStepLimit) {
+  interp_ = std::make_unique<Interp>(nullptr, Interp::Hooks{});
+  auto module = ParseCsl("while True:\n    pass\n", "t");
+  ASSERT_TRUE(module.ok());
+  interp_->set_step_limit(10'000);
+  auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+  Status s = interp_->EvalModule(**module, globals, false);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("step limit"), std::string::npos);
+}
+
+TEST_F(LangTest, AugmentedAssignment) {
+  ASSERT_TRUE(Run("x = 10\n"
+                  "x += 5\n"
+                  "x -= 3\n"
+                  "x *= 2\n"
+                  "d = {\"n\": 1}\n"
+                  "d[\"n\"] += 10\n")
+                  .ok());
+  EXPECT_EQ(Get("x").as_int(), 24);
+  EXPECT_EQ(Get("d").as_dict().at("n").as_int(), 11);
+}
+
+TEST_F(LangTest, AssertPassesAndFails) {
+  EXPECT_TRUE(Run("assert 1 < 2, \"math works\"\n").ok());
+  Status s = Run("assert 2 < 1, \"custom failure message\"\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("custom failure message"), std::string::npos);
+}
+
+// ---- Functions --------------------------------------------------------------
+
+TEST_F(LangTest, FunctionDefinitionAndCall) {
+  ASSERT_TRUE(Run("def add(a, b):\n"
+                  "    return a + b\n"
+                  "r = add(2, 3)\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_int(), 5);
+}
+
+TEST_F(LangTest, KeywordArgumentsAndDefaults) {
+  ASSERT_TRUE(Run("def make(name, size=10, tag=\"x\"):\n"
+                  "    return {\"name\": name, \"size\": size, \"tag\": tag}\n"
+                  "a = make(\"cache\")\n"
+                  "b = make(\"db\", tag=\"y\")\n"
+                  "c = make(size=1, name=\"q\")\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_dict().at("size").as_int(), 10);
+  EXPECT_EQ(Get("b").as_dict().at("tag").as_string(), "y");
+  EXPECT_EQ(Get("c").as_dict().at("size").as_int(), 1);
+}
+
+TEST_F(LangTest, MissingArgumentFails) {
+  Status s = Run("def f(a):\n    return a\nr = f()\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing required argument"), std::string::npos);
+}
+
+TEST_F(LangTest, UnknownKeywordFails) {
+  Status s = Run("def f(a):\n    return a\nr = f(a=1, b=2)\n");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(LangTest, DuplicateBindingFails) {
+  Status s = Run("def f(a):\n    return a\nr = f(1, a=2)\n");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(LangTest, DuplicateKeywordArgumentRejectedAtParse) {
+  Status s = Run("def f(a, b=1):\n    return a\nr = f(a=1, a=2)\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("duplicate keyword"), std::string::npos);
+}
+
+TEST_F(LangTest, NestedAttributeAssignment) {
+  ASSERT_TRUE(Run("cfg = {\"outer\": {\"inner\": {\"v\": 1}}}\n"
+                  "cfg.outer.inner.v = 42\n"
+                  "r = cfg[\"outer\"][\"inner\"][\"v\"]\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_int(), 42);
+}
+
+TEST_F(LangTest, ClosuresCaptureEnvironment) {
+  ASSERT_TRUE(Run("base = 100\n"
+                  "def adder(x):\n"
+                  "    return base + x\n"
+                  "r = adder(5)\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_int(), 105);
+}
+
+TEST_F(LangTest, RecursionWorksAndIsBounded) {
+  ASSERT_TRUE(Run("def fact(n):\n"
+                  "    if n <= 1:\n"
+                  "        return 1\n"
+                  "    return n * fact(n - 1)\n"
+                  "r = fact(10)\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_int(), 3628800);
+
+  Status s = Run("def loop(n):\n    return loop(n + 1)\nr = loop(0)\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("recursion"), std::string::npos);
+}
+
+TEST_F(LangTest, ReturnWithoutValueGivesNone) {
+  ASSERT_TRUE(Run("def f():\n    return\nr = f()\n").ok());
+  EXPECT_TRUE(Get("r").is_null());
+}
+
+TEST_F(LangTest, FunctionsAreValues) {
+  ASSERT_TRUE(Run("def double(x):\n"
+                  "    return x * 2\n"
+                  "def apply(f, v):\n"
+                  "    return f(v)\n"
+                  "r = apply(double, 21)\n")
+                  .ok());
+  EXPECT_EQ(Get("r").as_int(), 42);
+}
+
+// ---- Builtins ---------------------------------------------------------------
+
+TEST_F(LangTest, BuiltinConversions) {
+  ASSERT_TRUE(Run("a = int(\"42\")\n"
+                  "b = float(\"2.5\")\n"
+                  "c = str(7)\n"
+                  "d = int(3.9)\n"
+                  "e = abs(-4)\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_int(), 42);
+  EXPECT_DOUBLE_EQ(Get("b").as_double(), 2.5);
+  EXPECT_EQ(Get("c").as_string(), "7");
+  EXPECT_EQ(Get("d").as_int(), 3);
+  EXPECT_EQ(Get("e").as_int(), 4);
+}
+
+TEST_F(LangTest, BuiltinIntRejectsGarbage) {
+  EXPECT_FALSE(Run("a = int(\"4x\")\n").ok());
+}
+
+TEST_F(LangTest, BuiltinCollections) {
+  ASSERT_TRUE(Run("l = [3, 1, 2]\n"
+                  "s = sorted(l)\n"
+                  "mn = min(l)\n"
+                  "mx = max(1, 9, 4)\n"
+                  "append(l, 10)\n"
+                  "extend(l, [11, 12])\n"
+                  "n = len(l)\n"
+                  "ks = keys({\"b\": 1, \"a\": 2})\n"
+                  "vs = values({\"b\": 1, \"a\": 2})\n"
+                  "g1 = get({\"a\": 5}, \"a\")\n"
+                  "g2 = get({\"a\": 5}, \"z\", -1)\n"
+                  "hk = has_key({\"a\": 5}, \"a\")\n")
+                  .ok());
+  EXPECT_EQ(Get("s").as_list()[0].as_int(), 1);
+  EXPECT_EQ(Get("mn").as_int(), 1);
+  EXPECT_EQ(Get("mx").as_int(), 9);
+  EXPECT_EQ(Get("n").as_int(), 6);
+  EXPECT_EQ(Get("ks").as_list()[0].as_string(), "a");
+  EXPECT_EQ(Get("vs").as_list()[0].as_int(), 2);
+  EXPECT_EQ(Get("g1").as_int(), 5);
+  EXPECT_EQ(Get("g2").as_int(), -1);
+  EXPECT_TRUE(Get("hk").as_bool());
+}
+
+TEST_F(LangTest, BuiltinStringHelpers) {
+  ASSERT_TRUE(Run("j = join(\",\", [\"a\", \"b\"])\n"
+                  "sp = split(\"a-b-c\", \"-\")\n"
+                  "f = format(\"{} has {} cores\", \"host\", 8)\n")
+                  .ok());
+  EXPECT_EQ(Get("j").as_string(), "a,b");
+  EXPECT_EQ(Get("sp").as_list().size(), 3u);
+  EXPECT_EQ(Get("f").as_string(), "host has 8 cores");
+}
+
+TEST_F(LangTest, BuiltinFail) {
+  Status s = Run("fail(\"deliberate\")\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("deliberate"), std::string::npos);
+}
+
+TEST_F(LangTest, StringBuiltins) {
+  ASSERT_TRUE(Run("a = startswith(\"feed/cache.json\", \"feed/\")\n"
+                  "b = endswith(\"cache.json\", \".json\")\n"
+                  "c = upper(\"abc\")\n"
+                  "d = lower(\"AbC\")\n"
+                  "e = strip(\"  x \")\n"
+                  "f = replace(\"a-b-c\", \"-\", \"/\")\n")
+                  .ok());
+  EXPECT_TRUE(Get("a").as_bool());
+  EXPECT_TRUE(Get("b").as_bool());
+  EXPECT_EQ(Get("c").as_string(), "ABC");
+  EXPECT_EQ(Get("d").as_string(), "abc");
+  EXPECT_EQ(Get("e").as_string(), "x");
+  EXPECT_EQ(Get("f").as_string(), "a/b/c");
+}
+
+TEST_F(LangTest, StringBuiltinsRejectBadArgs) {
+  EXPECT_FALSE(Run("x = startswith(1, \"a\")\n").ok());
+  EXPECT_FALSE(Run("x = replace(\"s\", \"\", \"y\")\n").ok());
+  EXPECT_FALSE(Run("x = upper(3)\n").ok());
+}
+
+TEST_F(LangTest, MergeDeepMergesDicts) {
+  ASSERT_TRUE(Run("base = {\"a\": 1, \"nested\": {\"x\": 1, \"y\": 2},"
+                  " \"list\": [1, 2]}\n"
+                  "child = merge(base, {\"b\": 9, \"nested\": {\"y\": 20},"
+                  " \"list\": [3]})\n")
+                  .ok());
+  const Value::Dict& child = Get("child").as_dict();
+  EXPECT_EQ(child.at("a").as_int(), 1);                       // Inherited.
+  EXPECT_EQ(child.at("b").as_int(), 9);                       // Added.
+  EXPECT_EQ(child.at("nested").as_dict().at("x").as_int(), 1);  // Kept.
+  EXPECT_EQ(child.at("nested").as_dict().at("y").as_int(), 20);  // Overridden.
+  EXPECT_EQ(child.at("list").as_list().size(), 1u);  // Lists replaced whole.
+}
+
+TEST_F(LangTest, MergeDoesNotMutateBase) {
+  ASSERT_TRUE(Run("base = {\"a\": 1}\n"
+                  "child = merge(base, {\"a\": 2})\n"
+                  "orig = base[\"a\"]\n")
+                  .ok());
+  EXPECT_EQ(Get("orig").as_int(), 1);
+  EXPECT_EQ(Get("child").as_dict().at("a").as_int(), 2);
+}
+
+TEST_F(LangTest, MergeRequiresDicts) {
+  EXPECT_FALSE(Run("x = merge({\"a\": 1}, [1])\n").ok());
+  EXPECT_FALSE(Run("x = merge(1, {\"a\": 1})\n").ok());
+}
+
+TEST_F(LangTest, RangeVariants) {
+  ASSERT_TRUE(Run("a = range(3)\n"
+                  "b = range(2, 5)\n"
+                  "c = range(10, 0, -3)\n")
+                  .ok());
+  EXPECT_EQ(Get("a").as_list().size(), 3u);
+  EXPECT_EQ(Get("b").as_list()[0].as_int(), 2);
+  EXPECT_EQ(Get("c").as_list().size(), 4u);  // 10, 7, 4, 1.
+}
+
+// ---- Schema constructors ----------------------------------------------------
+
+class LangSchemaTest : public LangTest {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<SchemaRegistry>();
+    ASSERT_TRUE(registry_
+                    ->ParseAndRegister(
+                        "enum Level { LOW = 0, HIGH = 5 }\n"
+                        "struct Job { 1: required string name; "
+                        "2: optional i32 cpu = 1; 3: optional Level level; }",
+                        "job.thrift")
+                    .ok());
+  }
+};
+
+TEST_F(LangSchemaTest, ConstructorBuildsTypedValue) {
+  ASSERT_TRUE(Run("j = Job(name=\"cache\", cpu=4)\n"
+                  "n = j.name\n")
+                  .ok());
+  EXPECT_EQ(Get("j").type_name(), "Job");
+  EXPECT_EQ(Get("n").as_string(), "cache");
+}
+
+TEST_F(LangSchemaTest, ConstructorRejectsUnknownField) {
+  Status s = Run("j = Job(nmae=\"typo\")\n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("nmae"), std::string::npos);
+}
+
+TEST_F(LangSchemaTest, ConstructorRejectsPositionalArgs) {
+  EXPECT_FALSE(Run("j = Job(\"cache\")\n").ok());
+}
+
+TEST_F(LangSchemaTest, EnumNamespace) {
+  ASSERT_TRUE(Run("v = Level.HIGH\n").ok());
+  EXPECT_EQ(Get("v").as_int(), 5);
+}
+
+TEST_F(LangSchemaTest, EnumUnknownValueFails) {
+  EXPECT_FALSE(Run("v = Level.MEDIUM\n").ok());
+}
+
+// ---- Robustness: random inputs never crash the front end ----------------------
+
+class LangFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LangFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* fragments[] = {
+      "def ",   "return ", "if ",  "else:",  "for ",  "in ",    "while ",
+      "x",      "y",       "f",    "(",      ")",     "[",      "]",
+      "{",      "}",       ":",    ",",      "=",     "==",     "+",
+      "-",      "*",       "/",    "\"s\"",  "42",    "3.5",    "True",
+      "None",   "not ",    "and ", "or ",    "\n",    "    ",   "assert ",
+      "import_python", "export_if_last", ".", "%",    "//",     "<=",
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string source;
+    size_t n = 1 + rng.NextBounded(40);
+    for (size_t i = 0; i < n; ++i) {
+      source += fragments[rng.NextBounded(std::size(fragments))];
+    }
+    source += "\n";
+    // Must not crash; errors are fine. If it parses, evaluation (with a
+    // tight step budget) must not crash either.
+    auto module = ParseCsl(source, "fuzz");
+    if (!module.ok()) {
+      continue;
+    }
+    Interp interp(nullptr, Interp::Hooks{});
+    interp.set_step_limit(50'000);
+    auto globals = interp.NewEnvironment(interp.MakeBaseEnvironment());
+    (void)interp.EvalModule(**module, globals, false);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LangFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Value model ------------------------------------------------------------
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Bool(false).Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_FALSE(Value::Str("").Truthy());
+  EXPECT_FALSE(Value::MakeList().Truthy());
+  EXPECT_FALSE(Value::MakeDict().Truthy());
+  EXPECT_TRUE(Value::Bool(true).Truthy());
+  EXPECT_TRUE(Value::Int(-1).Truthy());
+  EXPECT_TRUE(Value::Str("x").Truthy());
+}
+
+TEST(ValueTest, JsonRoundTrip) {
+  auto json = Json::Parse(R"({"a": [1, 2.5, "x", true, null], "b": {"c": 1}})");
+  ASSERT_TRUE(json.ok());
+  Value value = Value::FromJson(*json);
+  auto back = value.ToJson();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*json, *back);
+}
+
+TEST(ValueTest, SelfReferentialContainersAreSafe) {
+  // The language allows `d["self"] = d`; export must fail cleanly (not
+  // recurse forever), debug rendering must truncate, and self-comparison
+  // must terminate. (The cycles are broken manually below — reference
+  // counting cannot reclaim them, a documented language limitation.)
+  Value d = Value::MakeDict();
+  d.as_dict()["self"] = d;
+  auto json = d.ToJson();
+  ASSERT_FALSE(json.ok());
+  EXPECT_NE(json.status().message().find("depth limit"), std::string::npos);
+  EXPECT_FALSE(d.ToDebugString().empty());
+  EXPECT_TRUE(d.Equals(d));
+
+  Value l = Value::MakeList();
+  l.as_list().push_back(l);
+  EXPECT_FALSE(l.ToJson().ok());
+  EXPECT_TRUE(l.Equals(l));
+
+  d.as_dict().clear();
+  l.as_list().clear();
+}
+
+TEST(ValueTest, FunctionsDontSerialize) {
+  Value fn = Value::MakeNative("f", [](std::vector<Value>&,
+                                       std::map<std::string, Value>&)
+                                   -> Result<Value> { return Value::Null(); });
+  EXPECT_FALSE(fn.ToJson().ok());
+}
+
+TEST(ValueTest, DebugStrings) {
+  EXPECT_EQ(Value::Int(3).ToDebugString(), "3");
+  EXPECT_EQ(Value::Bool(true).ToDebugString(), "True");
+  EXPECT_EQ(Value::Null().ToDebugString(), "None");
+  EXPECT_EQ(Value::MakeList({Value::Int(1)}).ToDebugString(), "[1]");
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "src/mobile/mobileconfig.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+namespace {
+
+MobileSchema MakeSchemaV1() {
+  MobileSchema schema;
+  schema.config_name = "MY_CONFIG";
+  schema.fields = {{"FEATURE_X", MobileFieldType::kBool},
+                   {"VOIP_ECHO", MobileFieldType::kInt},
+                   {"GREETING", MobileFieldType::kString}};
+  return schema;
+}
+
+UserContext MakeDevice(int64_t id, const std::string& device = "iphone6") {
+  UserContext ctx;
+  ctx.user_id = id;
+  ctx.device = device;
+  ctx.platform = "ios";
+  ctx.app = "messenger";
+  return ctx;
+}
+
+class MobileConfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    translation_.Bind("MY_CONFIG", "FEATURE_X",
+                      FieldBinding::Constant(Json(false)));
+    translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                      FieldBinding::Constant(Json(int64_t{50})));
+    translation_.Bind("MY_CONFIG", "GREETING",
+                      FieldBinding::Constant(Json("hello")));
+    server_ = std::make_unique<MobileConfigServer>(&translation_, &gatekeeper_,
+                                                   nullptr);
+    server_->RegisterSchema(MakeSchemaV1());
+  }
+
+  TranslationLayer translation_;
+  GatekeeperRuntime gatekeeper_;
+  std::unique_ptr<MobileConfigServer> server_;
+};
+
+TEST_F(MobileConfigTest, SchemaHashStableAndVersionSensitive) {
+  MobileSchema v1 = MakeSchemaV1();
+  EXPECT_EQ(v1.Hash(), MakeSchemaV1().Hash());
+  MobileSchema v2 = v1;
+  v2.fields.push_back({"NEW_FIELD", MobileFieldType::kDouble});
+  EXPECT_NE(v1.Hash(), v2.Hash());
+  MobileSchema retyped = v1;
+  retyped.fields[0].type = MobileFieldType::kInt;
+  EXPECT_NE(v1.Hash(), retyped.Hash());
+}
+
+TEST_F(MobileConfigTest, FirstSyncFetchesValues) {
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  EXPECT_FALSE(client.has_values());
+  EXPECT_EQ(client.getInt("VOIP_ECHO", -1), -1);  // Default before sync.
+
+  auto changed = client.Sync(*server_);
+  ASSERT_TRUE(changed.ok()) << changed.status();
+  EXPECT_TRUE(*changed);
+  EXPECT_EQ(client.getInt("VOIP_ECHO"), 50);
+  EXPECT_EQ(client.getBool("FEATURE_X", true), false);
+  EXPECT_EQ(client.getString("GREETING"), "hello");
+}
+
+TEST_F(MobileConfigTest, UnchangedSyncIsCheap) {
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(client.Sync(*server_).ok());
+  uint64_t bytes_after_first = client.bytes_transferred();
+
+  auto changed = client.Sync(*server_);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*changed);
+  // The second round transferred only hashes, far less than the values.
+  uint64_t second_round = client.bytes_transferred() - bytes_after_first;
+  EXPECT_LT(second_round, bytes_after_first);
+  EXPECT_EQ(server_->unchanged_responses(), 1u);
+}
+
+TEST_F(MobileConfigTest, BindingChangePropagatesOnNextSync) {
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(client.Sync(*server_).ok());
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                    FieldBinding::Constant(Json(int64_t{80})));
+  auto changed = client.Sync(*server_);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_TRUE(*changed);
+  EXPECT_EQ(client.getInt("VOIP_ECHO"), 80);
+}
+
+TEST_F(MobileConfigTest, EmergencyPushForcesSync) {
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(client.Sync(*server_).ok());
+  // A buggy feature gets disabled server-side...
+  translation_.Bind("MY_CONFIG", "FEATURE_X",
+                    FieldBinding::Constant(Json(true)));
+  // ...and the push notification triggers an immediate pull.
+  auto changed = client.OnEmergencyPush(*server_);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_TRUE(*changed);
+  EXPECT_TRUE(client.getBool("FEATURE_X"));
+}
+
+TEST_F(MobileConfigTest, GatekeeperBackedField) {
+  ASSERT_TRUE(gatekeeper_
+                  .LoadProject(*Json::Parse(R"({
+                    "project": "ProjX",
+                    "rules": [{"restraints": [
+                      {"type": "platform", "params": {"platforms": ["ios"]}}],
+                      "pass_probability": 1.0}]
+                  })"))
+                  .ok());
+  translation_.Bind("MY_CONFIG", "FEATURE_X",
+                    FieldBinding::Gatekeeper("ProjX"));
+  MobileConfigClient ios_client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(ios_client.Sync(*server_).ok());
+  EXPECT_TRUE(ios_client.getBool("FEATURE_X"));
+
+  UserContext android = MakeDevice(2, "pixel");
+  android.platform = "android";
+  MobileConfigClient android_client(MakeSchemaV1(), android);
+  ASSERT_TRUE(android_client.Sync(*server_).ok());
+  EXPECT_FALSE(android_client.getBool("FEATURE_X"));
+}
+
+TEST_F(MobileConfigTest, ExperimentBackedParameter) {
+  // The paper's VOIP_ECHO example: different if-branches give different
+  // parameter values per device model.
+  for (const char* device : {"iphone6", "galaxy_s5"}) {
+    Json project = *Json::Parse(
+        std::string(R"({"project": "ECHO_)") + device + R"(",
+          "rules": [{"restraints": [
+            {"type": "device", "params": {"devices": [")" + device + R"("]}}],
+            "pass_probability": 1.0}]})");
+    ASSERT_TRUE(gatekeeper_.LoadProject(project).ok());
+  }
+  FieldBinding experiment;
+  experiment.kind = FieldBinding::Kind::kExperiment;
+  experiment.constant = Json(int64_t{50});  // Default arm.
+  experiment.arms = {{"ECHO_iphone6", Json(int64_t{30})},
+                     {"ECHO_galaxy_s5", Json(int64_t{70})}};
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO", experiment);
+
+  MobileConfigClient iphone(MakeSchemaV1(), MakeDevice(1, "iphone6"));
+  MobileConfigClient galaxy(MakeSchemaV1(), MakeDevice(2, "galaxy_s5"));
+  MobileConfigClient other(MakeSchemaV1(), MakeDevice(3, "nokia"));
+  ASSERT_TRUE(iphone.Sync(*server_).ok());
+  ASSERT_TRUE(galaxy.Sync(*server_).ok());
+  ASSERT_TRUE(other.Sync(*server_).ok());
+  EXPECT_EQ(iphone.getInt("VOIP_ECHO"), 30);
+  EXPECT_EQ(galaxy.getInt("VOIP_ECHO"), 70);
+  EXPECT_EQ(other.getInt("VOIP_ECHO"), 50);
+
+  // After the experiment, remap to a constant: clients see the winner with
+  // no app change (separating abstraction from implementation).
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                    FieldBinding::Constant(Json(int64_t{30})));
+  ASSERT_TRUE(galaxy.Sync(*server_).ok());
+  EXPECT_EQ(galaxy.getInt("VOIP_ECHO"), 30);
+}
+
+TEST_F(MobileConfigTest, ConfigeratorBackedField) {
+  MobileConfigServer server(&translation_, &gatekeeper_,
+                            [](const std::string& path) -> Result<std::string> {
+                              if (path == "voip/echo.json") {
+                                return std::string(R"({"ms": 42})");
+                              }
+                              return NotFoundError(path);
+                            });
+  server.RegisterSchema(MakeSchemaV1());
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                    FieldBinding::Configerator("voip/echo.json", "ms"));
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(client.Sync(server).ok());
+  EXPECT_EQ(client.getInt("VOIP_ECHO"), 42);
+}
+
+TEST_F(MobileConfigTest, LegacySchemaVersionServedItsOwnFields) {
+  // An old app build knows fewer fields; the server serves its version.
+  MobileSchema legacy;
+  legacy.config_name = "MY_CONFIG";
+  legacy.fields = {{"FEATURE_X", MobileFieldType::kBool}};
+  server_->RegisterSchema(legacy);
+
+  MobileConfigClient old_app(legacy, MakeDevice(9));
+  ASSERT_TRUE(old_app.Sync(*server_).ok());
+  EXPECT_FALSE(old_app.getBool("FEATURE_X"));
+  // Fields outside the legacy schema never reach the old client.
+  EXPECT_EQ(old_app.getInt("VOIP_ECHO", -1), -1);
+}
+
+TEST_F(MobileConfigTest, UnknownSchemaRejected) {
+  MobileSchema unknown;
+  unknown.config_name = "MY_CONFIG";
+  unknown.fields = {{"MYSTERY", MobileFieldType::kBool}};
+  MobileConfigClient client(unknown, MakeDevice(1));
+  auto result = client.Sync(*server_);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MobileConfigTest, UnknownConfigNameRejected) {
+  MobileSchema other;
+  other.config_name = "OTHER_CONFIG";
+  other.fields = {{"F", MobileFieldType::kBool}};
+  MobileConfigClient client(other, MakeDevice(1));
+  EXPECT_FALSE(client.Sync(*server_).ok());
+}
+
+TEST_F(MobileConfigTest, TypeMismatchFailsLoudly) {
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                    FieldBinding::Constant(Json("not an int")));
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  auto result = client.Sync(*server_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidConfig);
+}
+
+TEST_F(MobileConfigTest, MissingBindingFails) {
+  MobileSchema v2 = MakeSchemaV1();
+  v2.fields.push_back({"UNBOUND", MobileFieldType::kBool});
+  server_->RegisterSchema(v2);
+  MobileConfigClient client(v2, MakeDevice(1));
+  EXPECT_FALSE(client.Sync(*server_).ok());
+}
+
+TEST_F(MobileConfigTest, StatefulServerSavesRequestBytes) {
+  // Footnote 2: a stateful server remembers each client's value hash, so
+  // the client stops sending it on every poll.
+  MobileConfigClient stateless_client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(stateless_client.Sync(*server_).ok());
+  uint64_t before = stateless_client.bytes_transferred();
+  ASSERT_TRUE(stateless_client.Sync(*server_).ok());  // Unchanged poll.
+  uint64_t stateless_poll = stateless_client.bytes_transferred() - before;
+
+  server_->set_stateful(true);
+  MobileConfigClient stateful_client(MakeSchemaV1(), MakeDevice(2));
+  ASSERT_TRUE(stateful_client.Sync(*server_).ok());
+  before = stateful_client.bytes_transferred();
+  auto changed = stateful_client.Sync(*server_);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*changed);  // Server-side hash memory detects "unchanged".
+  uint64_t stateful_poll = stateful_client.bytes_transferred() - before;
+  EXPECT_LT(stateful_poll, stateless_poll);
+
+  // Correctness holds: a binding change still reaches the stateful client.
+  translation_.Bind("MY_CONFIG", "VOIP_ECHO",
+                    FieldBinding::Constant(Json(int64_t{99})));
+  changed = stateful_client.Sync(*server_);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_TRUE(*changed);
+  EXPECT_EQ(stateful_client.getInt("VOIP_ECHO"), 99);
+}
+
+TEST_F(MobileConfigTest, UnreliablePushFleetConvergesViaPoll) {
+  // §5: "Because push notification is unreliable, MobileConfig cannot solely
+  // rely on the push model." Emergency-push a kill switch to a fleet where
+  // 40% of notifications are lost; the missed devices converge at their next
+  // hourly poll. Coverage is near-instant for push receivers and complete
+  // within one poll interval.
+  constexpr int kDevices = 500;
+  constexpr double kPushLossRate = 0.4;
+
+  std::vector<std::unique_ptr<MobileConfigClient>> fleet;
+  for (int i = 0; i < kDevices; ++i) {
+    fleet.push_back(
+        std::make_unique<MobileConfigClient>(MakeSchemaV1(), MakeDevice(i)));
+    ASSERT_TRUE(fleet.back()->Sync(*server_).ok());
+    EXPECT_FALSE(fleet.back()->getBool("FEATURE_X"));
+  }
+
+  // The buggy feature must be disabled NOW: flip the binding and push.
+  translation_.Bind("MY_CONFIG", "FEATURE_X",
+                    FieldBinding::Constant(Json(true)));
+  Rng rng(55);
+  int push_received = 0;
+  for (auto& device : fleet) {
+    if (rng.NextBool(1.0 - kPushLossRate)) {
+      ASSERT_TRUE(device->OnEmergencyPush(*server_).ok());
+      ++push_received;
+    }
+  }
+  int enabled_after_push = 0;
+  for (auto& device : fleet) {
+    if (device->getBool("FEATURE_X")) {
+      ++enabled_after_push;
+    }
+  }
+  EXPECT_EQ(enabled_after_push, push_received);
+  EXPECT_GT(enabled_after_push, kDevices / 3);   // Push reached most...
+  EXPECT_LT(enabled_after_push, kDevices);       // ...but not everyone.
+
+  // Next scheduled poll: everyone converges.
+  for (auto& device : fleet) {
+    ASSERT_TRUE(device->Sync(*server_).ok());
+  }
+  for (auto& device : fleet) {
+    EXPECT_TRUE(device->getBool("FEATURE_X"));
+  }
+}
+
+TEST_F(MobileConfigTest, FlashCacheSurvivesWithoutServer) {
+  MobileConfigClient client(MakeSchemaV1(), MakeDevice(1));
+  ASSERT_TRUE(client.Sync(*server_).ok());
+  // No further syncs (device offline): getters keep serving the cache.
+  EXPECT_EQ(client.getInt("VOIP_ECHO"), 50);
+  EXPECT_EQ(client.getString("GREETING"), "hello");
+}
+
+}  // namespace
+}  // namespace configerator

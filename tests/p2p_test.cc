@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/p2p/vessel.h"
+
+namespace configerator {
+namespace {
+
+TEST(VesselMetadataTest, JsonRoundTrip) {
+  VesselMetadata meta;
+  meta.name = "feed_model";
+  meta.version = 7;
+  meta.size_bytes = 300 << 20;
+  meta.chunk_size = 4 << 20;
+  meta.content_hash = VesselPublisher::SyntheticHash("feed_model", 7);
+  meta.storage_key = "blob/feed_model/7";
+  auto parsed = VesselMetadata::FromJson(meta.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->name, meta.name);
+  EXPECT_EQ(parsed->version, meta.version);
+  EXPECT_EQ(parsed->size_bytes, meta.size_bytes);
+  EXPECT_EQ(parsed->content_hash, meta.content_hash);
+}
+
+TEST(VesselMetadataTest, RejectsMalformed) {
+  EXPECT_FALSE(VesselMetadata::FromJson(Json(3)).ok());
+  Json missing = Json::MakeObject();
+  missing.Set("name", "x");
+  EXPECT_FALSE(VesselMetadata::FromJson(missing).ok());
+}
+
+class VesselSwarmTest : public ::testing::Test {
+ protected:
+  void Setup(int regions, int clusters, int servers_per_cluster) {
+    net_ = std::make_unique<Network>(&sim_, Topology(regions, clusters,
+                                                     servers_per_cluster),
+                                     /*seed=*/11);
+  }
+
+  std::vector<ServerId> Clients(int n) {
+    std::vector<ServerId> all = net_->topology().AllServers();
+    all.resize(static_cast<size_t>(n));
+    return all;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(VesselSwarmTest, AllClientsComplete) {
+  Setup(1, 2, 50);
+  ServerId storage{0, 0, 0};
+  VesselSwarm swarm(net_.get(), storage, Clients(100), /*content=*/64 << 20,
+                    VesselSwarm::Options{}, 1);
+  swarm.Start();
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(swarm.AllComplete());
+  EXPECT_EQ(swarm.stats().completed_clients, 100u);
+  EXPECT_GT(swarm.stats().last_completion, 0);
+}
+
+TEST_F(VesselSwarmTest, PeersCarryMostBytes) {
+  Setup(1, 2, 50);
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 0}, Clients(100), 64 << 20,
+                    VesselSwarm::Options{}, 2);
+  swarm.Start();
+  sim_.RunUntilIdle();
+  // P2P exists to offload the storage service.
+  EXPECT_GT(swarm.stats().bytes_from_peers, swarm.stats().bytes_from_storage);
+}
+
+TEST_F(VesselSwarmTest, P2PDisabledHitsStorageOnly) {
+  Setup(1, 1, 60);
+  VesselSwarm::Options options;
+  options.p2p_enabled = false;
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 0}, Clients(50), 32 << 20,
+                    options, 3);
+  swarm.Start();
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(swarm.AllComplete());
+  EXPECT_EQ(swarm.stats().bytes_from_peers, 0);
+  EXPECT_EQ(swarm.stats().bytes_from_storage,
+            static_cast<int64_t>(50) * (32 << 20));
+}
+
+TEST_F(VesselSwarmTest, P2PFasterThanCentralOnly) {
+  Setup(1, 2, 50);
+  SimTime p2p_time;
+  SimTime central_time;
+  {
+    Simulator sim;
+    Network net(&sim, Topology(1, 2, 50), 11);
+    VesselSwarm swarm(&net, ServerId{0, 0, 0},
+                      [&] {
+                        auto all = net.topology().AllServers();
+                        all.resize(80);
+                        return all;
+                      }(),
+                      128 << 20, VesselSwarm::Options{}, 4);
+    swarm.Start();
+    sim.RunUntilIdle();
+    ASSERT_TRUE(swarm.AllComplete());
+    p2p_time = swarm.stats().last_completion;
+  }
+  {
+    Simulator sim;
+    Network net(&sim, Topology(1, 2, 50), 11);
+    VesselSwarm::Options options;
+    options.p2p_enabled = false;
+    VesselSwarm swarm(&net, ServerId{0, 0, 0},
+                      [&] {
+                        auto all = net.topology().AllServers();
+                        all.resize(80);
+                        return all;
+                      }(),
+                      128 << 20, options, 4);
+    swarm.Start();
+    sim.RunUntilIdle();
+    ASSERT_TRUE(swarm.AllComplete());
+    central_time = swarm.stats().last_completion;
+  }
+  EXPECT_LT(p2p_time, central_time);
+}
+
+TEST_F(VesselSwarmTest, LocalityReducesCrossRegionBytes) {
+  auto run = [](bool locality) {
+    Simulator sim;
+    Network net(&sim, Topology(2, 2, 30), 13);
+    VesselSwarm::Options options;
+    options.locality_aware = locality;
+    std::vector<ServerId> clients = net.topology().AllServers();
+    VesselSwarm swarm(&net, ServerId{0, 0, 0}, clients, 64 << 20, options, 5);
+    swarm.Start();
+    sim.RunUntilIdle();
+    EXPECT_TRUE(swarm.AllComplete());
+    return swarm.stats().cross_region_bytes;
+  };
+  int64_t with_locality = run(true);
+  int64_t without_locality = run(false);
+  EXPECT_LT(with_locality, without_locality / 2);
+}
+
+TEST_F(VesselSwarmTest, SmallContentSingleChunk) {
+  Setup(1, 1, 10);
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 0}, Clients(5), 1000,
+                    VesselSwarm::Options{}, 6);
+  EXPECT_EQ(swarm.chunk_count(), 1u);
+  swarm.Start();
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(swarm.AllComplete());
+}
+
+TEST_F(VesselSwarmTest, CompletionCallbackPerClient) {
+  Setup(1, 1, 20);
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 0}, Clients(10), 8 << 20,
+                    VesselSwarm::Options{}, 7);
+  int done = 0;
+  swarm.Start([&](const ServerId&, SimTime) { ++done; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(done, 10);
+}
+
+TEST_F(VesselSwarmTest, SurvivesPeerChurn) {
+  Setup(1, 2, 50);
+  std::vector<ServerId> clients = Clients(80);
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 0}, clients, 64 << 20,
+                    VesselSwarm::Options{}, 8);
+  swarm.Start();
+
+  // Crash a third of the fleet mid-download, then recover and resume them.
+  sim_.RunUntil(sim_.now() + 300 * kSimMillisecond);
+  std::vector<ServerId> crashed(clients.begin(), clients.begin() + 25);
+  for (const ServerId& victim : crashed) {
+    net_->failures().Crash(victim);
+  }
+  sim_.RunUntil(sim_.now() + 2 * kSimSecond);
+  // The live majority is unaffected by dead peers (requests fail over).
+  EXPECT_GE(swarm.stats().completed_clients, clients.size() - crashed.size() - 5);
+
+  for (const ServerId& victim : crashed) {
+    net_->failures().Recover(victim);
+    swarm.ResumeClient(victim);
+  }
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(swarm.AllComplete());
+}
+
+TEST_F(VesselSwarmTest, DeadPeerFallsBackToStorage) {
+  Setup(1, 1, 10);
+  std::vector<ServerId> clients = Clients(5);
+  VesselSwarm swarm(net_.get(), ServerId{0, 0, 9}, clients, 8 << 20,
+                    VesselSwarm::Options{}, 9);
+  // Kill every client except one before starting: the survivor can only
+  // fetch from storage, but must still finish.
+  for (size_t i = 1; i < clients.size(); ++i) {
+    net_->failures().Crash(clients[i]);
+  }
+  swarm.Start();
+  sim_.RunUntilIdle();
+  EXPECT_EQ(swarm.stats().completed_clients, 1u);
+  EXPECT_EQ(swarm.stats().bytes_from_peers, 0);
+}
+
+TEST(VesselPublisherTest, PublishWritesMetadataToZeus) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 20), 17);
+  std::vector<ServerId> members = {ServerId{0, 0, 0}, ServerId{0, 0, 1},
+                                   ServerId{0, 0, 2}};
+  std::vector<ServerId> observers = {ServerId{0, 0, 18}};
+  ZeusEnsemble zeus(&net, members, observers);
+  VesselPublisher publisher(&net, &zeus, ServerId{0, 0, 5}, ServerId{0, 0, 6});
+
+  bool committed = false;
+  publisher.Publish("spam_model", 3, 200 << 20, [&](Result<int64_t> r) {
+    ASSERT_TRUE(r.ok()) << r.status();
+    committed = true;
+  });
+  sim.RunUntil(sim.now() + 10 * kSimSecond);
+  ASSERT_TRUE(committed);
+
+  // The metadata is readable through the normal subscription path and
+  // carries a verifiable hash.
+  bool fetched = false;
+  zeus.Fetch(ServerId{0, 0, 7}, observers[0],
+             VesselPublisher::MetadataKey("spam_model"),
+             [&](Result<ZeusValue> r) {
+               ASSERT_TRUE(r.ok()) << r.status();
+               auto json = Json::Parse(r->value);
+               ASSERT_TRUE(json.ok());
+               auto meta = VesselMetadata::FromJson(*json);
+               ASSERT_TRUE(meta.ok());
+               EXPECT_EQ(meta->version, 3);
+               EXPECT_EQ(meta->content_hash,
+                         VesselPublisher::SyntheticHash("spam_model", 3));
+               fetched = true;
+             });
+  sim.RunUntil(sim.now() + 5 * kSimSecond);
+  EXPECT_TRUE(fetched);
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/pipeline/ci.h"
+#include "src/pipeline/dependency.h"
+#include "src/pipeline/landing_strip.h"
+#include "src/pipeline/review.h"
+
+namespace configerator {
+namespace {
+
+// ---- Landing strip -------------------------------------------------------------
+
+TEST(LandingStripTest, LandsCleanDiff) {
+  Repository repo;
+  LandingStrip strip(&repo);
+  ProposedDiff diff = MakeProposedDiff(repo, "alice", "add", {{"cfg", "v1"}});
+  auto commit = strip.Land(diff);
+  ASSERT_TRUE(commit.ok()) << commit.status();
+  EXPECT_EQ(*repo.ReadFile("cfg"), "v1");
+  EXPECT_EQ(strip.landed(), 1u);
+}
+
+TEST(LandingStripTest, NoRebaseNeededForUnrelatedChanges) {
+  // The whole point of the landing strip: diff X doesn't conflict with a
+  // later-landed diff Y touching different files.
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("init", "init", {{"a", "1"}, {"b", "1"}}).ok());
+  LandingStrip strip(&repo);
+
+  ProposedDiff diff_x = MakeProposedDiff(repo, "alice", "edit a", {{"a", "2"}});
+  ProposedDiff diff_y = MakeProposedDiff(repo, "bob", "edit b", {{"b", "2"}});
+
+  // Y lands first; X — based on the same old head — still lands cleanly.
+  ASSERT_TRUE(strip.Land(diff_y).ok());
+  ASSERT_TRUE(strip.Land(diff_x).ok());
+  EXPECT_EQ(*repo.ReadFile("a"), "2");
+  EXPECT_EQ(*repo.ReadFile("b"), "2");
+}
+
+TEST(LandingStripTest, TrueConflictRejected) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("init", "init", {{"shared", "v1"}}).ok());
+  LandingStrip strip(&repo);
+
+  ProposedDiff diff_x = MakeProposedDiff(repo, "alice", "x", {{"shared", "x"}});
+  ProposedDiff diff_y = MakeProposedDiff(repo, "bob", "y", {{"shared", "y"}});
+
+  ASSERT_TRUE(strip.Land(diff_y).ok());
+  auto conflict = strip.Land(diff_x);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(strip.conflicts(), 1u);
+  EXPECT_EQ(*repo.ReadFile("shared"), "y");
+
+  // After refreshing against the new head, the diff lands.
+  ProposedDiff rebased = MakeProposedDiff(repo, "alice", "x2", {{"shared", "x"}});
+  EXPECT_TRUE(strip.Land(rebased).ok());
+}
+
+TEST(LandingStripTest, CreateCreateConflictDetected) {
+  Repository repo;
+  LandingStrip strip(&repo);
+  ProposedDiff diff_x = MakeProposedDiff(repo, "alice", "x", {{"new", "x"}});
+  ProposedDiff diff_y = MakeProposedDiff(repo, "bob", "y", {{"new", "y"}});
+  ASSERT_TRUE(strip.Land(diff_x).ok());
+  EXPECT_EQ(strip.Land(diff_y).status().code(), StatusCode::kConflict);
+}
+
+TEST(LandingStripTest, DeleteDeleteIsConflict) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("init", "init", {{"gone", "v"}}).ok());
+  LandingStrip strip(&repo);
+  ProposedDiff diff_x =
+      MakeProposedDiff(repo, "alice", "del", {{"gone", std::nullopt}});
+  ProposedDiff diff_y =
+      MakeProposedDiff(repo, "bob", "del", {{"gone", std::nullopt}});
+  ASSERT_TRUE(strip.Land(diff_x).ok());
+  // The second deleter's base no longer matches (file absent now).
+  EXPECT_EQ(strip.Land(diff_y).status().code(), StatusCode::kConflict);
+}
+
+TEST(LandingStripTest, SerializationEqualsSequentialApplication) {
+  // Property: landing N racing diffs (different files) leaves the repo in
+  // the same state as applying them sequentially.
+  Repository racing;
+  Repository sequential;
+  LandingStrip strip(&racing);
+  std::vector<ProposedDiff> diffs;
+  for (int i = 0; i < 20; ++i) {
+    std::string path = "cfg" + std::to_string(i);
+    std::string value = "v" + std::to_string(i);
+    diffs.push_back(MakeProposedDiff(racing, "author", "m", {{path, value}}));
+  }
+  // All diffs made against the same (empty) base, landed FCFS.
+  for (const ProposedDiff& diff : diffs) {
+    ASSERT_TRUE(strip.Land(diff).ok());
+    ASSERT_TRUE(sequential.Commit(diff.author, diff.message, diff.writes).ok());
+  }
+  EXPECT_EQ(racing.ListFiles(), sequential.ListFiles());
+  for (const std::string& path : racing.ListFiles()) {
+    EXPECT_EQ(*racing.ReadFile(path), *sequential.ReadFile(path));
+  }
+}
+
+TEST(LandingStripTest, ThreadSafeUnderConcurrentLanders) {
+  Repository repo;
+  LandingStrip strip(&repo);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&strip, &repo, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string path = "t" + std::to_string(t) + "/c" + std::to_string(i);
+        ProposedDiff diff = MakeProposedDiff(repo, "tool", "m", {{path, "v"}});
+        ASSERT_TRUE(strip.Land(diff).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(repo.file_count(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(strip.landed(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+// ---- Dependency service ---------------------------------------------------------
+
+TEST(DependencyServiceTest, TracksAndInverts) {
+  DependencyService deps;
+  deps.UpdateEntry("app.cconf", {"app_port.cinc", "job.thrift"});
+  deps.UpdateEntry("firewall.cconf", {"app_port.cinc"});
+
+  auto affected = deps.EntriesAffectedBy({"app_port.cinc"});
+  ASSERT_EQ(affected.size(), 2u);
+  EXPECT_EQ(affected[0], "app.cconf");
+  EXPECT_EQ(affected[1], "firewall.cconf");
+
+  affected = deps.EntriesAffectedBy({"job.thrift"});
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], "app.cconf");
+}
+
+TEST(DependencyServiceTest, EntryDependsOnItself) {
+  DependencyService deps;
+  deps.UpdateEntry("solo.cconf", {});
+  auto affected = deps.EntriesAffectedBy({"solo.cconf"});
+  ASSERT_EQ(affected.size(), 1u);
+}
+
+TEST(DependencyServiceTest, UpdateReplacesOldEdges) {
+  DependencyService deps;
+  deps.UpdateEntry("e.cconf", {"old.cinc"});
+  deps.UpdateEntry("e.cconf", {"new.cinc"});
+  EXPECT_TRUE(deps.EntriesAffectedBy({"old.cinc"}).empty());
+  EXPECT_EQ(deps.EntriesAffectedBy({"new.cinc"}).size(), 1u);
+}
+
+TEST(DependencyServiceTest, RemoveEntry) {
+  DependencyService deps;
+  deps.UpdateEntry("e.cconf", {"shared.cinc"});
+  deps.RemoveEntry("e.cconf");
+  EXPECT_TRUE(deps.EntriesAffectedBy({"shared.cinc"}).empty());
+  EXPECT_EQ(deps.entry_count(), 0u);
+}
+
+TEST(DependencyServiceTest, MultipleChangedPathsDeduplicated) {
+  DependencyService deps;
+  deps.UpdateEntry("e.cconf", {"a.cinc", "b.cinc"});
+  auto affected = deps.EntriesAffectedBy({"a.cinc", "b.cinc"});
+  EXPECT_EQ(affected.size(), 1u);
+}
+
+// ---- Review -----------------------------------------------------------------
+
+TEST(ReviewTest, ApprovalFlow) {
+  ReviewService reviews;
+  ProposedDiff diff;
+  diff.author = "alice";
+  int64_t id = reviews.Submit(diff);
+  EXPECT_FALSE(reviews.IsApproved(id));
+  EXPECT_EQ(reviews.open_reviews(), 1u);
+  ASSERT_TRUE(reviews.Approve(id, "bob").ok());
+  EXPECT_TRUE(reviews.IsApproved(id));
+  EXPECT_EQ(reviews.open_reviews(), 0u);
+}
+
+TEST(ReviewTest, SelfReviewForbidden) {
+  ReviewService reviews;
+  ProposedDiff diff;
+  diff.author = "alice";
+  int64_t id = reviews.Submit(diff);
+  EXPECT_EQ(reviews.Approve(id, "alice").code(), StatusCode::kRejected);
+  EXPECT_FALSE(reviews.IsApproved(id));
+}
+
+TEST(ReviewTest, RejectionSticks) {
+  ReviewService reviews;
+  ProposedDiff diff;
+  diff.author = "alice";
+  int64_t id = reviews.Submit(diff);
+  ASSERT_TRUE(reviews.Reject(id, "bob", "looks wrong").ok());
+  EXPECT_EQ(reviews.Approve(id, "carol").code(), StatusCode::kRejected);
+  auto record = reviews.Get(id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ((*record)->rejection_reason, "looks wrong");
+}
+
+TEST(ReviewTest, TestResultsAttached) {
+  ReviewService reviews;
+  ProposedDiff diff;
+  diff.author = "alice";
+  int64_t id = reviews.Submit(diff);
+  ASSERT_TRUE(reviews.PostTestResults(id, "PASS: 3 entries").ok());
+  auto record = reviews.Get(id);
+  ASSERT_TRUE(record.ok());
+  ASSERT_EQ((*record)->test_results.size(), 1u);
+  EXPECT_EQ((*record)->test_results[0], "PASS: 3 entries");
+}
+
+TEST(ReviewTest, UnknownIdRejected) {
+  ReviewService reviews;
+  EXPECT_EQ(reviews.Approve(999, "bob").code(), StatusCode::kNotFound);
+  EXPECT_EQ(reviews.PostTestResults(999, "x").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reviews.Get(999).ok());
+}
+
+// ---- Sandcastle CI ------------------------------------------------------------
+
+class SandcastleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(repo_.Commit("init", "init",
+                             {{"port.cinc", "PORT = 80\n"},
+                              {"app.cconf",
+                               "import_python(\"port.cinc\", \"*\")\n"
+                               "export_if_last({\"port\": PORT})\n"}})
+                    .ok());
+    deps_.UpdateEntry("app.cconf", {"port.cinc"});
+  }
+
+  Repository repo_;
+  DependencyService deps_;
+};
+
+TEST_F(SandcastleTest, PassingDiff) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff =
+      MakeProposedDiff(repo_, "alice", "bump port", {{"port.cinc", "PORT = 8080\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed) << report.Summary();
+  ASSERT_EQ(report.compiled_entries.size(), 1u);
+  EXPECT_EQ(report.compiled_entries[0], "app.cconf");
+}
+
+TEST_F(SandcastleTest, BrokenDiffFails) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff = MakeProposedDiff(repo_, "alice", "break it",
+                                       {{"port.cinc", "PORT = undefined_name\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.Summary().find("FAIL"), std::string::npos);
+}
+
+TEST_F(SandcastleTest, NewEntryInDiffIsCompiled) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff = MakeProposedDiff(
+      repo_, "alice", "new entry",
+      {{"brand_new.cconf", "export_if_last({\"fresh\": True})\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed) << report.Summary();
+  EXPECT_EQ(report.compiled_entries.size(), 1u);
+}
+
+TEST_F(SandcastleTest, UnrelatedChangeCompilesNothing) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff =
+      MakeProposedDiff(repo_, "alice", "doc", {{"README", "hello"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed);
+  EXPECT_TRUE(report.compiled_entries.empty());
+}
+
+TEST_F(SandcastleTest, OverlayReaderSeesDiffAndRepo) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff =
+      MakeProposedDiff(repo_, "a", "m", {{"port.cinc", "PORT = 9\n"}});
+  FileReader reader = ci.OverlayReader(diff);
+  EXPECT_EQ(*reader("port.cinc"), "PORT = 9\n");       // From the diff.
+  EXPECT_NE((*reader("app.cconf")).find("import"), std::string::npos);  // Repo.
+  EXPECT_FALSE(reader("missing").ok());
+}
+
+TEST_F(SandcastleTest, RawJsonConfigsValidated) {
+  Sandcastle ci(&repo_, &deps_);
+  // Broken JSON in a .json config fails CI even though nothing compiles it.
+  ProposedDiff bad = MakeProposedDiff(repo_, "tool", "m",
+                                      {{"traffic/weights.json", "{not json"}});
+  CiReport report = ci.RunTests(bad);
+  EXPECT_FALSE(report.passed);
+
+  ProposedDiff good = MakeProposedDiff(
+      repo_, "tool", "m", {{"traffic/weights.json", "{\"r0\": 0.5}"}});
+  EXPECT_TRUE(ci.RunTests(good).passed);
+}
+
+TEST_F(SandcastleTest, GatekeeperProjectConfigsValidated) {
+  Sandcastle ci(&repo_, &deps_);
+  // Parses as JSON but is not a valid project (unknown restraint type).
+  ProposedDiff bad = MakeProposedDiff(
+      repo_, "tool", "m",
+      {{"gatekeeper/X.json",
+        R"({"project": "X", "rules": [{"restraints":
+            [{"type": "no_such_restraint"}], "pass_probability": 1.0}]})"}});
+  CiReport report = ci.RunTests(bad);
+  EXPECT_FALSE(report.passed);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("no_such_restraint"), std::string::npos);
+
+  ProposedDiff good = MakeProposedDiff(
+      repo_, "tool", "m",
+      {{"gatekeeper/X.json",
+        R"({"project": "X", "rules": [{"restraints":
+            [{"type": "employee"}], "pass_probability": 1.0}]})"}});
+  EXPECT_TRUE(ci.RunTests(good).passed);
+}
+
+TEST_F(SandcastleTest, CanarySpecConfigsValidated) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff bad = MakeProposedDiff(
+      repo_, "tool", "m", {{"feed/x.cconf.canary.json", R"({"phases": []})"}});
+  EXPECT_FALSE(ci.RunTests(bad).passed);
+
+  ProposedDiff good = MakeProposedDiff(
+      repo_, "tool", "m",
+      {{"feed/x.cconf.canary.json",
+        R"({"phases": [{"num_servers": 20, "hold_time_s": 60}]})"}});
+  EXPECT_TRUE(ci.RunTests(good).passed);
+}
+
+TEST_F(SandcastleTest, CustomRawValidator) {
+  Sandcastle ci(&repo_, &deps_);
+  ci.RegisterRawValidator(
+      [](const std::string& path, const std::string& content) -> Status {
+        if (path.ends_with(".must-be-short") && content.size() > 10) {
+          return InvalidConfigError("too long");
+        }
+        return OkStatus();
+      });
+  ProposedDiff bad = MakeProposedDiff(
+      repo_, "tool", "m", {{"x.must-be-short", "far far far too long"}});
+  EXPECT_FALSE(ci.RunTests(bad).passed);
+  ProposedDiff good =
+      MakeProposedDiff(repo_, "tool", "m", {{"x.must-be-short", "ok"}});
+  EXPECT_TRUE(ci.RunTests(good).passed);
+}
+
+TEST_F(SandcastleTest, DeletedFileInvisibleThroughOverlay) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff =
+      MakeProposedDiff(repo_, "a", "del", {{"port.cinc", std::nullopt}});
+  FileReader reader = ci.OverlayReader(diff);
+  EXPECT_FALSE(reader("port.cinc").ok());
+  // And CI catches the now-broken dependent entry.
+  CiReport report = ci.RunTests(diff);
+  EXPECT_FALSE(report.passed);
+}
+
+}  // namespace
+}  // namespace configerator

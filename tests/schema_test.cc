@@ -1,0 +1,362 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/schema/schema.h"
+#include "src/util/rng.h"
+#include "src/schema/typecheck.h"
+
+namespace configerator {
+namespace {
+
+constexpr char kJobThrift[] = R"(
+// Scheduler job schema (the paper's Figure 2 example).
+enum JobPriority { LOW = 0, NORMAL = 1, HIGH = 2 }
+
+struct Resources {
+  1: optional i32 cpu = 1;
+  2: optional i64 memory_mb = 256;
+}
+
+struct Job {
+  1: required string name;
+  2: optional i32 priority = 1;
+  3: optional list<string> tags;
+  4: optional map<string, i64> limits;
+  5: optional Resources resources;
+  6: optional JobPriority level = JobPriority.NORMAL;
+  7: optional double weight = 1.0;
+  8: optional bool preemptible = false;
+}
+)";
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(registry_.ParseAndRegister(kJobThrift, "job.thrift").ok());
+    ASSERT_TRUE(registry_.ResolveAll().ok());
+  }
+
+  SchemaRegistry registry_;
+};
+
+TEST_F(SchemaTest, ParsesStructs) {
+  const StructDef* job = registry_.FindStruct("Job");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->fields.size(), 8u);
+  EXPECT_TRUE(job->FindField("name")->required);
+  EXPECT_FALSE(job->FindField("priority")->required);
+  EXPECT_EQ(job->FindField("priority")->default_value->as_int(), 1);
+  EXPECT_EQ(job->FindFieldById(5)->name, "resources");
+  EXPECT_EQ(job->FindField("nope"), nullptr);
+}
+
+TEST_F(SchemaTest, ParsesEnums) {
+  const EnumDef* e = registry_.FindEnum("JobPriority");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->HasValue(2));
+  EXPECT_FALSE(e->HasValue(3));
+  EXPECT_EQ(*e->ValueOf("HIGH"), 2);
+  EXPECT_EQ(*e->NameOf(0), "LOW");
+  EXPECT_FALSE(e->ValueOf("NONE").has_value());
+}
+
+TEST_F(SchemaTest, EnumDefaultResolved) {
+  const FieldDef* level = registry_.FindStruct("Job")->FindField("level");
+  ASSERT_TRUE(level->default_value.has_value());
+  EXPECT_EQ(level->default_value->as_int(), 1);  // NORMAL.
+}
+
+TEST_F(SchemaTest, TypeToString) {
+  const StructDef* job = registry_.FindStruct("Job");
+  EXPECT_EQ(job->FindField("tags")->type.ToString(), "list<string>");
+  EXPECT_EQ(job->FindField("limits")->type.ToString(), "map<string, i64>");
+  EXPECT_EQ(job->FindField("resources")->type.ToString(), "Resources");
+}
+
+TEST_F(SchemaTest, RejectsDuplicateFieldId) {
+  SchemaRegistry r;
+  Status s = r.ParseAndRegister("struct S { 1: i32 a; 1: i32 b; }", "dup.thrift");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(SchemaTest, RejectsDuplicateFieldName) {
+  SchemaRegistry r;
+  Status s = r.ParseAndRegister("struct S { 1: i32 a; 2: i64 a; }", "dup.thrift");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(SchemaTest, RejectsNonStringMapKeys) {
+  SchemaRegistry r;
+  Status s =
+      r.ParseAndRegister("struct S { 1: map<i32, string> m; }", "bad.thrift");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(SchemaTest, ResolveAllCatchesDanglingReference) {
+  SchemaRegistry r;
+  ASSERT_TRUE(r.ParseAndRegister("struct S { 1: Missing m; }", "s.thrift").ok());
+  EXPECT_FALSE(r.ResolveAll().ok());
+}
+
+TEST_F(SchemaTest, IncludeResolution) {
+  SchemaRegistry r;
+  auto resolver = [](const std::string& path) -> Result<std::string> {
+    if (path == "base.thrift") {
+      return std::string("struct Base { 1: i32 x; }");
+    }
+    return NotFoundError(path);
+  };
+  Status s = r.ParseAndRegister(
+      "include \"base.thrift\"\nstruct S { 1: Base b; }", "s.thrift", resolver);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_TRUE(r.ResolveAll().ok());
+  EXPECT_NE(r.FindStruct("Base"), nullptr);
+}
+
+TEST_F(SchemaTest, IncludeWithoutResolverFails) {
+  SchemaRegistry r;
+  EXPECT_FALSE(r.ParseAndRegister("include \"x.thrift\"", "s.thrift").ok());
+}
+
+TEST_F(SchemaTest, CommentsIgnored) {
+  SchemaRegistry r;
+  Status s = r.ParseAndRegister(
+      "# hash comment\n// line comment\n/* block\ncomment */\n"
+      "struct S { 1: i32 a; /* inline */ 2: i32 b; }",
+      "c.thrift");
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(r.FindStruct("S")->fields.size(), 2u);
+}
+
+TEST_F(SchemaTest, SchemaHashStableAndSensitive) {
+  auto h1 = registry_.SchemaHash("Job");
+  ASSERT_TRUE(h1.ok());
+  auto h2 = registry_.SchemaHash("Job");
+  EXPECT_EQ(*h1, *h2);
+
+  // A changed default changes the hash.
+  SchemaRegistry other;
+  std::string modified(kJobThrift);
+  size_t pos = modified.find("priority = 1");
+  ASSERT_NE(pos, std::string::npos);
+  modified.replace(pos, strlen("priority = 1"), "priority = 2");
+  ASSERT_TRUE(other.ParseAndRegister(modified, "job.thrift").ok());
+  auto h3 = other.SchemaHash("Job");
+  ASSERT_TRUE(h3.ok());
+  EXPECT_NE(*h1, *h3);
+}
+
+TEST_F(SchemaTest, SchemaHashCoversNestedTypes) {
+  SchemaRegistry a;
+  ASSERT_TRUE(a.ParseAndRegister(
+                   "struct Inner { 1: i32 x; } struct Outer { 1: Inner i; }",
+                   "a.thrift")
+                  .ok());
+  SchemaRegistry b;
+  ASSERT_TRUE(b.ParseAndRegister(
+                   "struct Inner { 1: i64 x; } struct Outer { 1: Inner i; }",
+                   "b.thrift")
+                  .ok());
+  EXPECT_NE(*a.SchemaHash("Outer"), *b.SchemaHash("Outer"));
+}
+
+// ---- Type checking ----------------------------------------------------------
+
+TEST_F(SchemaTest, TypeCheckAcceptsValidConfig) {
+  auto config = Json::Parse(R"({
+    "name": "cache",
+    "priority": 2,
+    "tags": ["hot", "pinned"],
+    "limits": {"disk_mb": 100},
+    "resources": {"cpu": 4, "memory_mb": 2048},
+    "level": 2,
+    "weight": 1.5,
+    "preemptible": true
+  })");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(TypeCheckStruct(registry_, "Job", *config).ok());
+}
+
+TEST_F(SchemaTest, TypeCheckRejectsMissingRequired) {
+  auto config = Json::Parse(R"({"priority": 2})");
+  Status s = TypeCheckStruct(registry_, "Job", *config);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidConfig);
+  EXPECT_NE(s.message().find("name"), std::string::npos);
+}
+
+TEST_F(SchemaTest, TypeCheckRejectsUnknownField) {
+  // The typo defense: "nmae" instead of "name".
+  auto config = Json::Parse(R"({"nmae": "cache"})");
+  Status s = TypeCheckStruct(registry_, "Job", *config);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidConfig);
+  EXPECT_NE(s.message().find("nmae"), std::string::npos);
+}
+
+TEST_F(SchemaTest, TypeCheckRejectsWrongTypes) {
+  EXPECT_FALSE(
+      TypeCheckStruct(registry_, "Job", *Json::Parse(R"({"name": 5})")).ok());
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job",
+                               *Json::Parse(R"({"name": "x", "priority": "hi"})"))
+                   .ok());
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job",
+                               *Json::Parse(R"({"name": "x", "tags": "notalist"})"))
+                   .ok());
+}
+
+TEST_F(SchemaTest, TypeCheckRejectsIntOutOfRange) {
+  // priority is i32.
+  auto config = Json::Parse(R"({"name": "x", "priority": 3000000000})");
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job", *config).ok());
+}
+
+TEST_F(SchemaTest, TypeCheckRejectsInvalidEnumValue) {
+  auto config = Json::Parse(R"({"name": "x", "level": 9})");
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job", *config).ok());
+}
+
+TEST_F(SchemaTest, TypeCheckAcceptsEnumByName) {
+  auto config = Json::Parse(R"({"name": "x", "level": "HIGH"})");
+  EXPECT_TRUE(TypeCheckStruct(registry_, "Job", *config).ok());
+}
+
+TEST_F(SchemaTest, TypeCheckNestedStructErrorsHavePath) {
+  auto config =
+      Json::Parse(R"({"name": "x", "resources": {"cpu": "lots"}})");
+  Status s = TypeCheckStruct(registry_, "Job", *config);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("resources.cpu"), std::string::npos);
+}
+
+TEST_F(SchemaTest, TypeCheckListElements) {
+  auto config = Json::Parse(R"({"name": "x", "tags": ["ok", 7]})");
+  Status s = TypeCheckStruct(registry_, "Job", *config);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("tags[1]"), std::string::npos);
+}
+
+TEST_F(SchemaTest, TypeCheckMapValues) {
+  auto config = Json::Parse(R"({"name": "x", "limits": {"a": "NaN"}})");
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job", *config).ok());
+}
+
+TEST_F(SchemaTest, IntWidensToDoubleButNotViceVersa) {
+  EXPECT_TRUE(TypeCheckStruct(registry_, "Job",
+                              *Json::Parse(R"({"name": "x", "weight": 2})"))
+                  .ok());
+  EXPECT_FALSE(TypeCheckStruct(registry_, "Job",
+                               *Json::Parse(R"({"name": "x", "priority": 2.5})"))
+                   .ok());
+}
+
+TEST_F(SchemaTest, ApplyDefaultsFillsAbsentFields) {
+  auto config = Json::Parse(R"({"name": "cache"})");
+  auto filled = ApplyDefaults(registry_, "Job", *config);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(filled->Get("priority")->as_int(), 1);
+  EXPECT_EQ(filled->Get("level")->as_int(), 1);
+  EXPECT_DOUBLE_EQ(filled->Get("weight")->as_double(), 1.0);
+  EXPECT_EQ(filled->Get("preemptible")->as_bool(), false);
+  // No default declared for tags/limits/resources: left absent.
+  EXPECT_FALSE(filled->Has("tags"));
+}
+
+TEST_F(SchemaTest, ApplyDefaultsRecursesIntoNestedStructs) {
+  auto config = Json::Parse(R"({"name": "cache", "resources": {"cpu": 8}})");
+  auto filled = ApplyDefaults(registry_, "Job", *config);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(filled->Get("resources")->Get("memory_mb")->as_int(), 256);
+  EXPECT_EQ(filled->Get("resources")->Get("cpu")->as_int(), 8);
+}
+
+TEST_F(SchemaTest, ApplyDefaultsKeepsExplicitValues) {
+  auto config = Json::Parse(R"({"name": "cache", "priority": 2})");
+  auto filled = ApplyDefaults(registry_, "Job", *config);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(filled->Get("priority")->as_int(), 2);
+}
+
+TEST_F(SchemaTest, DefaultInstance) {
+  auto instance = DefaultInstance(registry_, "Resources");
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->Get("cpu")->as_int(), 1);
+  EXPECT_EQ(instance->Get("memory_mb")->as_int(), 256);
+}
+
+// ---- Robustness ---------------------------------------------------------------
+
+class SchemaFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchemaFuzzTest, RandomIdlSoupNeverCrashes) {
+  Rng rng(GetParam());
+  const char* fragments[] = {
+      "struct ", "enum ",  "include ", "namespace ", "required ", "optional ",
+      "i32 ",    "i64 ",   "string ",  "list<",      "map<",      ">",
+      "{",       "}",      ";",        ",",           ":",         "=",
+      "Name",    "x",      "1",        "42",          "\"s\"",     "// c\n",
+      "/*",      "*/",     "\n",       "-7",          "3.5",       "#c\n",
+  };
+  for (int round = 0; round < 300; ++round) {
+    std::string source;
+    size_t n = 1 + rng.NextBounded(30);
+    for (size_t i = 0; i < n; ++i) {
+      source += fragments[rng.NextBounded(std::size(fragments))];
+    }
+    SchemaRegistry registry;
+    // Must not crash; any Status is acceptable.
+    (void)registry.ParseAndRegister(source, "fuzz.thrift");
+    (void)registry.ResolveAll();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaFuzzTest, ::testing::Values(1, 2, 3, 4));
+
+// ---- Compatibility ----------------------------------------------------------
+
+StructDef ParseSingleStruct(const std::string& text, const std::string& name) {
+  SchemaRegistry r;
+  EXPECT_TRUE(r.ParseAndRegister(text, "x.thrift").ok());
+  return *r.FindStruct(name);
+}
+
+TEST(CompatibilityTest, SameSchemaIsCompatible) {
+  StructDef s = ParseSingleStruct("struct S { 1: i32 a; }", "S");
+  EXPECT_TRUE(CheckBackwardCompatible(s, s).ok());
+}
+
+TEST(CompatibilityTest, AddingOptionalFieldIsCompatible) {
+  StructDef old_def = ParseSingleStruct("struct S { 1: i32 a; }", "S");
+  StructDef new_def =
+      ParseSingleStruct("struct S { 1: i32 a; 2: optional string b; }", "S");
+  EXPECT_TRUE(CheckBackwardCompatible(old_def, new_def).ok());
+}
+
+TEST(CompatibilityTest, AddingRequiredFieldBreaks) {
+  // The §6.4 incident: old data can't satisfy a new required field.
+  StructDef old_def = ParseSingleStruct("struct S { 1: i32 a; }", "S");
+  StructDef new_def =
+      ParseSingleStruct("struct S { 1: i32 a; 2: required string b; }", "S");
+  EXPECT_FALSE(CheckBackwardCompatible(old_def, new_def).ok());
+}
+
+TEST(CompatibilityTest, ChangingFieldTypeBreaks) {
+  StructDef old_def = ParseSingleStruct("struct S { 1: i32 a; }", "S");
+  StructDef new_def = ParseSingleStruct("struct S { 1: string a; }", "S");
+  EXPECT_FALSE(CheckBackwardCompatible(old_def, new_def).ok());
+}
+
+TEST(CompatibilityTest, OptionalToRequiredBreaks) {
+  StructDef old_def = ParseSingleStruct("struct S { 1: optional i32 a; }", "S");
+  StructDef new_def = ParseSingleStruct("struct S { 1: required i32 a; }", "S");
+  EXPECT_FALSE(CheckBackwardCompatible(old_def, new_def).ok());
+}
+
+TEST(CompatibilityTest, RemovingFieldIsCompatibleForReaders) {
+  StructDef old_def =
+      ParseSingleStruct("struct S { 1: i32 a; 2: optional i32 b; }", "S");
+  StructDef new_def = ParseSingleStruct("struct S { 1: i32 a; }", "S");
+  EXPECT_TRUE(CheckBackwardCompatible(old_def, new_def).ok());
+}
+
+}  // namespace
+}  // namespace configerator

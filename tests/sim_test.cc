@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+
+namespace configerator {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] {
+    ++fired;
+    sim.Schedule(10, [&] { ++fired; });
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.RunUntilIdle();
+  bool fired = false;
+  sim.Schedule(-50, [&] { fired = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastRunsNow) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.RunUntilIdle();
+  SimTime when = 0;
+  sim.ScheduleAt(10, [&] { when = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(when, 100);
+}
+
+TEST(SimulatorTest, MaxEventsBound) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { sim.Schedule(1, tick); };
+  sim.Schedule(1, tick);
+  sim.RunUntilIdle(/*max_events=*/500);
+  EXPECT_EQ(sim.processed_events(), 500u);
+}
+
+// ---- Topology ---------------------------------------------------------------
+
+TEST(TopologyTest, Counts) {
+  Topology topo(2, 3, 100);
+  EXPECT_EQ(topo.total_servers(), 600);
+  EXPECT_EQ(topo.AllServers().size(), 600u);
+  EXPECT_EQ(topo.ServersInCluster(1, 2).size(), 100u);
+  EXPECT_TRUE(topo.Contains(ServerId{1, 2, 99}));
+  EXPECT_FALSE(topo.Contains(ServerId{2, 0, 0}));
+  EXPECT_FALSE(topo.Contains(ServerId{0, 3, 0}));
+}
+
+TEST(TopologyTest, FlatIndexRoundTrip) {
+  Topology topo(3, 4, 50);
+  for (const ServerId& id :
+       {ServerId{0, 0, 0}, ServerId{2, 3, 49}, ServerId{1, 2, 25}}) {
+    int64_t flat = topo.FlatIndex(id);
+    EXPECT_GE(flat, 0);
+    EXPECT_LT(flat, topo.total_servers());
+    EXPECT_EQ(topo.FromFlatIndex(flat), id);
+  }
+}
+
+TEST(TopologyTest, LatencyOrdering) {
+  Topology topo(2, 2, 10);
+  Rng rng(1);
+  ServerId a{0, 0, 1};
+  SimTime same_cluster = topo.Latency(a, ServerId{0, 0, 2}, rng);
+  SimTime same_region = topo.Latency(a, ServerId{0, 1, 2}, rng);
+  SimTime cross_region = topo.Latency(a, ServerId{1, 0, 2}, rng);
+  EXPECT_LT(same_cluster, same_region);
+  EXPECT_LT(same_region, cross_region);
+  EXPECT_EQ(topo.Latency(a, a, rng), 0);
+}
+
+TEST(TopologyTest, TransmitTimeScalesWithSize) {
+  Topology topo(1, 1, 2);
+  EXPECT_EQ(topo.TransmitTime(0), 0);
+  SimTime small = topo.TransmitTime(1 << 20);
+  SimTime large = topo.TransmitTime(100 << 20);
+  EXPECT_GT(large, small * 50);
+}
+
+TEST(ServerIdTest, Hashable) {
+  std::unordered_map<ServerId, int> map;
+  map[ServerId{1, 2, 3}] = 1;
+  map[ServerId{1, 2, 4}] = 2;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(ServerId{1, 2, 3}), 1);
+}
+
+// ---- Network ----------------------------------------------------------------
+
+TEST(NetworkTest, DeliversAfterLatency) {
+  Simulator sim;
+  Network net(&sim, Topology(2, 2, 10));
+  bool delivered = false;
+  SimTime arrival = 0;
+  net.Send(ServerId{0, 0, 0}, ServerId{1, 0, 0}, 100, [&] {
+    delivered = true;
+    arrival = sim.now();
+  });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+  EXPECT_GE(arrival, 40 * kSimMillisecond);  // Inter-region base latency.
+  EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(NetworkTest, DropsToDownServer) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 10));
+  net.failures().Crash(ServerId{0, 0, 5});
+  bool delivered = false;
+  net.Send(ServerId{0, 0, 0}, ServerId{0, 0, 5}, 10, [&] { delivered = true; });
+  sim.RunUntilIdle();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, DropsIfDestinationDiesInFlight) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 10));
+  bool delivered = false;
+  ServerId dest{0, 0, 5};
+  net.Send(ServerId{0, 0, 0}, dest, 10, [&] { delivered = true; });
+  // Crash before the message lands.
+  net.failures().Crash(dest);
+  sim.RunUntilIdle();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(NetworkTest, RecoveredServerReceivesAgain) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 10));
+  ServerId dest{0, 0, 3};
+  net.failures().Crash(dest);
+  net.failures().Recover(dest);
+  bool delivered = false;
+  net.Send(ServerId{0, 0, 0}, dest, 10, [&] { delivered = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, SendFifoPreservesChannelOrder) {
+  // Plain Send is jittered and may reorder; SendFifo must never reorder
+  // messages on the same (from, to) channel.
+  Simulator sim;
+  Network net(&sim, Topology(2, 1, 4), /*seed=*/77);
+  ServerId from{0, 0, 0};
+  ServerId to{1, 0, 0};  // Cross-region: large jitter.
+  std::vector<int> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    net.SendFifo(from, to, 100, [&arrivals, i] { arrivals.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(arrivals[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(NetworkTest, SendFifoChannelsAreIndependent) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 4), /*seed=*/3);
+  // Saturate channel A->B; channel A->C must not be delayed by it.
+  ServerId a{0, 0, 0};
+  ServerId b{0, 0, 1};
+  ServerId c{0, 0, 2};
+  for (int i = 0; i < 50; ++i) {
+    net.SendFifo(a, b, 1 << 20, [] {});  // Large messages pile up the clock.
+  }
+  SimTime c_arrival = -1;
+  net.SendFifo(a, c, 10, [&] { c_arrival = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_GE(c_arrival, 0);
+  EXPECT_LT(c_arrival, 10 * kSimMillisecond);
+}
+
+TEST(NetworkTest, CountsBytes) {
+  Simulator sim;
+  Network net(&sim, Topology(1, 1, 4));
+  net.Send(ServerId{0, 0, 0}, ServerId{0, 0, 1}, 1000, [] {});
+  net.Send(ServerId{0, 0, 0}, ServerId{0, 0, 2}, 500, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.bytes_sent(), 1500u);
+}
+
+}  // namespace
+}  // namespace configerator

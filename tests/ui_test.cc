@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/core/ui.h"
+
+namespace configerator {
+namespace {
+
+class UiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Land the schema the UI will edit against.
+    auto change = stack_.ProposeChange(
+        "alice", "schemas",
+        {{"schemas/gk.thrift",
+          "struct Sampling {\n"
+          "  1: required string audience;\n"
+          "  2: optional double fraction = 0.01;\n"
+          "  3: optional i32 max_users = 1000;\n"
+          "  4: optional Limits limits;\n"
+          "}\n"
+          "struct Limits { 1: optional i32 qps = 100; }\n"},
+         {"seed.cconf", "export_if_last({\"seed\": 1})\n"}});
+    ASSERT_TRUE(change.ok()) << change.status();
+    ASSERT_TRUE(stack_.Approve(&*change, "bob").ok());
+    ASSERT_TRUE(stack_.LandNow(*change).ok());
+  }
+
+  ConfigManagementStack stack_;
+  ConfigUi ui_{&stack_};
+};
+
+TEST_F(UiTest, CslLiteralRendering) {
+  EXPECT_EQ(ConfigUi::CslLiteral(Json(nullptr)), "None");
+  EXPECT_EQ(ConfigUi::CslLiteral(Json(true)), "True");
+  EXPECT_EQ(ConfigUi::CslLiteral(Json(false)), "False");
+  EXPECT_EQ(ConfigUi::CslLiteral(Json(int64_t{42})), "42");
+  EXPECT_EQ(ConfigUi::CslLiteral(Json(2.0)), "2.0");  // Lexes as float.
+  EXPECT_EQ(ConfigUi::CslLiteral(Json("x\"y")), "\"x\\\"y\"");
+  EXPECT_EQ(ConfigUi::CslLiteral(*Json::Parse("[]")), "[]");
+  EXPECT_EQ(ConfigUi::CslLiteral(*Json::Parse("{}")), "{}");
+}
+
+TEST_F(UiTest, GeneratedSourceCompiles) {
+  auto value = Json::Parse(
+      R"({"audience": "employees", "fraction": 0.1,
+          "max_users": 50, "limits": {"qps": 10}})");
+  ASSERT_TRUE(value.ok());
+  std::string source =
+      ConfigUi::GenerateSource("schemas/gk.thrift", "Sampling", *value);
+  // The generated program must compile against the schema.
+  InMemorySources sources;
+  auto schema = stack_.repo().ReadFile("schemas/gk.thrift");
+  ASSERT_TRUE(schema.ok());
+  sources.Put("schemas/gk.thrift", *schema);
+  sources.Put("ui.cconf", source);
+  ConfigCompiler compiler(sources.AsReader());
+  auto output = compiler.Compile("ui.cconf");
+  ASSERT_TRUE(output.ok()) << output.status() << "\nsource:\n" << source;
+  EXPECT_EQ(*output->configs[0].content.Get("fraction"), Json(0.1));
+  EXPECT_EQ(output->configs[0].content.Get("limits")->Get("qps")->as_int(), 10);
+}
+
+TEST_F(UiTest, CreateConfigThroughUi) {
+  auto change = ui_.EditConfig(
+      "carol", "gk/sampling.cconf", "schemas/gk.thrift", "Sampling",
+      {{"audience", Json("employees")}, {"fraction", Json(0.05)}});
+  ASSERT_TRUE(change.ok()) << change.status();
+  // The message is the operation log the reviewers see.
+  EXPECT_NE(change->diff.message.find("Created Sampling config"),
+            std::string::npos);
+  EXPECT_NE(change->diff.message.find("Updated fraction from 0.01 to 0.05"),
+            std::string::npos);
+  EXPECT_EQ(change->diff.author, "ui:carol");
+
+  ASSERT_TRUE(stack_.Approve(&*change, "bob").ok());
+  ASSERT_TRUE(stack_.LandNow(*change).ok());
+  auto json = stack_.repo().ReadFile("gk/sampling.json");
+  ASSERT_TRUE(json.ok());
+  auto parsed = Json::Parse(*json);
+  EXPECT_EQ(parsed->Get("audience")->as_string(), "employees");
+  EXPECT_DOUBLE_EQ(parsed->Get("fraction")->as_double(), 0.05);
+  EXPECT_EQ(parsed->Get("max_users")->as_int(), 1000);  // Schema default.
+}
+
+TEST_F(UiTest, EditExistingConfigThroughUi) {
+  auto create = ui_.EditConfig("carol", "gk/sampling.cconf", "schemas/gk.thrift",
+                               "Sampling", {{"audience", Json("us")}});
+  ASSERT_TRUE(create.ok());
+  ASSERT_TRUE(stack_.Approve(&*create, "bob").ok());
+  ASSERT_TRUE(stack_.LandNow(*create).ok());
+
+  // The "1% -> 10%" footnote example.
+  auto edit = ui_.EditConfig("carol", "gk/sampling.cconf", "schemas/gk.thrift",
+                             "Sampling", {{"fraction", Json(0.10)}});
+  ASSERT_TRUE(edit.ok()) << edit.status();
+  EXPECT_NE(edit->diff.message.find("Updated fraction from 0.01 to 0.1"),
+            std::string::npos);
+  ASSERT_TRUE(stack_.Approve(&*edit, "bob").ok());
+  ASSERT_TRUE(stack_.LandNow(*edit).ok());
+  auto parsed = Json::Parse(*stack_.repo().ReadFile("gk/sampling.json"));
+  EXPECT_DOUBLE_EQ(parsed->Get("fraction")->as_double(), 0.10);
+  // The earlier edit is preserved.
+  EXPECT_EQ(parsed->Get("audience")->as_string(), "us");
+}
+
+TEST_F(UiTest, NestedFieldEdit) {
+  auto change = ui_.EditConfig(
+      "carol", "gk/s2.cconf", "schemas/gk.thrift", "Sampling",
+      {{"audience", Json("x")}, {"limits.qps", Json(int64_t{5})}});
+  ASSERT_TRUE(change.ok()) << change.status();
+  ASSERT_TRUE(stack_.Approve(&*change, "bob").ok());
+  ASSERT_TRUE(stack_.LandNow(*change).ok());
+  auto parsed = Json::Parse(*stack_.repo().ReadFile("gk/s2.json"));
+  EXPECT_EQ(parsed->Get("limits")->Get("qps")->as_int(), 5);
+}
+
+TEST_F(UiTest, TypeErrorsBlockedBeforeReview) {
+  auto change = ui_.EditConfig("carol", "gk/bad.cconf", "schemas/gk.thrift",
+                               "Sampling",
+                               {{"audience", Json("x")},
+                                {"fraction", Json("not a number")}});
+  ASSERT_FALSE(change.ok());
+  EXPECT_EQ(change.status().code(), StatusCode::kInvalidConfig);
+}
+
+TEST_F(UiTest, UnknownFieldBlocked) {
+  auto change = ui_.EditConfig("carol", "gk/bad2.cconf", "schemas/gk.thrift",
+                               "Sampling",
+                               {{"audence", Json("typo")}});  // Missing 'i'.
+  ASSERT_FALSE(change.ok());
+}
+
+TEST_F(UiTest, UnknownStructBlocked) {
+  auto change = ui_.EditConfig("carol", "gk/bad3.cconf", "schemas/gk.thrift",
+                               "NoSuchStruct", {});
+  ASSERT_FALSE(change.ok());
+  EXPECT_EQ(change.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(UiTest, NonCconfTargetRejected) {
+  auto change = ui_.EditConfig("carol", "gk/sampling.json", "schemas/gk.thrift",
+                               "Sampling", {});
+  ASSERT_FALSE(change.ok());
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include "src/vcs/diff.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/content.h"
+#include "src/workload/population.h"
+
+namespace configerator {
+namespace {
+
+PopulationModel::Params SmallParams() {
+  PopulationModel::Params params;
+  params.final_configs = 4000;
+  params.total_days = 1200;
+  params.seed = 99;
+  return params;
+}
+
+TEST(PopulationTest, GeneratesRequestedPopulation) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  EXPECT_GE(model.configs().size(), 4000u);
+  EXPECT_LE(model.configs().size(), 4400u);  // Organic + migration bump.
+}
+
+TEST(PopulationTest, CompiledFractionApproximatelyRight) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  size_t compiled = 0;
+  for (const SyntheticConfig& config : model.configs()) {
+    if (config.kind == ConfigKind::kCompiled) {
+      ++compiled;
+    }
+  }
+  double fraction =
+      static_cast<double>(compiled) / static_cast<double>(model.configs().size());
+  // 75% organic-compiled plus the migration bump pushes it slightly higher.
+  EXPECT_GT(fraction, 0.70);
+  EXPECT_LT(fraction, 0.85);
+}
+
+TEST(PopulationTest, GrowthIsMonotoneAndSuperlinear) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  auto counts = model.CountsByDay();
+  size_t quarter = counts[counts.size() / 4].compiled + counts[counts.size() / 4].raw;
+  size_t half = counts[counts.size() / 2].compiled + counts[counts.size() / 2].raw;
+  size_t full = counts.back().compiled + counts.back().raw;
+  EXPECT_LE(quarter, half);
+  EXPECT_LE(half, full);
+  // Superlinear: the second half adds more than the first half.
+  EXPECT_GT(full - half, half);
+}
+
+TEST(PopulationTest, MigrationBumpVisible) {
+  PopulationModel::Params params = SmallParams();
+  PopulationModel model(params);
+  model.Run();
+  auto counts = model.CountsByDay();
+  size_t day = static_cast<size_t>(params.gatekeeper_migration_day);
+  size_t before = counts[day - 1].compiled;
+  size_t after = counts[day].compiled;
+  // The bump adds ~8% of the final population in one day.
+  EXPECT_GT(after - before,
+            static_cast<size_t>(0.05 * static_cast<double>(params.final_configs)));
+}
+
+TEST(PopulationTest, SizePercentilesMatchPaperShape) {
+  PopulationModel::Params params = SmallParams();
+  params.final_configs = 20'000;
+  PopulationModel model(params);
+  model.Run();
+  SampleSet compiled = model.Sizes(ConfigKind::kCompiled);
+  SampleSet raw = model.Sizes(ConfigKind::kRaw);
+  // Paper: P50 raw 400B / compiled 1KB (generous tolerances: log-normal).
+  EXPECT_GT(compiled.Percentile(50), 500);
+  EXPECT_LT(compiled.Percentile(50), 2200);
+  EXPECT_GT(raw.Percentile(50), 180);
+  EXPECT_LT(raw.Percentile(50), 900);
+  // Compiled configs are bigger than raw at the median.
+  EXPECT_GT(compiled.Percentile(50), raw.Percentile(50));
+  // Heavy tail exists but is clamped at 16 MB.
+  EXPECT_GT(compiled.Max(), 100'000);
+  EXPECT_LE(compiled.Max(), 16.0 * 1024 * 1024);
+}
+
+TEST(PopulationTest, UpdateSkewMatchesPaperShape) {
+  PopulationModel::Params params = SmallParams();
+  params.final_configs = 10'000;
+  PopulationModel model(params);
+  model.Run();
+  // Paper Table 1: top 1% of raw configs take 92.8% of updates; compiled
+  // 64.5%. Require the ordering and rough magnitude.
+  double raw_share = model.TopUpdateShare(ConfigKind::kRaw, 0.01);
+  double compiled_share = model.TopUpdateShare(ConfigKind::kCompiled, 0.01);
+  EXPECT_GT(raw_share, compiled_share);
+  EXPECT_GT(raw_share, 0.55);
+  EXPECT_GT(compiled_share, 0.25);
+
+  // Substantial never-updated mass, raw more than compiled (56.9% vs 25%).
+  SampleSet raw_counts = model.UpdateCounts(ConfigKind::kRaw);
+  SampleSet compiled_counts = model.UpdateCounts(ConfigKind::kCompiled);
+  double raw_once = FractionInRange(raw_counts, 1, 1);
+  double compiled_once = FractionInRange(compiled_counts, 1, 1);
+  EXPECT_GT(raw_once, compiled_once);
+  EXPECT_GT(raw_once, 0.3);
+}
+
+TEST(PopulationTest, FreshnessMixesFreshAndDormant) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  SampleSet freshness = model.Freshness();
+  // Paper Fig 9: 28% touched within 90 days; 35% untouched for 300+ days.
+  double fresh_90 = freshness.CdfAt(90);
+  double dormant_300 = 1.0 - freshness.CdfAt(300);
+  EXPECT_GT(fresh_90, 0.10);
+  EXPECT_GT(dormant_300, 0.10);
+}
+
+TEST(PopulationTest, OldConfigsStillGetUpdated) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  SampleSet ages = model.AgeAtUpdate();
+  // Paper Fig 10: 29% of updates hit configs younger than 60 days AND 29%
+  // hit configs older than 300 days. Require both masses to exist.
+  EXPECT_GT(ages.CdfAt(60), 0.10);
+  EXPECT_GT(1.0 - ages.CdfAt(300), 0.05);
+}
+
+TEST(PopulationTest, CoauthorsMostlyFew) {
+  PopulationModel model(SmallParams());
+  model.Run();
+  SampleSet compiled = model.CoauthorCounts(ConfigKind::kCompiled);
+  // Paper Table 3: ~80% of compiled configs have <= 2 authors.
+  EXPECT_GT(FractionInRange(compiled, 1, 2), 0.5);
+  // Raw configs even more single-authored (automation = one author).
+  SampleSet raw = model.CoauthorCounts(ConfigKind::kRaw);
+  EXPECT_GT(FractionInRange(raw, 1, 2), FractionInRange(compiled, 1, 2) - 0.05);
+}
+
+TEST(PopulationTest, DeterministicForSeed) {
+  PopulationModel a(SmallParams());
+  PopulationModel b(SmallParams());
+  a.Run();
+  b.Run();
+  ASSERT_EQ(a.configs().size(), b.configs().size());
+  for (size_t i = 0; i < a.configs().size(); i += 97) {
+    EXPECT_EQ(a.configs()[i].size_bytes, b.configs()[i].size_bytes);
+    EXPECT_EQ(a.configs()[i].update_count(), b.configs()[i].update_count());
+  }
+}
+
+// ---- Content generation ------------------------------------------------------
+
+TEST(ContentTest, GeneratesParsableJsonNearTargetSize) {
+  Rng rng(5);
+  for (int64_t target : {500, 5'000, 50'000}) {
+    std::string content = GenerateConfigContent(target, rng);
+    EXPECT_TRUE(Json::Parse(content).ok());
+    EXPECT_GT(static_cast<int64_t>(content.size()), target / 4);
+    EXPECT_LT(static_cast<int64_t>(content.size()), target * 6);
+  }
+}
+
+TEST(ContentTest, ModifyScalarIsTwoLineDiff) {
+  Rng rng(6);
+  std::string before = GenerateConfigContent(3000, rng);
+  // Try a few times: the mutation must actually change a value (a random
+  // scalar can collide with the old one).
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    std::string after = ApplyEdit(before, EditKind::kModifyScalar, rng);
+    if (after == before) {
+      continue;
+    }
+    LineDiff diff = DiffLines(before, after);
+    EXPECT_LE(diff.changed_lines(), 4u);  // 2 typical; tiny for any edit.
+    EXPECT_GE(diff.changed_lines(), 1u);
+    return;
+  }
+  FAIL() << "mutation never changed the content";
+}
+
+TEST(ContentTest, AddAndRemoveFieldSmallDiffs) {
+  Rng rng(7);
+  std::string before = GenerateConfigContent(3000, rng);
+  std::string added = ApplyEdit(before, EditKind::kAddField, rng);
+  LineDiff add_diff = DiffLines(before, added);
+  EXPECT_GE(add_diff.added, 1u);
+  EXPECT_LE(add_diff.changed_lines(), 4u);
+
+  std::string removed = ApplyEdit(before, EditKind::kRemoveField, rng);
+  LineDiff del_diff = DiffLines(before, removed);
+  EXPECT_GE(del_diff.deleted, 1u);
+}
+
+TEST(ContentTest, RewriteSectionIsLargeDiff) {
+  Rng rng(8);
+  std::string before = GenerateConfigContent(8000, rng);
+  std::string after = ApplyEdit(before, EditKind::kRewriteSection, rng);
+  LineDiff diff = DiffLines(before, after);
+  EXPECT_GT(diff.changed_lines(), 10u);
+}
+
+TEST(ContentTest, EditedContentStillParses) {
+  Rng rng(9);
+  std::string content = GenerateConfigContent(4000, rng);
+  for (int i = 0; i < 30; ++i) {
+    content = ApplyEdit(content, SampleEditKind(rng), rng);
+    ASSERT_TRUE(Json::Parse(content).ok()) << "after edit " << i;
+  }
+}
+
+TEST(ContentTest, NonJsonContentGetsAppendEdit) {
+  Rng rng(10);
+  std::string raw = "not json at all\njust lines\n";
+  std::string edited = ApplyEdit(raw, EditKind::kModifyScalar, rng);
+  EXPECT_NE(edited, raw);
+  EXPECT_TRUE(edited.starts_with(raw));
+}
+
+TEST(ContentTest, EditKindMixSkewsToSmallEdits) {
+  Rng rng(11);
+  int small = 0;
+  int total = 10'000;
+  for (int i = 0; i < total; ++i) {
+    EditKind kind = SampleEditKind(rng);
+    if (kind == EditKind::kModifyScalar) {
+      ++small;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(small) / total, 0.47, 0.03);
+}
+
+// ---- Arrival model ----------------------------------------------------------
+
+TEST(ArrivalTest, DiurnalPeakMidday) {
+  EXPECT_GT(CommitArrivalModel::HourProfile(12), CommitArrivalModel::HourProfile(3));
+  EXPECT_GT(CommitArrivalModel::HourProfile(14), 2.0);
+  EXPECT_LT(CommitArrivalModel::HourProfile(2), 0.2);
+}
+
+TEST(ArrivalTest, WeekendQuietForHumans) {
+  EXPECT_LT(CommitArrivalModel::WeekdayProfile(5), 0.2);  // Saturday.
+  EXPECT_GT(CommitArrivalModel::WeekdayProfile(1), 0.9);  // Tuesday.
+}
+
+TEST(ArrivalTest, AutomationSetsWeekendFloor) {
+  // Paper: Configerator weekend throughput ≈ 33% of busiest weekday (39%
+  // automation); fbcode ≈ 7% (little automation).
+  CommitArrivalModel::Params configerator_params;
+  configerator_params.automation_share = 0.39;
+  CommitArrivalModel configerator_model(configerator_params);
+
+  CommitArrivalModel::Params fbcode_params;
+  fbcode_params.automation_share = 0.03;
+  CommitArrivalModel fbcode_model(fbcode_params);
+
+  auto weekend_ratio = [](CommitArrivalModel& model) {
+    double weekday = 0;
+    double weekend = 0;
+    for (int hour = 0; hour < 24; ++hour) {
+      weekday += model.ExpectedCommits(2, hour);   // Wednesday.
+      weekend += model.ExpectedCommits(6, hour);   // Sunday.
+    }
+    return weekend / weekday;
+  };
+  double cfg_ratio = weekend_ratio(configerator_model);
+  double fbcode_ratio = weekend_ratio(fbcode_model);
+  EXPECT_GT(cfg_ratio, 0.25);
+  EXPECT_LT(fbcode_ratio, 0.15);
+  EXPECT_GT(cfg_ratio, fbcode_ratio * 2);
+}
+
+TEST(ArrivalTest, GrowthCompounds) {
+  CommitArrivalModel model(CommitArrivalModel::Params{});
+  double early = 0;
+  double late = 0;
+  for (int hour = 0; hour < 24; ++hour) {
+    early += model.ExpectedCommits(0, hour);    // A Monday.
+    late += model.ExpectedCommits(294, hour);   // Also a Monday (294 % 7 == 0).
+  }
+  // 0.38%/day over ~300 days ≈ 3x.
+  EXPECT_GT(late / early, 2.0);
+}
+
+TEST(ArrivalTest, SampledSeriesShapeAndSize) {
+  CommitArrivalModel model(CommitArrivalModel::Params{});
+  auto hourly = model.SampleHourly(14);
+  ASSERT_EQ(hourly.size(), 14u * 24);
+  auto daily = CommitArrivalModel::DailyTotals(hourly);
+  ASSERT_EQ(daily.size(), 14u);
+  // Weekdays (day 0 = Monday) busier than weekends.
+  EXPECT_GT(daily[2], daily[5]);
+  EXPECT_GT(daily[2], daily[6]);
+}
+
+}  // namespace
+}  // namespace configerator
