@@ -1,0 +1,41 @@
+#include "src/analysis/diagnostic.h"
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+std::string_view LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string LintDiagnostic::Format() const {
+  std::string out = file;
+  if (line > 0) {
+    out += ":" + std::to_string(line);
+  }
+  out += ": ";
+  out += LintSeverityName(severity);
+  out += " [" + rule_id + "] " + message;
+  if (!suggestion.empty()) {
+    out += " (fix: " + suggestion + ")";
+  }
+  return out;
+}
+
+size_t CountLintErrors(const std::vector<LintDiagnostic>& diags) {
+  size_t errors = 0;
+  for (const LintDiagnostic& diag : diags) {
+    if (diag.severity == LintSeverity::kError) {
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+}  // namespace configerator

@@ -1,0 +1,39 @@
+// Structured diagnostics emitted by ConfigLint (and by the config-language
+// parser for issues that are detectable during parsing, e.g. duplicate dict
+// keys). A diagnostic pinpoints a finding without aborting whatever produced
+// it: the linter accumulates them, Sandcastle posts them to the review, and
+// only error-severity findings block landing.
+
+#ifndef SRC_ANALYSIS_DIAGNOSTIC_H_
+#define SRC_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+enum class LintSeverity {
+  kWarning,  // Advisory: posted to the review, never blocks landing.
+  kError,    // Blocks landing through Sandcastle.
+};
+
+std::string_view LintSeverityName(LintSeverity severity);
+
+struct LintDiagnostic {
+  std::string rule_id;   // Stable id, e.g. "L001" / "G003".
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string file;
+  int line = 0;          // 1-based; 0 = whole file (JSON configs).
+  std::string message;
+  std::string suggestion;  // Optional suggested fix; may be empty.
+
+  // "file:line: severity [rule] message (fix: suggestion)".
+  std::string Format() const;
+};
+
+// Counts error-severity findings in `diags`.
+size_t CountLintErrors(const std::vector<LintDiagnostic>& diags);
+
+}  // namespace configerator
+
+#endif  // SRC_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,814 @@
+// Language rule family (L001..L009): a scope-resolution pass over the CSL
+// AST. The pass mirrors the interpreter's name semantics — star imports copy
+// a module's globals, assignment defines in the innermost scope, function
+// bodies read enclosing scopes — and resolves import_python()/import_thrift()
+// targets through the FileReader so cross-module references are checked the
+// same way the compiler will resolve them. Where a target cannot be resolved
+// (no reader, unreadable file, non-literal path), the affected checks degrade
+// to silence rather than guessing: a lint false positive that blocks landing
+// is worse than a miss the compiler will catch anyway.
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/analysis/rules.h"
+#include "src/schema/schema.h"
+
+namespace configerator {
+namespace analysis {
+
+namespace {
+
+const std::set<std::string>& BuiltinNames() {
+  static const std::set<std::string>* names = new std::set<std::string>{
+      // RegisterCslBuiltins:
+      "len", "str", "int", "float", "abs", "range", "sorted", "min", "max",
+      "items", "keys", "values", "append", "extend", "has_key", "get", "join",
+      "split", "format", "startswith", "endswith", "upper", "lower", "strip",
+      "replace", "fail", "merge",
+      // Interpreter special forms:
+      "import_python", "import_thrift", "export", "export_if_last"};
+  return *names;
+}
+
+// A function signature harvested from a FunctionDefStmt (local or imported).
+struct FuncSig {
+  std::vector<std::string> params;
+  std::vector<bool> has_default;
+  int def_line = 0;
+  std::string origin;  // File that defines it, for cross-module messages.
+};
+
+// The statically-visible surface of an imported module.
+struct ModuleSurface {
+  std::set<std::string> names;             // All top-level bindings.
+  std::map<std::string, FuncSig> funcs;    // Top-level defs.
+  bool unresolved = false;      // Some of its own imports defied analysis.
+  bool has_schema_import = false;
+};
+
+// One lexical scope. The module frame fills in statement order (so
+// use-before-def is detectable); function frames pre-collect every assigned
+// name because the interpreter resolves function-body reads against the
+// whole environment chain at call time, not in textual order.
+struct Frame {
+  bool is_function = false;
+  std::map<std::string, int> defined;  // name -> definition line
+  std::map<std::string, int> reads;    // name -> read count
+  std::set<std::string> params;
+  std::set<std::string> assigned_anywhere;  // Function frames only.
+};
+
+void CollectAssignedNames(const std::vector<StmtPtr>& body,
+                          std::set<std::string>* out) {
+  for (const StmtPtr& stmt : body) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kAssign:
+      case Stmt::Kind::kAugAssign:
+        if (stmt->target->kind == Expr::Kind::kName) {
+          out->insert(stmt->target->name);
+        }
+        break;
+      case Stmt::Kind::kFor:
+        for (const std::string& var : stmt->loop_vars) {
+          out->insert(var);
+        }
+        CollectAssignedNames(stmt->body, out);
+        break;
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kWhile:
+        CollectAssignedNames(stmt->body, out);
+        CollectAssignedNames(stmt->orelse, out);
+        break;
+      case Stmt::Kind::kDef:
+        out->insert(stmt->def->name);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+class LangAnalyzer {
+ public:
+  LangAnalyzer(const Module& module, const FileReader& reader,
+               std::vector<LintDiagnostic>* diags)
+      : module_(module), reader_(reader), diags_(diags) {}
+
+  void Run() {
+    // Pre-scan the module surface so forward references can be classified as
+    // use-before-def (L002) instead of undefined (L001), and signatures are
+    // known before the textual pass reaches the call site.
+    CollectModuleSurface(module_.body);
+
+    frames_.push_back(Frame{});
+    WalkBlock(module_.body, /*loop_depth=*/0);
+    ReportUnused();
+  }
+
+ private:
+  // ---- Reporting -----------------------------------------------------------
+
+  void Report(const char* rule_id, LintSeverity severity, int line,
+              std::string message, std::string suggestion = "") {
+    LintDiagnostic diag;
+    diag.rule_id = rule_id;
+    diag.severity = severity;
+    diag.file = module_.path;
+    diag.line = line;
+    diag.message = std::move(message);
+    diag.suggestion = std::move(suggestion);
+    diags_->push_back(std::move(diag));
+  }
+
+  // ---- Module pre-scan -----------------------------------------------------
+
+  void CollectModuleSurface(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& stmt : body) {
+      switch (stmt->kind) {
+        case Stmt::Kind::kAssign:
+        case Stmt::Kind::kAugAssign:
+          if (stmt->target->kind == Expr::Kind::kName) {
+            module_names_.emplace(stmt->target->name, stmt->line);
+          }
+          break;
+        case Stmt::Kind::kFor:
+          for (const std::string& var : stmt->loop_vars) {
+            module_names_.emplace(var, stmt->line);
+          }
+          CollectModuleSurface(stmt->body);
+          break;
+        case Stmt::Kind::kIf:
+        case Stmt::Kind::kWhile:
+          CollectModuleSurface(stmt->body);
+          CollectModuleSurface(stmt->orelse);
+          break;
+        case Stmt::Kind::kDef: {
+          module_names_.emplace(stmt->def->name, stmt->line);
+          FuncSig sig;
+          sig.params = stmt->def->params;
+          sig.def_line = stmt->def->line;
+          sig.origin = module_.path;
+          for (const ExprPtr& dflt : stmt->def->defaults) {
+            sig.has_default.push_back(dflt != nullptr);
+          }
+          known_funcs_[stmt->def->name] = std::move(sig);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // ---- Import resolution ---------------------------------------------------
+
+  Result<std::string> ReadSource(const std::string& path) {
+    if (!reader_) {
+      return UnavailableError("no file reader configured for lint");
+    }
+    return reader_(path);
+  }
+
+  // Statically evaluates one imported module's top-level bindings, following
+  // its own star imports up to a bounded depth (cycles and depth overruns
+  // mark the surface unresolved, which silences dependent checks).
+  ModuleSurface ResolveModule(const std::string& path, int depth) {
+    ModuleSurface surface;
+    if (depth > 8 || !visiting_.insert(path).second) {
+      surface.unresolved = true;
+      return surface;
+    }
+    auto cached = module_cache_.find(path);
+    if (cached != module_cache_.end()) {
+      visiting_.erase(path);
+      return cached->second;
+    }
+    auto source = ReadSource(path);
+    std::shared_ptr<Module> module;
+    if (source.ok()) {
+      auto parsed = ParseCsl(*source, path);
+      if (parsed.ok()) {
+        module = *parsed;
+      }
+    }
+    if (module == nullptr) {
+      surface.unresolved = true;
+      visiting_.erase(path);
+      return surface;
+    }
+    CollectSurfaceFrom(module->body, path, depth, &surface);
+    visiting_.erase(path);
+    module_cache_[path] = surface;
+    return surface;
+  }
+
+  void CollectSurfaceFrom(const std::vector<StmtPtr>& body,
+                          const std::string& path, int depth,
+                          ModuleSurface* surface) {
+    for (const StmtPtr& stmt : body) {
+      switch (stmt->kind) {
+        case Stmt::Kind::kAssign:
+        case Stmt::Kind::kAugAssign:
+          if (stmt->target->kind == Expr::Kind::kName) {
+            surface->names.insert(stmt->target->name);
+          }
+          break;
+        case Stmt::Kind::kFor:
+          for (const std::string& var : stmt->loop_vars) {
+            surface->names.insert(var);
+          }
+          CollectSurfaceFrom(stmt->body, path, depth, surface);
+          break;
+        case Stmt::Kind::kIf:
+        case Stmt::Kind::kWhile:
+          CollectSurfaceFrom(stmt->body, path, depth, surface);
+          CollectSurfaceFrom(stmt->orelse, path, depth, surface);
+          break;
+        case Stmt::Kind::kDef: {
+          surface->names.insert(stmt->def->name);
+          FuncSig sig;
+          sig.params = stmt->def->params;
+          sig.def_line = stmt->def->line;
+          sig.origin = path;
+          for (const ExprPtr& dflt : stmt->def->defaults) {
+            sig.has_default.push_back(dflt != nullptr);
+          }
+          surface->funcs[stmt->def->name] = std::move(sig);
+          break;
+        }
+        case Stmt::Kind::kExpr: {
+          // Nested imports contribute to the module's surface.
+          const Expr& e = *stmt->target;
+          if (e.kind != Expr::Kind::kCall ||
+              e.lhs->kind != Expr::Kind::kName) {
+            break;
+          }
+          if (e.lhs->name == "import_thrift") {
+            surface->has_schema_import = true;
+            break;
+          }
+          if (e.lhs->name != "import_python") {
+            break;
+          }
+          if (e.items.empty() || e.items[0]->kind != Expr::Kind::kLiteral ||
+              !e.items[0]->literal.is_string()) {
+            surface->unresolved = true;
+            break;
+          }
+          const std::string& target = e.items[0]->literal.as_string();
+          if (target.ends_with(".thrift")) {
+            surface->has_schema_import = true;
+            break;
+          }
+          std::string filter = "*";
+          if (e.items.size() >= 2 &&
+              e.items[1]->kind == Expr::Kind::kLiteral &&
+              e.items[1]->literal.is_string()) {
+            filter = e.items[1]->literal.as_string();
+          }
+          ModuleSurface nested = ResolveModule(target, depth + 1);
+          if (nested.unresolved) {
+            surface->unresolved = true;
+          }
+          if (nested.has_schema_import) {
+            surface->has_schema_import = true;
+          }
+          if (filter == "*") {
+            surface->names.insert(nested.names.begin(), nested.names.end());
+            for (auto& [name, sig] : nested.funcs) {
+              surface->funcs[name] = sig;
+            }
+          } else {
+            surface->names.insert(filter);
+            auto it = nested.funcs.find(filter);
+            if (it != nested.funcs.end()) {
+              surface->funcs[filter] = it->second;
+            }
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // A record of one import in the file under analysis, for L004.
+  struct ImportRecord {
+    int line = 0;
+    std::string path;
+    std::string filter;            // "*" or one symbol.
+    std::set<std::string> names;   // Names the import defined here.
+    bool verifiable = false;       // Resolution succeeded.
+  };
+
+  void HandleImport(const Expr& call) {
+    const std::string& fn = call.lhs->name;
+    if (call.items.empty() || call.items[0]->kind != Expr::Kind::kLiteral ||
+        !call.items[0]->literal.is_string()) {
+      // Dynamic import path: all bets are off for name resolution.
+      unresolved_star_import_ = true;
+      unresolved_schema_import_ = true;
+      return;
+    }
+    const std::string& path = call.items[0]->literal.as_string();
+    if (fn == "import_thrift" || path.ends_with(".thrift")) {
+      HandleSchemaImport(path);
+      return;
+    }
+    ImportRecord record;
+    record.line = call.line;
+    record.path = path;
+    record.filter = "*";
+    if (call.items.size() >= 2) {
+      if (call.items[1]->kind == Expr::Kind::kLiteral &&
+          call.items[1]->literal.is_string()) {
+        record.filter = call.items[1]->literal.as_string();
+      } else {
+        unresolved_star_import_ = true;
+        return;
+      }
+    }
+    ModuleSurface surface = ResolveModule(path, /*depth=*/1);
+    if (surface.has_schema_import) {
+      // The imported module may hand us schema-constructed values whose
+      // constructors we cannot enumerate here.
+      unresolved_schema_import_ = true;
+    }
+    if (record.filter == "*") {
+      if (surface.unresolved) {
+        unresolved_star_import_ = true;
+        return;
+      }
+      record.verifiable = true;
+      record.names = surface.names;
+      for (const std::string& name : surface.names) {
+        DefineModuleName(name, call.line, /*from_import=*/true);
+      }
+      for (const auto& [name, sig] : surface.funcs) {
+        known_funcs_[name] = sig;
+      }
+    } else {
+      record.verifiable = !surface.unresolved;
+      record.names.insert(record.filter);
+      if (record.verifiable && surface.names.count(record.filter) == 0) {
+        Report("L001", LintSeverity::kError, call.line,
+               "'" + record.filter + "' is not defined by module '" + path +
+                   "'",
+               "check the symbol name against " + path);
+      }
+      DefineModuleName(record.filter, call.line, /*from_import=*/true);
+      auto it = surface.funcs.find(record.filter);
+      if (it != surface.funcs.end()) {
+        known_funcs_[record.filter] = it->second;
+      }
+    }
+    imports_.push_back(std::move(record));
+  }
+
+  void HandleSchemaImport(const std::string& path) {
+    auto source = ReadSource(path);
+    if (!source.ok()) {
+      unresolved_schema_import_ = true;
+      return;
+    }
+    SchemaRegistry registry;
+    auto resolver = [this](const std::string& include) {
+      return ReadSource(include);
+    };
+    if (!registry.ParseAndRegister(*source, path, resolver).ok()) {
+      unresolved_schema_import_ = true;
+      return;
+    }
+    for (const std::string& name : registry.StructNames()) {
+      schema_names_.insert(name);
+    }
+    for (const std::string& name : registry.EnumNames()) {
+      schema_names_.insert(name);
+    }
+  }
+
+  // ---- Scope machinery -----------------------------------------------------
+
+  bool InFunction() const {
+    for (const Frame& frame : frames_) {
+      if (frame.is_function) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void DefineModuleName(const std::string& name, int line, bool from_import) {
+    frames_.front().defined.emplace(name, line);
+    if (from_import) {
+      import_defined_.insert(name);
+    }
+  }
+
+  void DefineName(const std::string& name, int line) {
+    Frame& frame = frames_.back();
+    frame.defined.emplace(name, line);
+    if (BuiltinNames().count(name) > 0) {
+      Report("L006", LintSeverity::kWarning, line,
+             "'" + name + "' shadows a builtin function",
+             "rename the binding");
+    }
+    // Reassigning a known function name invalidates its signature for
+    // call-arity checking.
+    if (!frames_.back().is_function && frames_.size() == 1) {
+      auto it = known_funcs_.find(name);
+      if (it != known_funcs_.end() && it->second.def_line != line) {
+        known_funcs_.erase(it);
+      }
+    }
+  }
+
+  // Resolves a read. Returns true if the name resolved somewhere.
+  void UseName(const std::string& name, int line) {
+    // Innermost-out over the live frames.
+    for (auto frame = frames_.rbegin(); frame != frames_.rend(); ++frame) {
+      if (frame->defined.count(name) > 0 ||
+          frame->params.count(name) > 0 ||
+          (frame->is_function && frame->assigned_anywhere.count(name) > 0)) {
+        ++frame->reads[name];
+        return;
+      }
+    }
+    // From inside a function body any module-level binding resolves
+    // regardless of textual order (the call happens after the module ran).
+    if (InFunction()) {
+      auto it = module_names_.find(name);
+      if (it != module_names_.end()) {
+        ++frames_.front().reads[name];
+        return;
+      }
+    }
+    if (schema_names_.count(name) > 0 || BuiltinNames().count(name) > 0) {
+      return;
+    }
+    auto later = module_names_.find(name);
+    if (!InFunction() && later != module_names_.end()) {
+      Report("L002", LintSeverity::kError, line,
+             "'" + name + "' is used before its definition on line " +
+                 std::to_string(later->second),
+             "move the definition above this use");
+      ++frames_.front().reads[name];
+      return;
+    }
+    if (unresolved_star_import_) {
+      return;  // The name may come from an unresolvable import.
+    }
+    if (unresolved_schema_import_ && !name.empty() &&
+        std::isupper(static_cast<unsigned char>(name[0]))) {
+      return;  // Probably a schema constructor we could not load.
+    }
+    Report("L001", LintSeverity::kError, line,
+           "'" + name + "' is not defined",
+           "define it, or import the module that does");
+  }
+
+  // ---- AST walk ------------------------------------------------------------
+
+  void WalkBlock(const std::vector<StmtPtr>& body, int loop_depth) {
+    bool unreachable_reported = false;
+    bool terminated = false;
+    for (const StmtPtr& stmt : body) {
+      if (terminated && !unreachable_reported) {
+        Report("L007", LintSeverity::kWarning, stmt->line,
+               "statement is unreachable", "remove it");
+        unreachable_reported = true;
+      }
+      WalkStmt(*stmt, loop_depth);
+      if (stmt->kind == Stmt::Kind::kReturn ||
+          stmt->kind == Stmt::Kind::kBreak ||
+          stmt->kind == Stmt::Kind::kContinue) {
+        terminated = true;
+      }
+    }
+  }
+
+  void WalkStmt(const Stmt& stmt, int loop_depth) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kExpr:
+        WalkExpr(*stmt.target);
+        break;
+      case Stmt::Kind::kAssign:
+        WalkExpr(*stmt.value);
+        WalkAssignTarget(*stmt.target, stmt.line);
+        break;
+      case Stmt::Kind::kAugAssign:
+        WalkExpr(*stmt.value);
+        if (stmt.target->kind == Expr::Kind::kName) {
+          UseName(stmt.target->name, stmt.line);  // Read-modify-write.
+        }
+        WalkAssignTarget(*stmt.target, stmt.line);
+        break;
+      case Stmt::Kind::kIf:
+        if (stmt.target->kind == Expr::Kind::kLiteral) {
+          Report("L009", LintSeverity::kWarning, stmt.line,
+                 "'if' condition is a constant; one branch is dead",
+                 "inline the live branch");
+        }
+        WalkExpr(*stmt.target);
+        WalkBlock(stmt.body, loop_depth);
+        WalkBlock(stmt.orelse, loop_depth);
+        break;
+      case Stmt::Kind::kFor: {
+        WalkExpr(*stmt.value);
+        for (const std::string& var : stmt.loop_vars) {
+          DefineName(var, stmt.line);
+          loop_vars_.insert(var);
+        }
+        PredefineLoopBody(stmt.body, stmt.line);
+        WalkBlock(stmt.body, loop_depth + 1);
+        break;
+      }
+      case Stmt::Kind::kWhile:
+        WalkExpr(*stmt.target);
+        PredefineLoopBody(stmt.body, stmt.line);
+        WalkBlock(stmt.body, loop_depth + 1);
+        break;
+      case Stmt::Kind::kDef:
+        WalkDef(stmt);
+        break;
+      case Stmt::Kind::kReturn:
+        if (stmt.target != nullptr) {
+          WalkExpr(*stmt.target);
+        }
+        break;
+      case Stmt::Kind::kAssert:
+        WalkExpr(*stmt.target);
+        if (stmt.value != nullptr) {
+          WalkExpr(*stmt.value);
+        }
+        break;
+      case Stmt::Kind::kPass:
+      case Stmt::Kind::kBreak:
+      case Stmt::Kind::kContinue:
+        break;
+    }
+  }
+
+  // Names assigned anywhere in a loop body count as defined for the whole
+  // body: an accumulation pattern may read on iteration N a name written on
+  // iteration N-1.
+  void PredefineLoopBody(const std::vector<StmtPtr>& body, int line) {
+    std::set<std::string> assigned;
+    CollectAssignedNames(body, &assigned);
+    for (const std::string& name : assigned) {
+      if (frames_.back().defined.count(name) == 0) {
+        frames_.back().defined.emplace(name, line);
+        loop_vars_.insert(name);  // Exempt from unused-binding reporting.
+      }
+    }
+  }
+
+  void WalkAssignTarget(const Expr& target, int line) {
+    switch (target.kind) {
+      case Expr::Kind::kName:
+        DefineName(target.name, line);
+        break;
+      case Expr::Kind::kAttr:
+        WalkExpr(*target.lhs);  // obj.field = v reads obj.
+        break;
+      case Expr::Kind::kIndex:
+        WalkExpr(*target.lhs);  // d[k] = v reads d and k.
+        WalkExpr(*target.rhs);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void WalkDef(const Stmt& stmt) {
+    const FunctionDefStmt& def = *stmt.def;
+    // Defaults evaluate at definition time, in the enclosing scope.
+    for (const ExprPtr& dflt : def.defaults) {
+      if (dflt != nullptr) {
+        WalkExpr(*dflt);
+      }
+    }
+    DefineName(def.name, stmt.line);
+
+    Frame frame;
+    frame.is_function = true;
+    for (const std::string& param : def.params) {
+      frame.params.insert(param);
+      if (BuiltinNames().count(param) > 0) {
+        Report("L006", LintSeverity::kWarning, def.line,
+               "parameter '" + param + "' shadows a builtin function",
+               "rename the parameter");
+      }
+    }
+    CollectAssignedNames(def.body, &frame.assigned_anywhere);
+    frames_.push_back(std::move(frame));
+    WalkBlock(def.body, /*loop_depth=*/0);
+    Frame finished = std::move(frames_.back());
+    frames_.pop_back();
+    // Unused locals (not params, not '_'-prefixed).
+    for (const auto& [name, line] : finished.defined) {
+      if (finished.reads[name] == 0 && !name.starts_with("_") &&
+          loop_vars_.count(name) == 0) {
+        Report("L003", LintSeverity::kWarning, line,
+               "local '" + name + "' is assigned but never read",
+               "remove the binding or prefix it with '_'");
+      }
+    }
+  }
+
+  void WalkExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kLiteral:
+        break;
+      case Expr::Kind::kName:
+        UseName(expr.name, expr.line);
+        break;
+      case Expr::Kind::kList:
+        for (const ExprPtr& item : expr.items) {
+          WalkExpr(*item);
+        }
+        break;
+      case Expr::Kind::kDict:
+        for (const auto& [key, value] : expr.pairs) {
+          WalkExpr(*key);
+          WalkExpr(*value);
+        }
+        break;
+      case Expr::Kind::kBinary:
+        WalkExpr(*expr.lhs);
+        WalkExpr(*expr.rhs);
+        break;
+      case Expr::Kind::kUnary:
+        WalkExpr(*expr.lhs);
+        break;
+      case Expr::Kind::kTernary:
+        if (expr.rhs->kind == Expr::Kind::kLiteral) {
+          Report("L009", LintSeverity::kWarning, expr.line,
+                 "ternary condition is a constant; one branch is dead",
+                 "inline the live branch");
+        }
+        WalkExpr(*expr.lhs);
+        WalkExpr(*expr.rhs);
+        WalkExpr(*expr.third);
+        break;
+      case Expr::Kind::kCall:
+        WalkCall(expr);
+        break;
+      case Expr::Kind::kAttr:
+        WalkExpr(*expr.lhs);
+        break;
+      case Expr::Kind::kIndex:
+        WalkExpr(*expr.lhs);
+        WalkExpr(*expr.rhs);
+        break;
+    }
+  }
+
+  void WalkCall(const Expr& call) {
+    if (call.lhs->kind == Expr::Kind::kName &&
+        (call.lhs->name == "import_python" ||
+         call.lhs->name == "import_thrift")) {
+      HandleImport(call);
+      return;  // Path/filter are literals; nothing else to resolve.
+    }
+    WalkExpr(*call.lhs);
+    for (const ExprPtr& arg : call.items) {
+      WalkExpr(*arg);
+    }
+    for (const auto& [name, value] : call.kwargs) {
+      WalkExpr(*value);
+    }
+    if (call.lhs->kind == Expr::Kind::kName) {
+      CheckCallArity(call);
+    }
+  }
+
+  void CheckCallArity(const Expr& call) {
+    auto it = known_funcs_.find(call.lhs->name);
+    if (it == known_funcs_.end()) {
+      return;
+    }
+    const FuncSig& sig = it->second;
+    const std::string& fn = call.lhs->name;
+    std::string where =
+        sig.origin == module_.path
+            ? "line " + std::to_string(sig.def_line)
+            : sig.origin + ":" + std::to_string(sig.def_line);
+    if (call.items.size() > sig.params.size()) {
+      Report("L008", LintSeverity::kError, call.line,
+             fn + "() takes at most " + std::to_string(sig.params.size()) +
+                 " arguments but got " + std::to_string(call.items.size()) +
+                 " (defined at " + where + ")",
+             "drop the extra arguments");
+      return;
+    }
+    std::set<std::string> bound(sig.params.begin(),
+                                sig.params.begin() + call.items.size());
+    for (const auto& [kw, value] : call.kwargs) {
+      bool known_param = false;
+      for (const std::string& param : sig.params) {
+        if (param == kw) {
+          known_param = true;
+          break;
+        }
+      }
+      if (!known_param) {
+        Report("L008", LintSeverity::kError, call.line,
+               fn + "() has no parameter named '" + kw + "' (defined at " +
+                   where + ")",
+               "check the parameter names");
+        continue;
+      }
+      if (!bound.insert(kw).second) {
+        Report("L008", LintSeverity::kError, call.line,
+               fn + "() got multiple values for parameter '" + kw + "'",
+               "pass the parameter once");
+      }
+    }
+    for (size_t i = 0; i < sig.params.size(); ++i) {
+      bool required = i >= sig.has_default.size() || !sig.has_default[i];
+      if (required && bound.count(sig.params[i]) == 0) {
+        Report("L008", LintSeverity::kError, call.line,
+               fn + "() is missing required argument '" + sig.params[i] +
+                   "' (defined at " + where + ")",
+               "pass a value for '" + sig.params[i] + "'");
+      }
+    }
+  }
+
+  // ---- Post-pass unused reporting ------------------------------------------
+
+  void ReportUnused() {
+    const Frame& module_frame = frames_.front();
+
+    for (const ImportRecord& import : imports_) {
+      if (!import.verifiable) {
+        continue;
+      }
+      size_t used = 0;
+      for (const std::string& name : import.names) {
+        auto reads = module_frame.reads.find(name);
+        if (reads != module_frame.reads.end() && reads->second > 0) {
+          ++used;
+        }
+      }
+      if (used == 0) {
+        std::string what = import.filter == "*"
+                               ? "nothing imported from '" + import.path +
+                                     "' is used"
+                               : "imported symbol '" + import.filter +
+                                     "' is unused";
+        Report("L004", LintSeverity::kWarning, import.line, what,
+               "remove the import");
+      }
+    }
+
+    // Module-level unused bindings only matter for entry files: a .cinc's
+    // globals are its export surface for other modules.
+    if (!module_.path.ends_with(".cconf")) {
+      return;
+    }
+    for (const auto& [name, line] : module_frame.defined) {
+      if (name.starts_with("_") || import_defined_.count(name) > 0 ||
+          loop_vars_.count(name) > 0) {
+        continue;
+      }
+      auto reads = module_frame.reads.find(name);
+      if (reads == module_frame.reads.end() || reads->second == 0) {
+        Report("L003", LintSeverity::kWarning, line,
+               "'" + name + "' is assigned but never read",
+               "remove the binding or prefix it with '_'");
+      }
+    }
+  }
+
+  const Module& module_;
+  const FileReader& reader_;
+  std::vector<LintDiagnostic>* diags_;
+
+  std::map<std::string, int> module_names_;  // Full surface, any line.
+  std::map<std::string, FuncSig> known_funcs_;
+  std::set<std::string> schema_names_;
+  std::set<std::string> import_defined_;
+  std::set<std::string> loop_vars_;
+  std::vector<ImportRecord> imports_;
+  std::vector<Frame> frames_;
+  std::map<std::string, ModuleSurface> module_cache_;
+  std::set<std::string> visiting_;
+  bool unresolved_star_import_ = false;
+  bool unresolved_schema_import_ = false;
+};
+
+}  // namespace
+
+void RunLanguageRules(const Module& module, const FileReader& reader,
+                      std::vector<LintDiagnostic>* diags) {
+  LangAnalyzer(module, reader, diags).Run();
+}
+
+}  // namespace analysis
+}  // namespace configerator

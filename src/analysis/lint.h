@@ -1,0 +1,91 @@
+// ConfigLint: static analysis over config source (CSL) and Gatekeeper
+// project specs — the fourth layered defense of the paper's §3 pipeline,
+// sitting in front of type-checking, validators, and canary. Where the
+// compiler answers "does this config evaluate?", ConfigLint answers "does
+// this config say what the author meant?": undefined names, dead Gatekeeper
+// clauses, and 0% rollouts all evaluate fine and misbehave in production.
+//
+// Two rule families:
+//
+//   Language rules (Lxxx) — run over the config-language AST with a
+//   scope-resolution pass that follows import_python()/import_thrift()
+//   through the supplied FileReader, so cross-module name resolution matches
+//   what the compiler will do at build time.
+//
+//   Gating rules (Gxxx) — run over Gatekeeper project JSON, reasoning about
+//   each rule's restraint conjunction (contradictions, subsumption, dead
+//   clauses, vacuous buckets) against the RestraintRegistry.
+//
+// | Rule | Severity | Finding |
+// |------|----------|---------|
+// | L001 undefined-name      | error   | name never defined in any reachable scope |
+// | L002 use-before-def      | error   | module-level use precedes the definition |
+// | L003 unused-binding      | warning | binding written but never read |
+// | L004 unused-import       | warning | imported symbol/module never used |
+// | L005 duplicate-dict-key  | error   | dict literal repeats a constant key |
+// | L006 shadowed-builtin    | warning | binding hides a builtin function |
+// | L007 unreachable-code    | warning | statement after return/break/continue |
+// | L008 call-arity          | error   | call mismatches a known def's signature |
+// | L009 constant-condition  | warning | if/ternary condition is a literal |
+// | G001 contradictory-restraints | error | X and NOT X in one conjunction |
+// | G002 subsumed-rule       | warning | rule shadowed by earlier always-pass rule |
+// | G003 dead-rule           | warning | conjunction or sampling can never pass |
+// | G004 unknown-restraint-type | error | type absent from the RestraintRegistry |
+// | G005 duplicate-restraint | warning | identical restraint repeated in one rule |
+// | G006 vacuous-bucket      | warning | id_mod/hash_range spans every user |
+
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/gatekeeper/restraint.h"
+#include "src/lang/compiler.h"
+
+namespace configerator {
+
+// Static description of one lint rule (drives docs and --explain output).
+struct LintRuleInfo {
+  std::string_view id;
+  std::string_view name;
+  LintSeverity severity;
+  std::string_view summary;
+};
+
+class ConfigLint {
+ public:
+  // `reader` resolves imports for cross-module analysis; without one (or
+  // when a target cannot be read) the affected checks degrade conservatively
+  // instead of guessing. `registry` is consulted for restraint types.
+  explicit ConfigLint(FileReader reader = nullptr,
+                      const RestraintRegistry* registry =
+                          &RestraintRegistry::Builtin());
+
+  // Dispatches on path convention: ".cconf"/".cinc" → language rules,
+  // "gatekeeper/*.json" → gating rules, anything else → no findings.
+  std::vector<LintDiagnostic> LintFile(const std::string& path,
+                                       const std::string& content) const;
+
+  // Language rules over one CSL source file. A file that fails to parse
+  // yields a single L000 parse-error diagnostic (the compiler will reject it
+  // with full detail; lint just flags it).
+  std::vector<LintDiagnostic> LintSource(const std::string& path,
+                                         const std::string& content) const;
+
+  // Gating rules over one Gatekeeper project JSON.
+  std::vector<LintDiagnostic> LintGatekeeper(const std::string& path,
+                                             const std::string& content) const;
+
+  // The full rule table, for documentation and tooling.
+  static const std::vector<LintRuleInfo>& Rules();
+
+ private:
+  FileReader reader_;
+  const RestraintRegistry* registry_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_ANALYSIS_LINT_H_

@@ -1,0 +1,31 @@
+// Internal interface between the ConfigLint driver and its rule families.
+// Not installed as public API; tests go through ConfigLint.
+
+#ifndef SRC_ANALYSIS_RULES_H_
+#define SRC_ANALYSIS_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostic.h"
+#include "src/gatekeeper/restraint.h"
+#include "src/lang/ast.h"
+#include "src/lang/compiler.h"
+
+namespace configerator {
+namespace analysis {
+
+// Language rules (L001..L009) over a parsed module. `reader` resolves
+// import_python / import_thrift targets; may be null.
+void RunLanguageRules(const Module& module, const FileReader& reader,
+                      std::vector<LintDiagnostic>* diags);
+
+// Gating rules (G001..G006) over a parsed Gatekeeper project JSON.
+void RunGatingRules(const std::string& path, const Json& config,
+                    const RestraintRegistry& registry,
+                    std::vector<LintDiagnostic>* diags);
+
+}  // namespace analysis
+}  // namespace configerator
+
+#endif  // SRC_ANALYSIS_RULES_H_

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/analysis/diagnostic.h"
 #include "src/lang/value.h"
 
 namespace configerator {
@@ -90,8 +91,12 @@ struct Module {
 };
 
 // Parses tokenized source into a module. `origin` labels error messages.
+// If `lint_diags` is given, non-fatal findings detectable during parsing
+// (duplicate constant keys in dict literals — evaluation is last-write-wins)
+// are appended to it instead of failing the parse; ConfigLint surfaces them.
 Result<std::shared_ptr<Module>> ParseCsl(std::string_view source,
-                                         const std::string& origin);
+                                         const std::string& origin,
+                                         std::vector<LintDiagnostic>* lint_diags = nullptr);
 
 }  // namespace configerator
 

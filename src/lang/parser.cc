@@ -32,8 +32,10 @@ bool IsKeyword(std::string_view word) {
 
 class CslParser {
  public:
-  CslParser(std::vector<CslToken> tokens, std::string origin)
-      : tokens_(std::move(tokens)), origin_(std::move(origin)) {}
+  CslParser(std::vector<CslToken> tokens, std::string origin,
+            std::vector<LintDiagnostic>* lint_diags)
+      : tokens_(std::move(tokens)), origin_(std::move(origin)),
+        lint_diags_(lint_diags) {}
 
   Result<std::shared_ptr<Module>> Run() {
     auto module = std::make_shared<Module>();
@@ -543,6 +545,7 @@ class CslParser {
           auto dict = NewExpr(Expr::Kind::kDict);
           while (!AtOp("}")) {
             ASSIGN_OR_RETURN(ExprPtr key, ParseExpression());
+            NoteDictKey(*dict, *key);
             RETURN_IF_ERROR_R(ExpectOp(":"));
             ASSIGN_OR_RETURN(ExprPtr value, ParseExpression());
             dict->pairs.emplace_back(std::move(key), std::move(value));
@@ -562,8 +565,36 @@ class CslParser {
     }
   }
 
+  // Diagnoses a constant key already present in the literal being parsed
+  // (evaluation is last-write-wins, so the earlier entry is silently dead).
+  void NoteDictKey(const Expr& dict, const Expr& key) {
+    if (lint_diags_ == nullptr || key.kind != Expr::Kind::kLiteral ||
+        !key.literal.is_string()) {
+      return;
+    }
+    for (const auto& [existing_key, existing_value] : dict.pairs) {
+      if (existing_key->kind == Expr::Kind::kLiteral &&
+          existing_key->literal.is_string() &&
+          existing_key->literal.as_string() == key.literal.as_string()) {
+        LintDiagnostic diag;
+        diag.rule_id = "L005";
+        diag.severity = LintSeverity::kError;
+        diag.file = origin_;
+        diag.line = key.line;
+        diag.message = "duplicate dict key \"" + key.literal.as_string() +
+                       "\" (first defined on line " +
+                       std::to_string(existing_key->line) +
+                       "; the earlier value is silently discarded)";
+        diag.suggestion = "remove one of the entries";
+        lint_diags_->push_back(std::move(diag));
+        return;
+      }
+    }
+  }
+
   std::vector<CslToken> tokens_;
   std::string origin_;
+  std::vector<LintDiagnostic>* lint_diags_;
   size_t pos_ = 0;
 };
 
@@ -572,9 +603,10 @@ class CslParser {
 }  // namespace
 
 Result<std::shared_ptr<Module>> ParseCsl(std::string_view source,
-                                         const std::string& origin) {
+                                         const std::string& origin,
+                                         std::vector<LintDiagnostic>* lint_diags) {
   ASSIGN_OR_RETURN(std::vector<CslToken> tokens, TokenizeCsl(source, origin));
-  return CslParser(std::move(tokens), origin).Run();
+  return CslParser(std::move(tokens), origin, lint_diags).Run();
 }
 
 }  // namespace configerator

@@ -1,6 +1,7 @@
 #include "src/pipeline/ci.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 
 #include "src/canary/canary.h"
@@ -52,8 +53,15 @@ void Sandcastle::RegisterRawValidator(RawValidator validator) {
 std::string CiReport::Summary() const {
   std::string out = passed ? "PASS" : "FAIL";
   out += StrFormat(": %zu entries recompiled", compiled_entries.size());
+  if (!lint_findings.empty()) {
+    out += StrFormat("; lint: %zu error(s), %zu warning(s)", lint_errors(),
+                     lint_warnings());
+  }
   for (const std::string& failure : failures) {
     out += "\n  " + failure;
+  }
+  for (const LintDiagnostic& finding : lint_findings) {
+    out += "\n  " + finding.Format();
   }
   return out;
 }
@@ -127,7 +135,34 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
       }
     }
   }
+
+  // Static analysis over everything the diff touches. Error-severity
+  // findings block the diff just like a failing compile; warnings are
+  // advisory unless strict lint is on.
+  report.lint_findings = RunLint(diff);
+  if (report.lint_errors() > 0 ||
+      (strict_lint_ && !report.lint_findings.empty())) {
+    report.passed = false;
+  }
   return report;
+}
+
+std::vector<LintDiagnostic> Sandcastle::RunLint(const ProposedDiff& diff) const {
+  // Imports resolve through the overlay: a finding (or its absence) reflects
+  // the tree as it would look with the diff applied.
+  ConfigLint linter(OverlayReader(diff));
+  std::vector<LintDiagnostic> findings;
+  for (const FileWrite& write : diff.writes) {
+    if (!write.content.has_value()) {
+      continue;  // Deletions have no content to lint.
+    }
+    std::vector<LintDiagnostic> file_findings =
+        linter.LintFile(write.path, *write.content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
 }
 
 }  // namespace configerator

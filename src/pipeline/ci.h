@@ -2,8 +2,10 @@
 // in a sandbox against the proposed config change before it can land. Here
 // the sandbox is an overlay of the diff on top of the repository head: every
 // entry config affected by the change is recompiled (schema checks and
-// validators run as part of compilation), and the results are posted to the
-// review.
+// validators run as part of compilation), ConfigLint statically analyses
+// every touched source and Gatekeeper spec, and the results are posted to
+// the review. Error-severity lint findings fail the report (and therefore
+// block landing); warnings ride along as advisory review comments.
 
 #ifndef SRC_PIPELINE_CI_H_
 #define SRC_PIPELINE_CI_H_
@@ -11,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/lint.h"
 #include "src/lang/compiler.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
@@ -22,6 +25,14 @@ struct CiReport {
   bool passed = false;
   std::vector<std::string> compiled_entries;
   std::vector<std::string> failures;  // One message per failing entry.
+  // ConfigLint findings over every file the diff touches. Error severity
+  // implies !passed; warnings never flip `passed` on their own.
+  std::vector<LintDiagnostic> lint_findings;
+
+  size_t lint_errors() const { return CountLintErrors(lint_findings); }
+  size_t lint_warnings() const {
+    return lint_findings.size() - CountLintErrors(lint_findings);
+  }
 
   std::string Summary() const;
 };
@@ -36,10 +47,15 @@ class Sandcastle {
   Sandcastle(const Repository* repo, const DependencyService* deps);
 
   // Recompiles every entry config affected by `diff` in a sandbox overlay,
-  // and runs raw-config validators over touched non-compiled configs
+  // runs raw-config validators over touched non-compiled configs
   // (Gatekeeper project JSON must compile into a project; canary specs must
-  // parse; any "*.json" must at least be valid JSON).
+  // parse; any "*.json" must at least be valid JSON), and lints every
+  // touched file with ConfigLint (imports resolved through the overlay, so
+  // cross-module findings see the diff's state of the tree).
   CiReport RunTests(const ProposedDiff& diff) const;
+
+  // The ConfigLint stage alone: diagnostics for every file `diff` touches.
+  std::vector<LintDiagnostic> RunLint(const ProposedDiff& diff) const;
 
   // A FileReader that resolves through `diff` first, then the repo head.
   FileReader OverlayReader(const ProposedDiff& diff) const;
@@ -47,10 +63,14 @@ class Sandcastle {
   // Adds a custom raw-config validator (run for every written path).
   void RegisterRawValidator(RawValidator validator);
 
+  // Warnings-as-errors for the lint stage (off by default).
+  void set_strict_lint(bool strict) { strict_lint_ = strict; }
+
  private:
   const Repository* repo_;
   const DependencyService* deps_;
   std::vector<RawValidator> raw_validators_;
+  bool strict_lint_ = false;
 };
 
 }  // namespace configerator

@@ -360,6 +360,85 @@ TEST_F(SandcastleTest, CustomRawValidator) {
   EXPECT_TRUE(ci.RunTests(good).passed);
 }
 
+TEST_F(SandcastleTest, LintErrorBlocksDiffThatCompiles) {
+  Sandcastle ci(&repo_, &deps_);
+  // Duplicate dict keys compile fine (last write wins) but almost always
+  // mean a botched merge — lint flags them at error severity, so the diff
+  // is rejected even though every entry recompiled successfully.
+  ProposedDiff bad = MakeProposedDiff(
+      repo_, "alice", "merge",
+      {{"limits.cconf",
+        "export_if_last({\"max_conn\": 100, \"max_conn\": 500})\n"}});
+  CiReport report = ci.RunTests(bad);
+  EXPECT_FALSE(report.passed);
+  EXPECT_TRUE(report.failures.empty());  // The compile itself was clean.
+  ASSERT_EQ(report.lint_errors(), 1u);
+  EXPECT_EQ(report.lint_findings[0].rule_id, "L005");
+  EXPECT_NE(report.Summary().find("[L005]"), std::string::npos);
+}
+
+TEST_F(SandcastleTest, LintWarningOnlyDiffPasses) {
+  Sandcastle ci(&repo_, &deps_);
+  // Same shape of diff, but the finding is warning severity (constant
+  // ternary condition): advisory, never blocks.
+  ProposedDiff warn = MakeProposedDiff(
+      repo_, "alice", "tweak",
+      {{"limits.cconf",
+        "max_conn = 100 if True else 500\n"
+        "export_if_last({\"max_conn\": max_conn})\n"}});
+  CiReport report = ci.RunTests(warn);
+  EXPECT_TRUE(report.passed) << report.Summary();
+  EXPECT_EQ(report.lint_errors(), 0u);
+  ASSERT_EQ(report.lint_warnings(), 1u);
+  EXPECT_EQ(report.lint_findings[0].rule_id, "L009");
+  // The warning still reaches reviewers through the summary.
+  EXPECT_NE(report.Summary().find("[L009]"), std::string::npos);
+}
+
+TEST_F(SandcastleTest, StrictLintPromotesWarningsToBlocking) {
+  Sandcastle ci(&repo_, &deps_);
+  ci.set_strict_lint(true);
+  ProposedDiff warn = MakeProposedDiff(
+      repo_, "alice", "tweak",
+      {{"limits.cconf",
+        "max_conn = 100 if True else 500\n"
+        "export_if_last({\"max_conn\": max_conn})\n"}});
+  EXPECT_FALSE(ci.RunTests(warn).passed);
+}
+
+TEST_F(SandcastleTest, LintResolvesImportsThroughOverlay) {
+  Sandcastle ci(&repo_, &deps_);
+  // The .cconf references a name defined by a .cinc added in the SAME diff:
+  // lint must resolve the import through the overlay, not repo head.
+  ProposedDiff diff = MakeProposedDiff(
+      repo_, "alice", "new pair",
+      {{"tiers.cinc", "TIERS = [\"hot\", \"cold\"]\n"},
+       {"tiers.cconf",
+        "import_python(\"tiers.cinc\", \"*\")\n"
+        "export_if_last({\"tiers\": TIERS})\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed) << report.Summary();
+  EXPECT_TRUE(report.lint_findings.empty());
+}
+
+TEST_F(SandcastleTest, GatekeeperContradictionBlocksLanding) {
+  Sandcastle ci(&repo_, &deps_);
+  // Valid as a project (raw validator passes) but the conjunction can never
+  // match anyone — lint's G001 catches what schema validation cannot.
+  ProposedDiff bad = MakeProposedDiff(
+      repo_, "alice", "gate",
+      {{"gatekeeper/rollout.json",
+        R"({"project": "rollout", "rules": [{"pass_probability": 1.0,
+            "restraints": [
+              {"type": "employee"},
+              {"type": "employee", "negate": true}]}]})"}});
+  CiReport report = ci.RunTests(bad);
+  EXPECT_FALSE(report.passed);
+  EXPECT_TRUE(report.failures.empty());
+  ASSERT_EQ(report.lint_errors(), 1u);
+  EXPECT_EQ(report.lint_findings[0].rule_id, "G001");
+}
+
 TEST_F(SandcastleTest, DeletedFileInvisibleThroughOverlay) {
   Sandcastle ci(&repo_, &deps_);
   ProposedDiff diff =
