@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full pre-land check: tier-1 build + tests, ASan/UBSan build + tests, and
+# clang-tidy. This is what CI runs; run it before pushing.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # tier-1 only (skip sanitizers and clang-tidy)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure
+
+if [[ "$FAST" == "1" ]]; then
+  echo "==> done (fast mode: sanitizers and clang-tidy skipped)"
+  exit 0
+fi
+
+echo "==> sanitized: configure + build (address;undefined)"
+cmake -B build-asan -S . -DCONFIGERATOR_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "==> sanitized: ctest"
+ctest --test-dir build-asan --output-on-failure
+
+echo "==> clang-tidy"
+cmake --build build --target lint
+
+echo "==> all checks passed"

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/analysis/rules.h"
+#include "src/lang/import_resolver.h"
 #include "src/schema/schema.h"
 
 namespace configerator {
@@ -242,50 +243,35 @@ class LangAnalyzer {
         case Stmt::Kind::kExpr: {
           // Nested imports contribute to the module's surface.
           const Expr& e = *stmt->target;
-          if (e.kind != Expr::Kind::kCall ||
-              e.lhs->kind != Expr::Kind::kName) {
+          if (!IsImportCall(e)) {
             break;
           }
-          if (e.lhs->name == "import_thrift") {
+          ImportTarget import = ClassifyImport(e);
+          if (import.kind == ImportTarget::Kind::kSchema) {
             surface->has_schema_import = true;
             break;
           }
-          if (e.lhs->name != "import_python") {
-            break;
-          }
-          if (e.items.empty() || e.items[0]->kind != Expr::Kind::kLiteral ||
-              !e.items[0]->literal.is_string()) {
+          if (import.kind == ImportTarget::Kind::kDynamic) {
             surface->unresolved = true;
             break;
           }
-          const std::string& target = e.items[0]->literal.as_string();
-          if (target.ends_with(".thrift")) {
-            surface->has_schema_import = true;
-            break;
-          }
-          std::string filter = "*";
-          if (e.items.size() >= 2 &&
-              e.items[1]->kind == Expr::Kind::kLiteral &&
-              e.items[1]->literal.is_string()) {
-            filter = e.items[1]->literal.as_string();
-          }
-          ModuleSurface nested = ResolveModule(target, depth + 1);
+          ModuleSurface nested = ResolveModule(import.path, depth + 1);
           if (nested.unresolved) {
             surface->unresolved = true;
           }
           if (nested.has_schema_import) {
             surface->has_schema_import = true;
           }
-          if (filter == "*") {
+          if (import.filter == "*") {
             surface->names.insert(nested.names.begin(), nested.names.end());
             for (auto& [name, sig] : nested.funcs) {
               surface->funcs[name] = sig;
             }
           } else {
-            surface->names.insert(filter);
-            auto it = nested.funcs.find(filter);
+            surface->names.insert(import.filter);
+            auto it = nested.funcs.find(import.filter);
             if (it != nested.funcs.end()) {
-              surface->funcs[filter] = it->second;
+              surface->funcs[import.filter] = it->second;
             }
           }
           break;
@@ -306,32 +292,22 @@ class LangAnalyzer {
   };
 
   void HandleImport(const Expr& call) {
-    const std::string& fn = call.lhs->name;
-    if (call.items.empty() || call.items[0]->kind != Expr::Kind::kLiteral ||
-        !call.items[0]->literal.is_string()) {
-      // Dynamic import path: all bets are off for name resolution.
+    ImportTarget import = ClassifyImport(call);
+    if (import.kind == ImportTarget::Kind::kDynamic) {
+      // Dynamic import path or filter: all bets are off for name resolution.
       unresolved_star_import_ = true;
       unresolved_schema_import_ = true;
       return;
     }
-    const std::string& path = call.items[0]->literal.as_string();
-    if (fn == "import_thrift" || path.ends_with(".thrift")) {
-      HandleSchemaImport(path);
+    if (import.kind == ImportTarget::Kind::kSchema) {
+      HandleSchemaImport(import.path);
       return;
     }
+    const std::string& path = import.path;
     ImportRecord record;
     record.line = call.line;
     record.path = path;
-    record.filter = "*";
-    if (call.items.size() >= 2) {
-      if (call.items[1]->kind == Expr::Kind::kLiteral &&
-          call.items[1]->literal.is_string()) {
-        record.filter = call.items[1]->literal.as_string();
-      } else {
-        unresolved_star_import_ = true;
-        return;
-      }
-    }
+    record.filter = import.filter;
     ModuleSurface surface = ResolveModule(path, /*depth=*/1);
     if (surface.has_schema_import) {
       // The imported module may hand us schema-constructed values whose

@@ -1,0 +1,371 @@
+// T-rules: schema checks over abstract values (see absint.h). Where the
+// concrete checker (src/schema/typecheck.cc) validates the one value a
+// compile produced, these rules validate every value any branch can
+// produce — without evaluating. Anything the concrete checker accepts must
+// pass silently here; `Any` never fires.
+
+#include "src/analysis/absint.h"
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+struct Checker {
+  const SchemaRegistry& registry;
+  const ValidatorBounds& bounds;
+  const AbstractHeap& heap;
+  const std::string& file;
+  int line;
+  const std::string& export_path;
+  std::vector<LintDiagnostic>* diags;
+  // (object, struct) pairs already being checked: self-referential values.
+  std::set<std::pair<HeapId, std::string>> visiting;
+  std::set<HeapId> serializable_seen;
+
+  void Emit(const char* rule, LintSeverity severity, std::string message,
+            std::string suggestion) {
+    LintDiagnostic d;
+    d.rule_id = rule;
+    d.severity = severity;
+    d.file = file;
+    d.line = line;
+    d.message = StrFormat("export '%s': %s", export_path.c_str(),
+                          message.c_str());
+    d.suggestion = std::move(suggestion);
+    diags->push_back(std::move(d));
+  }
+
+  const AbstractObject* ObjectOf(const AbstractValue& v) const {
+    return v.object != kNoHeapId ? heap.Get(v.object) : nullptr;
+  }
+
+  // Runtime kinds the concrete checker accepts for `type`. Null is always
+  // tolerated at the field level (a null field counts as absent); T015
+  // handles required-without-default separately.
+  uint32_t AllowedKinds(const Type& type) const {
+    switch (type.kind()) {
+      case TypeKind::kBool:
+        return kAbsBool;
+      case TypeKind::kI16:
+      case TypeKind::kI32:
+      case TypeKind::kI64:
+        return kAbsInt;
+      case TypeKind::kDouble:
+        return kAbsInt | kAbsDouble;
+      case TypeKind::kString:
+        return kAbsString;
+      case TypeKind::kList:
+        return kAbsList;
+      case TypeKind::kMap:
+        return kAbsDict;
+      case TypeKind::kStruct:
+        // A StructRef may name an enum (forward reference at parse time).
+        if (registry.FindEnum(type.name()) != nullptr) {
+          return kAbsInt | kAbsString;
+        }
+        return kAbsDict;
+      case TypeKind::kEnum:
+        return kAbsInt | kAbsString;
+    }
+    return kAbsAnyMask;
+  }
+
+  void CheckValue(const AbstractValue& v, const Type& type,
+                  const std::string& path);
+  void CheckStructValue(const AbstractValue& v, const StructDef& def,
+                        const std::string& path);
+  void CheckIntBounds(const AbstractValue& v, const Type& type,
+                      const std::string& struct_name, const FieldDef& field,
+                      const std::string& path);
+  void CheckEnumValue(const AbstractValue& v, const EnumDef& e,
+                      const std::string& path);
+  void CheckSerializable(const AbstractValue& v, const std::string& path);
+};
+
+void Checker::CheckValue(const AbstractValue& v, const Type& type,
+                         const std::string& path) {
+  if (v.is_any() || v.is_bottom()) {
+    return;  // No facts: stay silent.
+  }
+  uint32_t allowed = AllowedKinds(type) | kAbsNull;  // Null reads as absent.
+  uint32_t bad = v.kinds & ~allowed;
+  if (bad != 0) {
+    if (bad == v.kinds) {
+      Emit("T010", LintSeverity::kError,
+           StrFormat("%s is %s; schema declares %s", path.c_str(),
+                     v.Describe().c_str(), type.ToString().c_str()),
+           "assign a value matching the schema type");
+    } else {
+      Emit("T010", LintSeverity::kError,
+           StrFormat("%s may be %s (branch-dependent); schema declares %s",
+                     path.c_str(),
+                     AbstractValue::OfKinds(bad).Describe().c_str(),
+                     type.ToString().c_str()),
+           "make every branch assign a value of the schema type");
+    }
+    return;  // Kinds are off; deeper checks would pile on noise.
+  }
+
+  switch (type.kind()) {
+    case TypeKind::kList: {
+      const AbstractObject* obj = ObjectOf(v);
+      if (obj == nullptr || !v.only(kAbsList)) {
+        return;
+      }
+      const AbstractValue& elem = obj->element;
+      if (elem.is_any() || elem.is_bottom()) {
+        return;
+      }
+      uint32_t elem_allowed = AllowedKinds(type.element());
+      uint32_t elem_bad = elem.kinds & ~elem_allowed;
+      if (elem_bad != 0) {
+        Emit("T016", LintSeverity::kError,
+             StrFormat("%s: list element may be %s; schema declares %s",
+                       path.c_str(),
+                       AbstractValue::OfKinds(elem_bad).Describe().c_str(),
+                       type.ToString().c_str()),
+             "every element must match the list's declared element type");
+        return;
+      }
+      if (type.element().kind() == TypeKind::kStruct ||
+          type.element().kind() == TypeKind::kMap ||
+          type.element().kind() == TypeKind::kList) {
+        CheckValue(elem, type.element(), path + "[]");
+      }
+      return;
+    }
+    case TypeKind::kMap: {
+      const AbstractObject* obj = ObjectOf(v);
+      if (obj == nullptr || !v.only(kAbsDict)) {
+        return;
+      }
+      for (const auto& [key, field] : obj->fields) {
+        CheckValue(field.value, type.element(), path + "." + key);
+      }
+      return;
+    }
+    case TypeKind::kEnum: {
+      const EnumDef* e = registry.FindEnum(type.name());
+      if (e != nullptr) {
+        CheckEnumValue(v, *e, path);
+      }
+      return;
+    }
+    case TypeKind::kStruct: {
+      if (const EnumDef* e = registry.FindEnum(type.name()); e != nullptr) {
+        CheckEnumValue(v, *e, path);
+        return;
+      }
+      const StructDef* def = registry.FindStruct(type.name());
+      if (def != nullptr && v.only(kAbsDict | kAbsNull)) {
+        CheckStructValue(v, *def, path);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void Checker::CheckEnumValue(const AbstractValue& v, const EnumDef& e,
+                             const std::string& path) {
+  if (!v.constant.has_value()) {
+    return;
+  }
+  if (v.constant->is_int() && !e.HasValue(v.constant->as_int())) {
+    Emit("T010", LintSeverity::kError,
+         StrFormat("%s: %lld is not a value of enum %s", path.c_str(),
+                   static_cast<long long>(v.constant->as_int()),
+                   e.name.c_str()),
+         "use one of the enum's declared values");
+  } else if (v.constant->is_string() &&
+             !e.ValueOf(v.constant->as_string()).has_value()) {
+    Emit("T010", LintSeverity::kError,
+         StrFormat("%s: '%s' is not a name of enum %s", path.c_str(),
+                   v.constant->as_string().c_str(), e.name.c_str()),
+         "use one of the enum's declared names");
+  }
+}
+
+void Checker::CheckIntBounds(const AbstractValue& v, const Type& type,
+                             const std::string& struct_name,
+                             const FieldDef& field, const std::string& path) {
+  if (v.is_any() || !v.only(kAbsInt) || !type.is_integer()) {
+    return;
+  }
+  int64_t lo = IntTypeMin(type.kind());
+  int64_t hi = IntTypeMax(type.kind());
+  std::string source = type.ToString();
+  auto sit = bounds.find(struct_name);
+  if (sit != bounds.end()) {
+    auto fit = sit->second.find(field.name);
+    if (fit != sit->second.end()) {
+      if (fit->second.min.has_value() && *fit->second.min > lo) {
+        lo = *fit->second.min;
+        source = "validator bound";
+      }
+      if (fit->second.max.has_value() && *fit->second.max < hi) {
+        hi = *fit->second.max;
+        source = "validator bound";
+      }
+    }
+  }
+  // Only definite violations fire: the whole known range must lie outside.
+  bool below = v.int_max.has_value() && *v.int_max < lo;
+  bool above = v.int_min.has_value() && *v.int_min > hi;
+  if (!below && !above) {
+    return;
+  }
+  if (v.constant.has_value() && v.constant->is_int()) {
+    Emit("T013", LintSeverity::kError,
+         StrFormat("%s: value %lld out of range for %s [%lld, %lld]",
+                   path.c_str(),
+                   static_cast<long long>(v.constant->as_int()),
+                   source.c_str(), static_cast<long long>(lo),
+                   static_cast<long long>(hi)),
+         "keep the value within the declared/validated range");
+  } else {
+    Emit("T013", LintSeverity::kError,
+         StrFormat("%s: every possible value lies outside %s [%lld, %lld]",
+                   path.c_str(), source.c_str(), static_cast<long long>(lo),
+                   static_cast<long long>(hi)),
+         "keep the value within the declared/validated range");
+  }
+}
+
+void Checker::CheckStructValue(const AbstractValue& v, const StructDef& def,
+                               const std::string& path) {
+  const AbstractObject* obj = ObjectOf(v);
+  if (obj == nullptr || !visiting.insert({v.object, def.name}).second) {
+    return;
+  }
+  if (obj->struct_names.size() > 1) {
+    std::string names;
+    for (const std::string& name : obj->struct_names) {
+      if (!names.empty()) {
+        names += " vs ";
+      }
+      names += name.empty() ? "<untyped>" : name;
+    }
+    Emit("T012", LintSeverity::kWarning,
+         StrFormat("%s: schema type differs per branch (%s)", path.c_str(),
+                   names.c_str()),
+         "construct the same struct type on every branch");
+  }
+  for (const auto& [name, field] : obj->fields) {
+    const FieldDef* fd = def.FindField(name);
+    if (fd == nullptr) {
+      Emit("T011", LintSeverity::kError,
+           StrFormat("%s: unknown field '%s' in struct %s%s", path.c_str(),
+                     name.c_str(), def.name.c_str(),
+                     field.maybe_absent ? " (assigned on some branches only)"
+                                        : ""),
+           "check the field name against the schema");
+      continue;
+    }
+    if (field.maybe_absent) {
+      if (fd->required && !fd->default_value.has_value()) {
+        Emit("T011", LintSeverity::kError,
+             StrFormat("%s: required field '%s' may be unassigned "
+                       "(branch-dependent)",
+                       path.c_str(), name.c_str()),
+             "assign the field on every branch");
+      } else {
+        Emit("T012", LintSeverity::kWarning,
+             StrFormat("%s: field '%s' is only assigned on some branches; "
+                       "the exported shape depends on control flow",
+                       path.c_str(), name.c_str()),
+             "assign the field unconditionally or on every branch");
+      }
+    }
+    if (fd->required && !fd->default_value.has_value() &&
+        !field.value.is_any() && field.value.may_be(kAbsNull)) {
+      Emit("T015", LintSeverity::kError,
+           StrFormat("%s: field '%s' is required but %s be None%s",
+                     path.c_str(), name.c_str(),
+                     field.value.only(kAbsNull) ? "would" : "may",
+                     field.value.only(kAbsNull) ? "" : " (branch-dependent)"),
+           "required fields need a non-None value");
+    }
+    CheckValue(field.value, fd->type, path + "." + name);
+    CheckIntBounds(field.value, fd->type, def.name, *fd, path + "." + name);
+  }
+  if (obj->fields_known) {
+    for (const FieldDef& fd : def.fields) {
+      if (fd.required && !fd.default_value.has_value() &&
+          obj->fields.count(fd.name) == 0) {
+        Emit("T011", LintSeverity::kError,
+             StrFormat("%s: missing required field '%s' (struct %s)",
+                       path.c_str(), fd.name.c_str(), def.name.c_str()),
+             "assign the field before exporting");
+      }
+    }
+  }
+  visiting.erase({v.object, def.name});
+}
+
+void Checker::CheckSerializable(const AbstractValue& v,
+                                const std::string& path) {
+  if (!v.is_any() && v.only(kAbsFunction)) {
+    Emit("T014", LintSeverity::kError,
+         StrFormat("%s is a function — not serializable", path.c_str()),
+         "export data, not callables");
+    return;
+  }
+  if (v.object == kNoHeapId || !serializable_seen.insert(v.object).second) {
+    return;
+  }
+  const AbstractObject* obj = heap.Get(v.object);
+  if (obj == nullptr) {
+    return;
+  }
+  CheckSerializable(obj->element, path + "[]");
+  for (const auto& [name, field] : obj->fields) {
+    CheckSerializable(field.value, path + "." + name);
+  }
+}
+
+}  // namespace
+
+void RunTypeRules(const SchemaRegistry& registry, const ValidatorBounds& bounds,
+                  const AbstractHeap& heap, const std::string& file, int line,
+                  const std::string& export_path,
+                  const std::string& struct_name, const AbstractValue& value,
+                  std::vector<LintDiagnostic>* diags) {
+  Checker checker{registry, bounds, heap, file, line, export_path, diags};
+  checker.CheckSerializable(value, "value");
+  if (struct_name.empty()) {
+    return;  // Untyped export: the compiler skips schema checks too.
+  }
+  const StructDef* def = registry.FindStruct(struct_name);
+  if (def == nullptr) {
+    return;
+  }
+  checker.CheckStructValue(value, *def, "value");
+}
+
+const std::vector<LintRuleInfo>& AbstractInterpreter::TypeRules() {
+  static const std::vector<LintRuleInfo> kRules = {
+      {"T010", "type-mismatch", LintSeverity::kError,
+       "a field's inferred type conflicts with its schema type (including "
+       "branch-dependent conflicts)"},
+      {"T011", "missing-or-unknown-field", LintSeverity::kError,
+       "a field is missing though required, or not declared by the struct"},
+      {"T012", "branch-dependent-shape", LintSeverity::kWarning,
+       "the exported object's shape or struct type differs per branch"},
+      {"T013", "out-of-range-constant", LintSeverity::kError,
+       "an integer lies outside its declared type's or validator's bounds"},
+      {"T014", "non-serializable-export", LintSeverity::kError,
+       "an exported value contains a function"},
+      {"T015", "nullable-into-required", LintSeverity::kError,
+       "a possibly-None value flows into a required field"},
+      {"T016", "list-element-conflict", LintSeverity::kError,
+       "a list element's inferred type conflicts with the declared element "
+       "type"},
+  };
+  return kRules;
+}
+
+}  // namespace configerator

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -205,6 +206,27 @@ Status CanaryService::EvaluatePhase(const CanaryPhase& phase,
                                    phase.max_crash_rate));
   }
   return OkStatus();
+}
+
+std::string CanaryScope::Describe() const {
+  size_t symbols = 0;
+  for (const auto& [path, names] : changed_symbols) {
+    symbols += names.size();
+  }
+  return StrFormat("%zu affected entr%s, %zu changed symbol(s) in %zu "
+                   "file(s)%s",
+                   affected_entries.size(),
+                   affected_entries.size() == 1 ? "y" : "ies", symbols,
+                   changed_symbols.size(),
+                   symbol_pruned ? " (symbol-pruned)" : " (file-level)");
+}
+
+void CanaryService::RunTest(const CanarySpec& spec, const CanaryScope& scope,
+                            ServiceModel* model,
+                            std::function<void(Status)> done) {
+  last_scope_ = scope;
+  CLOG(Info) << "canary blast radius: " << scope.Describe();
+  RunTest(spec, model, std::move(done));
 }
 
 void CanaryService::RunTest(const CanarySpec& spec, ServiceModel* model,

@@ -14,7 +14,10 @@
 #define SRC_CANARY_CANARY_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +58,23 @@ struct CanarySpec {
   //                "max_latency_ratio": 1.5, "max_crash_rate": 0.001}, ...]}
   Json ToJson() const;
   static Result<CanarySpec> FromJson(const Json& json);
+};
+
+// The statically-computed blast radius of the change under canary: which
+// entry configs the edit can actually reach (symbol-pruned when slices are
+// available) and, per changed source file, which top-level symbols changed.
+// Purely an annotation — the canary holds/promotes the same way — but it is
+// logged with the run and kept for the operator UI, so "20 servers testing a
+// change that reaches 40% of the fleet's configs" is visible before promote.
+struct CanaryScope {
+  std::vector<std::string> affected_entries;
+  std::map<std::string, std::set<std::string>> changed_symbols;  // By path.
+  // True when the entry list is a sound upper bound (every slice was sound);
+  // false means some dependency edges were file-level over-approximations.
+  bool symbol_pruned = false;
+
+  // One-line rendering for logs and review notes.
+  std::string Describe() const;
 };
 
 // What the canary service measures for a server group over a hold window.
@@ -131,6 +151,15 @@ class CanaryService {
   void RunTest(const CanarySpec& spec, ServiceModel* model,
                std::function<void(Status)> done);
 
+  // Same, annotated with the change's statically-computed blast radius. The
+  // scope is logged with the run and retained (last_scope()) for operator
+  // tooling; it does not alter pass/fail judgement.
+  void RunTest(const CanarySpec& spec, const CanaryScope& scope,
+               ServiceModel* model, std::function<void(Status)> done);
+
+  // The scope of the most recently started annotated test, if any.
+  const std::optional<CanaryScope>& last_scope() const { return last_scope_; }
+
   // Tests currently in flight.
   size_t active_tests() const { return active_tests_; }
 
@@ -144,6 +173,7 @@ class CanaryService {
   Simulator* sim_;
   Options options_;
   size_t active_tests_ = 0;
+  std::optional<CanaryScope> last_scope_;
 };
 
 }  // namespace configerator

@@ -2,9 +2,25 @@
 
 #include <set>
 
+#include "src/analysis/absint.h"
 #include "src/util/logging.h"
 
 namespace configerator {
+
+CanaryScope PendingChange::Scope() const {
+  CanaryScope scope;
+  scope.affected_entries = affected_entries;
+  scope.symbol_pruned = !changed_symbols.empty();
+  for (const auto& [path, symbols] : changed_symbols) {
+    if (symbols.has_value()) {
+      scope.changed_symbols[path] = *symbols;
+    } else {
+      scope.changed_symbols[path] = {"*"};  // Not comparable: whole file.
+      scope.symbol_pruned = false;
+    }
+  }
+  return scope;
+}
 
 ConfigManagementStack::ConfigManagementStack(Options options)
     : options_(options), repo_("configerator") {
@@ -111,9 +127,14 @@ Result<PendingChange> ConfigManagementStack::ProposeChange(
     change.ci_report.passed = true;
   }
 
+  // Symbol-level view of the edit: which top-level symbols each changed CSL
+  // file actually modifies. Refines risk fan-in and the canary scope.
+  change.changed_symbols = DiffChangedSymbols(repo_, source_diff);
+
   // Advisory risk assessment from history (flagging, not blocking).
   if (risk_advisor_.IndexHistory(repo_).ok()) {
-    change.risk = risk_advisor_.Assess(change.diff, &deps_);
+    change.risk =
+        risk_advisor_.Assess(change.diff, &deps_, &change.changed_symbols);
   }
 
   if (options_.require_review) {
@@ -146,12 +167,24 @@ Result<ObjectId> ConfigManagementStack::LandNow(const PendingChange& change) {
     return RejectedError("change is not approved");
   }
   ASSIGN_OR_RETURN(ObjectId commit, landing_strip_->Land(change.diff));
-  // Refresh the dependency graph for recompiled entries.
+  // Refresh the dependency graph for recompiled entries: file-level edges
+  // from the compile, symbol-level slices from the abstract interpreter so
+  // future diffs can prune dependents the edit provably can't reach.
   ConfigCompiler compiler = CompilerAtHead();
+  const Repository* repo = &repo_;
+  AbstractInterpreter absint(
+      [repo](const std::string& path) -> Result<std::string> {
+        return repo->ReadFile(path);
+      });
   for (const std::string& entry : change.affected_entries) {
     auto output = compiler.Compile(entry);
     if (output.ok()) {
       deps_.UpdateEntry(entry, output->dependencies);
+      AbsintResult analysis = absint.AnalyzePath(entry);
+      if (analysis.analyzed) {
+        deps_.UpdateEntrySymbols(entry, std::move(analysis.used_symbols),
+                                 analysis.slice_sound);
+      }
     }
   }
   return commit;
@@ -174,7 +207,7 @@ void ConfigManagementStack::TestAndLand(
     PendingChange change, const CanarySpec& spec, ServiceModel* model,
     std::function<void(Result<ObjectId>)> done) {
   auto change_ptr = std::make_shared<PendingChange>(std::move(change));
-  canary_->RunTest(spec, model,
+  canary_->RunTest(spec, change_ptr->Scope(), model,
                    [this, change_ptr, done = std::move(done)](Status verdict) {
                      if (!verdict.ok()) {
                        done(verdict);

@@ -14,6 +14,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,12 @@ struct PendingChange {
   CiReport ci_report;
   RiskAssessment risk;         // History-based advisory (never blocking).
   std::vector<std::string> affected_entries;
+  // Per changed CSL path, which top-level symbols the edit modifies (nullopt
+  // = not statically comparable). Feeds risk fan-in and the canary scope.
+  std::map<std::string, std::optional<std::set<std::string>>> changed_symbols;
+
+  // The symbol-level blast radius, for annotating the canary run.
+  CanaryScope Scope() const;
 };
 
 class ConfigManagementStack {

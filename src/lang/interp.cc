@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/lang/builtins.h"
+#include "src/lang/import_resolver.h"
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -630,7 +631,7 @@ Result<Value> Interp::EvalCall(const Expr& expr,
         return EvalError(expr.line, name + "() path must be a string");
       }
       const std::string& path = path_value.as_string();
-      if (name == "import_thrift" || path.ends_with(".thrift")) {
+      if (IsSchemaImportPath(name, path)) {
         if (!hooks_.import_schema) {
           return EvalError(expr.line, "schema imports not available here");
         }

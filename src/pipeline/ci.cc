@@ -6,6 +6,7 @@
 
 #include "src/canary/canary.h"
 #include "src/gatekeeper/project.h"
+#include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -53,6 +54,14 @@ void Sandcastle::RegisterRawValidator(RawValidator validator) {
 std::string CiReport::Summary() const {
   std::string out = passed ? "PASS" : "FAIL";
   out += StrFormat(": %zu entries recompiled", compiled_entries.size());
+  if (!reanalyzed_entries.empty() || pruned_dependents > 0) {
+    out += StrFormat("; %zu dependent(s) re-analyzed, %zu pruned by symbol "
+                     "slices",
+                     reanalyzed_entries.size(), pruned_dependents);
+  }
+  if (closure_truncated) {
+    out += " (closure truncated)";
+  }
   if (!lint_findings.empty()) {
     out += StrFormat("; lint: %zu error(s), %zu warning(s)", lint_errors(),
                      lint_warnings());
@@ -136,15 +145,123 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
     }
   }
 
-  // Static analysis over everything the diff touches. Error-severity
-  // findings block the diff just like a failing compile; warnings are
-  // advisory unless strict lint is on.
+  // Static analysis over everything the diff touches, then over the reverse
+  // dependency closure — untouched entries the change can still break.
+  // Error-severity findings block the diff just like a failing compile;
+  // warnings are advisory unless strict lint is on.
   report.lint_findings = RunLint(diff);
+  ReanalyzeClosure(diff, &report);
   if (report.lint_errors() > 0 ||
       (strict_lint_ && !report.lint_findings.empty())) {
     report.passed = false;
   }
   return report;
+}
+
+std::map<std::string, std::optional<std::set<std::string>>> DiffChangedSymbols(
+    const Repository& repo, const ProposedDiff& diff) {
+  std::map<std::string, std::optional<std::set<std::string>>> changed;
+  for (const FileWrite& write : diff.writes) {
+    const std::string& path = write.path;
+    if (!path.ends_with(".cconf") && !path.ends_with(".cinc")) {
+      continue;  // Schema/JSON edits have no CSL symbol surface.
+    }
+    auto head = repo.ReadFile(path);
+    if (!head.ok() || !write.content.has_value()) {
+      changed[path] = std::nullopt;  // Added or deleted: file-level.
+      continue;
+    }
+    changed[path] = ChangedSymbols(ComputeSymbolSurface(path, *head),
+                                   ComputeSymbolSurface(path, *write.content));
+  }
+  return changed;
+}
+
+void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
+                                  CiReport* report) const {
+  std::set<std::string> touched;
+  for (const FileWrite& write : diff.writes) {
+    touched.insert(write.path);
+  }
+
+  // The file-level reverse closure, then the symbol-pruned one. The
+  // difference is the pruning win: dependents whose slice proves the edit
+  // can't reach them.
+  auto changed_symbols = DiffChangedSymbols(*repo_, diff);
+  std::set<std::string> file_level;
+  std::set<std::string> closure;
+  for (const FileWrite& write : diff.writes) {
+    for (const std::string& entry : deps_->EntriesAffectedBy({write.path})) {
+      file_level.insert(entry);
+    }
+    auto it = changed_symbols.find(write.path);
+    if (it != changed_symbols.end() && it->second.has_value()) {
+      for (const std::string& entry :
+           deps_->EntriesAffectedBySymbols(write.path, *it->second)) {
+        closure.insert(entry);
+      }
+    } else {
+      for (const std::string& entry : deps_->EntriesAffectedBy({write.path})) {
+        closure.insert(entry);
+      }
+    }
+  }
+  report->pruned_dependents = file_level.size() - closure.size();
+
+  FileReader overlay = OverlayReader(diff);
+  ConfigLint linter(overlay);
+  AbstractInterpreter absint(overlay);
+
+  // Touched CSL files get the semantic pass unconditionally (RunLint already
+  // ran the syntactic rules on them).
+  for (const std::string& path : touched) {
+    if (!path.ends_with(".cconf") && !path.ends_with(".cinc")) {
+      continue;
+    }
+    auto content = overlay(path);
+    if (!content.ok()) {
+      continue;  // Deleted in the diff.
+    }
+    AbsintResult result = absint.Analyze(path, *content);
+    report->lint_findings.insert(report->lint_findings.end(),
+                                 result.diagnostics.begin(),
+                                 result.diagnostics.end());
+  }
+
+  // Untouched dependents: full re-lint + re-interpretation through the
+  // overlay, so both syntactic and semantic breakage caused *by the diff*
+  // surfaces here, capped to keep one shared-file edit from re-analyzing
+  // the world.
+  size_t analyzed = 0;
+  for (const std::string& entry : closure) {
+    if (touched.count(entry) > 0) {
+      continue;
+    }
+    if (analyzed >= max_closure_) {
+      report->closure_truncated = true;
+      CLOG(Warning) << "Sandcastle: reverse-closure re-analysis truncated at "
+                    << max_closure_ << " of " << closure.size()
+                    << " dependent entries; remaining dependents were not "
+                    << "re-analyzed";
+      break;
+    }
+    auto content = overlay(entry);
+    if (!content.ok()) {
+      continue;
+    }
+    ++analyzed;
+    report->reanalyzed_entries.push_back(entry);
+    std::vector<LintDiagnostic> lint_findings =
+        linter.LintFile(entry, *content);
+    report->lint_findings.insert(
+        report->lint_findings.end(),
+        std::make_move_iterator(lint_findings.begin()),
+        std::make_move_iterator(lint_findings.end()));
+    AbsintResult result = absint.Analyze(entry, *content);
+    report->lint_findings.insert(report->lint_findings.end(),
+                                 result.diagnostics.begin(),
+                                 result.diagnostics.end());
+  }
 }
 
 std::vector<LintDiagnostic> Sandcastle::RunLint(const ProposedDiff& diff) const {

@@ -10,9 +10,13 @@
 #ifndef SRC_PIPELINE_CI_H_
 #define SRC_PIPELINE_CI_H_
 
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/analysis/absint.h"
 #include "src/analysis/lint.h"
 #include "src/lang/compiler.h"
 #include "src/pipeline/dependency.h"
@@ -25,9 +29,19 @@ struct CiReport {
   bool passed = false;
   std::vector<std::string> compiled_entries;
   std::vector<std::string> failures;  // One message per failing entry.
-  // ConfigLint findings over every file the diff touches. Error severity
-  // implies !passed; warnings never flip `passed` on their own.
+  // ConfigLint + abstract-interpretation findings over every file the diff
+  // touches AND every entry in its (symbol-pruned) reverse dependency
+  // closure. Error severity implies !passed; warnings never flip `passed`
+  // on their own.
   std::vector<LintDiagnostic> lint_findings;
+  // Untouched entries re-analyzed because the diff can reach them.
+  std::vector<std::string> reanalyzed_entries;
+  // File-level dependents skipped because their symbol slice proves the
+  // changed symbols never flow into them.
+  size_t pruned_dependents = 0;
+  // True when the reverse closure was larger than the Sandcastle cap and
+  // got truncated (a notice is logged; the skipped tail is not analyzed).
+  bool closure_truncated = false;
 
   size_t lint_errors() const { return CountLintErrors(lint_findings); }
   size_t lint_warnings() const {
@@ -36,6 +50,13 @@ struct CiReport {
 
   std::string Summary() const;
 };
+
+// Per changed path, which top-level symbols the diff modifies — computed by
+// diffing ComputeSymbolSurface() of the head content against the diff's.
+// nullopt = not statically comparable (parse failure, side-effecting
+// statements changed); consumers then fall back to file-level edges.
+std::map<std::string, std::optional<std::set<std::string>>> DiffChangedSymbols(
+    const Repository& repo, const ProposedDiff& diff);
 
 class Sandcastle {
  public:
@@ -66,11 +87,27 @@ class Sandcastle {
   // Warnings-as-errors for the lint stage (off by default).
   void set_strict_lint(bool strict) { strict_lint_ = strict; }
 
+  // Upper bound on how many untouched dependent entries one diff may pull
+  // into re-analysis; beyond it the closure is truncated with a logged
+  // notice (report.closure_truncated).
+  void set_max_closure(size_t max_closure) { max_closure_ = max_closure; }
+
+  // The reverse-closure stage alone: re-lints and abstractly re-interprets
+  // every entry the diff can reach through the dependency graph — not just
+  // the files it touches — so a dependent that the diff silently breaks
+  // (e.g. its schema shape becomes invalid under the new constants) blocks
+  // landing even though no touched file mentions it. Symbol slices prune
+  // dependents the changed symbols provably never reach. Results land in
+  // `report` (findings, reanalyzed_entries, pruned_dependents,
+  // closure_truncated).
+  void ReanalyzeClosure(const ProposedDiff& diff, CiReport* report) const;
+
  private:
   const Repository* repo_;
   const DependencyService* deps_;
   std::vector<RawValidator> raw_validators_;
   bool strict_lint_ = false;
+  size_t max_closure_ = 64;
 };
 
 }  // namespace configerator

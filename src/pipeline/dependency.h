@@ -28,14 +28,43 @@ class DependencyService {
   std::vector<std::string> EntriesAffectedBy(
       const std::vector<std::string>& changed_paths) const;
 
+  // Records (replaces) the symbol-level slice of one entry, produced by the
+  // abstract interpreter (AbsintResult::used_symbols): which top-level
+  // symbols of which files the entry's compile actually consumes. `sound`
+  // mirrors AbsintResult::slice_sound — an unsound slice is stored for
+  // fan-in statistics but never used to prune.
+  void UpdateEntrySymbols(
+      const std::string& entry,
+      std::map<std::string, std::set<std::string>> used_symbols, bool sound);
+
+  // File-level dependents of `path`, pruned by symbol slices: an entry with
+  // a sound slice is dropped when it reads none of `changed_symbols` from
+  // `path`. Entries without a sound slice are always included (file-level
+  // fallback), as is every entry when `changed_symbols` contains "*" and the
+  // entry star-imports the file. Pass the symbols ChangedSymbols() reported
+  // for the edit; an empty set means "changed in an unknown way" and prunes
+  // nothing.
+  std::vector<std::string> EntriesAffectedBySymbols(
+      const std::string& path, const std::set<std::string>& changed_symbols) const;
+
+  // How many entries actually consume `symbol` from `path` (sound slices
+  // count precisely; entries without one count conservatively).
+  size_t SymbolFanIn(const std::string& path, const std::string& symbol) const;
+
   // Direct dependencies of an entry (empty if unknown).
   std::vector<std::string> DependenciesOf(const std::string& entry) const;
 
   size_t entry_count() const { return deps_of_entry_.size(); }
 
  private:
+  struct SymbolSlice {
+    std::map<std::string, std::set<std::string>> used;  // path -> symbols.
+    bool sound = false;
+  };
+
   std::map<std::string, std::set<std::string>> deps_of_entry_;
   std::map<std::string, std::set<std::string>> entries_of_dep_;  // Inverted.
+  std::map<std::string, SymbolSlice> slice_of_entry_;
 };
 
 }  // namespace configerator

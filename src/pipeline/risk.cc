@@ -54,8 +54,10 @@ const RiskAdvisor::PathHistory* RiskAdvisor::HistoryFor(
   return it == history_.end() ? nullptr : &it->second;
 }
 
-RiskAssessment RiskAdvisor::Assess(const ProposedDiff& diff,
-                                   const DependencyService* deps) const {
+RiskAssessment RiskAdvisor::Assess(
+    const ProposedDiff& diff, const DependencyService* deps,
+    const std::map<std::string, std::optional<std::set<std::string>>>*
+        changed_symbols) const {
   RiskAssessment assessment;
 
   for (const FileWrite& write : diff.writes) {
@@ -114,13 +116,25 @@ RiskAssessment RiskAdvisor::Assess(const ProposedDiff& diff,
       assessment.reasons.push_back(write.path + " is being deleted");
     }
 
-    // High fan-in source file.
+    // High fan-in source file. With a symbol-level view of the edit, count
+    // only entries that consume a changed symbol — the true blast radius —
+    // instead of every file-level dependent.
     if (deps != nullptr) {
       size_t fan_in = deps->EntriesAffectedBy({write.path}).size();
+      bool symbol_refined = false;
+      if (changed_symbols != nullptr) {
+        auto it = changed_symbols->find(write.path);
+        if (it != changed_symbols->end() && it->second.has_value()) {
+          fan_in = deps->EntriesAffectedBySymbols(write.path, *it->second).size();
+          symbol_refined = true;
+        }
+      }
       if (fan_in >= options_.fan_in_threshold) {
         assessment.score += 1.0;
         assessment.reasons.push_back(StrFormat(
-            "%zu entry configs depend on %s", fan_in, write.path.c_str()));
+            "%zu entry configs %s %s", fan_in,
+            symbol_refined ? "consume symbols changed in" : "depend on",
+            write.path.c_str()));
       }
     }
   }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -53,8 +54,15 @@ class RiskAdvisor {
   Status IndexHistory(const Repository& repo);
 
   // Scores a proposed diff. `deps` may be null (skips the fan-in signal).
-  RiskAssessment Assess(const ProposedDiff& diff,
-                        const DependencyService* deps = nullptr) const;
+  // `changed_symbols` (per path, as DiffChangedSymbols() produces) refines
+  // the fan-in signal to symbol edges: only entries that actually consume a
+  // changed symbol count, so editing an unused constant in a popular module
+  // no longer reads as high-risk. Paths missing from the map — or mapped to
+  // nullopt — fall back to file-level fan-in.
+  RiskAssessment Assess(
+      const ProposedDiff& diff, const DependencyService* deps = nullptr,
+      const std::map<std::string, std::optional<std::set<std::string>>>*
+          changed_symbols = nullptr) const;
 
   // Per-path history snapshot (for tests and UIs).
   struct PathHistory {

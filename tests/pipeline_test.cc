@@ -7,6 +7,7 @@
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
 #include "src/pipeline/review.h"
+#include "src/util/strings.h"
 
 namespace configerator {
 namespace {
@@ -448,6 +449,182 @@ TEST_F(SandcastleTest, DeletedFileInvisibleThroughOverlay) {
   // And CI catches the now-broken dependent entry.
   CiReport report = ci.RunTests(diff);
   EXPECT_FALSE(report.passed);
+}
+
+// ---- Symbol-level dependency edges ------------------------------------------
+
+TEST(DependencySymbolsTest, SoundSlicePrunesUnrelatedDependents) {
+  DependencyService deps;
+  deps.UpdateEntry("app.cconf", {"shared.cinc"});
+  deps.UpdateEntry("web.cconf", {"shared.cinc"});
+  deps.UpdateEntrySymbols("app.cconf", {{"shared.cinc", {"APP_PORT"}}},
+                          /*sound=*/true);
+  deps.UpdateEntrySymbols("web.cconf", {{"shared.cinc", {"WEB_PORT"}}},
+                          /*sound=*/true);
+
+  auto affected = deps.EntriesAffectedBySymbols("shared.cinc", {"APP_PORT"});
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], "app.cconf");
+  // File-level view still returns both.
+  EXPECT_EQ(deps.EntriesAffectedBy({"shared.cinc"}).size(), 2u);
+}
+
+TEST(DependencySymbolsTest, UnsoundSliceFallsBackToFileLevel) {
+  DependencyService deps;
+  deps.UpdateEntry("app.cconf", {"shared.cinc"});
+  deps.UpdateEntrySymbols("app.cconf", {{"shared.cinc", {"APP_PORT"}}},
+                          /*sound=*/false);
+  // Slice is unsound (a dynamic import somewhere): never prune.
+  EXPECT_EQ(deps.EntriesAffectedBySymbols("shared.cinc", {"OTHER"}).size(), 1u);
+}
+
+TEST(DependencySymbolsTest, MissingSliceFallsBackToFileLevel) {
+  DependencyService deps;
+  deps.UpdateEntry("app.cconf", {"shared.cinc"});
+  EXPECT_EQ(deps.EntriesAffectedBySymbols("shared.cinc", {"ANY"}).size(), 1u);
+}
+
+TEST(DependencySymbolsTest, SurfaceGrowthAffectsStarImporters) {
+  DependencyService deps;
+  deps.UpdateEntry("star.cconf", {"shared.cinc"});
+  deps.UpdateEntry("narrow.cconf", {"shared.cinc"});
+  deps.UpdateEntrySymbols("star.cconf", {{"shared.cinc", {"*", "A"}}},
+                          /*sound=*/true);
+  deps.UpdateEntrySymbols("narrow.cconf", {{"shared.cinc", {"A"}}},
+                          /*sound=*/true);
+  // A new symbol appeared ("*"): star importers can be shadowed, narrow
+  // imports cannot.
+  auto affected = deps.EntriesAffectedBySymbols("shared.cinc", {"*"});
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], "star.cconf");
+}
+
+TEST(DependencySymbolsTest, SymbolFanIn) {
+  DependencyService deps;
+  deps.UpdateEntry("a.cconf", {"shared.cinc"});
+  deps.UpdateEntry("b.cconf", {"shared.cinc"});
+  deps.UpdateEntry("c.cconf", {"shared.cinc"});
+  deps.UpdateEntrySymbols("a.cconf", {{"shared.cinc", {"PORT"}}}, true);
+  deps.UpdateEntrySymbols("b.cconf", {{"shared.cinc", {"HOST"}}}, true);
+  // c has no slice: counts conservatively for every symbol.
+  EXPECT_EQ(deps.SymbolFanIn("shared.cinc", "PORT"), 2u);
+  EXPECT_EQ(deps.SymbolFanIn("shared.cinc", "HOST"), 2u);
+  EXPECT_EQ(deps.SymbolFanIn("shared.cinc", "UNUSED"), 1u);
+}
+
+// ---- Reverse-closure re-analysis --------------------------------------------
+
+class ClosureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        repo_
+            .Commit("init", "init",
+                    {{"schemas/job.thrift",
+                      "struct Job {\n"
+                      "  1: required string name;\n"
+                      "  2: optional i32 memory_mb = 256;\n"
+                      "}\n"},
+                     {"flags.cinc", "ENABLE_BONUS = False\nBONUS = 512\n"},
+                     {"worker.cconf",
+                      "import_thrift(\"schemas/job.thrift\")\n"
+                      "import_python(\"flags.cinc\", \"*\")\n"
+                      "j = Job(name=\"worker\")\n"
+                      "if ENABLE_BONUS:\n"
+                      "    j.memory_mb = BONUS\n"
+                      "export_if_last(j)\n"}})
+            .ok());
+    deps_.UpdateEntry("worker.cconf", {"flags.cinc", "schemas/job.thrift"});
+  }
+
+  Repository repo_;
+  DependencyService deps_;
+};
+
+TEST_F(ClosureTest, TypeBrokenUntouchedDependentBlocks) {
+  // The diff only edits flags.cinc. The concrete compile of worker.cconf
+  // still succeeds (ENABLE_BONUS stays False, so the bad branch never
+  // runs) — but the abstract re-analysis of the untouched dependent sees
+  // BONUS flow into an i32 field as a string and blocks the diff.
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff = MakeProposedDiff(
+      repo_, "alice", "rename bonus",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = \"none\"\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_FALSE(report.passed);
+  EXPECT_TRUE(report.failures.empty());  // Every entry still compiles.
+  ASSERT_EQ(report.reanalyzed_entries.size(), 1u);
+  EXPECT_EQ(report.reanalyzed_entries[0], "worker.cconf");
+  bool t010 = false;
+  for (const LintDiagnostic& d : report.lint_findings) {
+    t010 = t010 || (d.rule_id == "T010" && d.file == "worker.cconf");
+  }
+  EXPECT_TRUE(t010) << report.Summary();
+}
+
+TEST_F(ClosureTest, HarmlessEditToSharedFilePasses) {
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff = MakeProposedDiff(
+      repo_, "alice", "bigger bonus",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = 1024\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed) << report.Summary();
+}
+
+TEST_F(ClosureTest, SymbolSlicePrunesReanalysis) {
+  // worker.cconf reads neither symbol of misc.cinc; with a sound slice the
+  // closure drops it entirely.
+  deps_.UpdateEntry("worker.cconf",
+                    {"flags.cinc", "schemas/job.thrift", "misc.cinc"});
+  deps_.UpdateEntrySymbols(
+      "worker.cconf",
+      {{"flags.cinc", {"*", "ENABLE_BONUS", "BONUS"}},
+       {"schemas/job.thrift", {"*"}}},
+      /*sound=*/true);
+  ASSERT_TRUE(repo_.Commit("add", "bob", {{"misc.cinc", "UNRELATED = 1\n"}}).ok());
+  Sandcastle ci(&repo_, &deps_);
+  ProposedDiff diff = MakeProposedDiff(repo_, "bob", "tweak unrelated",
+                                       {{"misc.cinc", "UNRELATED = 2\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.passed) << report.Summary();
+  EXPECT_TRUE(report.reanalyzed_entries.empty());
+  EXPECT_EQ(report.pruned_dependents, 1u);
+}
+
+TEST_F(ClosureTest, ClosureCapTruncatesWithNotice) {
+  for (int i = 0; i < 5; ++i) {
+    std::string entry = StrFormat("gen%d.cconf", i);
+    deps_.UpdateEntry(entry, {"flags.cinc"});
+    ASSERT_TRUE(repo_
+                    .Commit("add", "bob",
+                            {{entry,
+                              "import_python(\"flags.cinc\", \"*\")\n"
+                              "export_if_last({\"bonus\": BONUS})\n"}})
+                    .ok());
+  }
+  Sandcastle ci(&repo_, &deps_);
+  ci.set_max_closure(2);
+  ProposedDiff diff = MakeProposedDiff(
+      repo_, "alice", "bump",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = 256\n"}});
+  CiReport report = ci.RunTests(diff);
+  EXPECT_TRUE(report.closure_truncated);
+  EXPECT_EQ(report.reanalyzed_entries.size(), 2u);
+  EXPECT_NE(report.Summary().find("closure truncated"), std::string::npos);
+}
+
+TEST(DiffChangedSymbolsTest, ReportsEditedSymbolsOnly) {
+  Repository repo;
+  ASSERT_TRUE(repo.Commit("init", "init",
+                          {{"m.cinc", "A = 1\nB = 2\n"}})
+                  .ok());
+  ProposedDiff diff =
+      MakeProposedDiff(repo, "alice", "edit", {{"m.cinc", "A = 5\nB = 2\n"}});
+  auto changed = DiffChangedSymbols(repo, diff);
+  ASSERT_EQ(changed.count("m.cinc"), 1u);
+  ASSERT_TRUE(changed["m.cinc"].has_value());
+  EXPECT_EQ(changed["m.cinc"]->count("A"), 1u);
+  EXPECT_EQ(changed["m.cinc"]->count("B"), 0u);
 }
 
 }  // namespace

@@ -355,5 +355,92 @@ TEST_F(StackTest, CiFailureBlocksEvenWithApproval) {
   EXPECT_FALSE(bad.ok());
 }
 
+// ---- Symbol-level blast radius ----------------------------------------------
+
+class BlastRadiusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto first = stack_.ProposeChange(
+        "alice", "initial",
+        {{"schemas/job.thrift",
+          "struct Job {\n"
+          "  1: required string name;\n"
+          "  2: optional i32 memory_mb = 256;\n"
+          "}\n"},
+         {"flags.cinc", "ENABLE_BONUS = False\nBONUS = 512\n"},
+         {"feed/worker.cconf",
+          "import_thrift(\"schemas/job.thrift\")\n"
+          "import_python(\"flags.cinc\", \"*\")\n"
+          "j = Job(name=\"worker\")\n"
+          "if ENABLE_BONUS:\n"
+          "    j.memory_mb = BONUS\n"
+          "export_if_last(j)\n"}});
+    ASSERT_TRUE(first.ok()) << first.status();
+    ASSERT_TRUE(first->ci_report.passed) << first->ci_report.Summary();
+    ASSERT_TRUE(stack_.Approve(&*first, "bob").ok());
+    ASSERT_TRUE(stack_.LandNow(*first).ok());
+  }
+
+  ConfigManagementStack stack_;
+};
+
+TEST_F(BlastRadiusTest, LatentTypeBreakInUntouchedDependentBlocksLanding) {
+  // The edit never touches worker.cconf, and worker.cconf still *compiles*
+  // (ENABLE_BONUS is False, so evaluation never takes the bad branch; canary
+  // would pass for the same reason). Only the abstract re-analysis of the
+  // reverse closure sees the string flow into the i32 field.
+  auto change = stack_.ProposeChange(
+      "carol", "rename bonus",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = \"none\"\n"}});
+  ASSERT_TRUE(change.ok()) << change.status();  // Compiles fine.
+  EXPECT_FALSE(change->ci_report.passed);
+  bool t010 = false;
+  for (const LintDiagnostic& d : change->ci_report.lint_findings) {
+    t010 = t010 || (d.rule_id == "T010" && d.file == "feed/worker.cconf");
+  }
+  EXPECT_TRUE(t010) << change->ci_report.Summary();
+
+  ASSERT_TRUE(stack_.Approve(&*change, "bob").ok());
+  auto landed = stack_.LandNow(*change);
+  ASSERT_FALSE(landed.ok());
+  EXPECT_EQ(landed.status().code(), StatusCode::kRejected);
+}
+
+TEST_F(BlastRadiusTest, ChangedSymbolsComputedPerEdit) {
+  auto change = stack_.ProposeChange(
+      "carol", "bump bonus",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = 1024\n"}});
+  ASSERT_TRUE(change.ok()) << change.status();
+  EXPECT_TRUE(change->ci_report.passed) << change->ci_report.Summary();
+  ASSERT_EQ(change->changed_symbols.count("flags.cinc"), 1u);
+  ASSERT_TRUE(change->changed_symbols["flags.cinc"].has_value());
+  EXPECT_EQ(change->changed_symbols["flags.cinc"]->count("BONUS"), 1u);
+  EXPECT_EQ(change->changed_symbols["flags.cinc"]->count("ENABLE_BONUS"), 0u);
+}
+
+TEST_F(BlastRadiusTest, CanaryRunAnnotatedWithScope) {
+  auto change = stack_.ProposeChange(
+      "carol", "bump bonus",
+      {{"flags.cinc", "ENABLE_BONUS = False\nBONUS = 1024\n"}});
+  ASSERT_TRUE(change.ok());
+  ASSERT_TRUE(stack_.Approve(&*change, "bob").ok());
+
+  DefectServiceModel good_model(ConfigDefect::kNone,
+                                DefectServiceModel::Params{}, 7);
+  Result<ObjectId> outcome(InternalError("pending"));
+  stack_.TestAndLand(*change, CanarySpec::Default(), &good_model,
+                     [&](Result<ObjectId> r) { outcome = std::move(r); });
+  stack_.RunFor(20 * kSimMinute);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  ASSERT_TRUE(stack_.canary().last_scope().has_value());
+  const CanaryScope& scope = *stack_.canary().last_scope();
+  ASSERT_EQ(scope.affected_entries.size(), 1u);
+  EXPECT_EQ(scope.affected_entries[0], "feed/worker.cconf");
+  ASSERT_EQ(scope.changed_symbols.count("flags.cinc"), 1u);
+  EXPECT_EQ(scope.changed_symbols.at("flags.cinc").count("BONUS"), 1u);
+  EXPECT_NE(scope.Describe().find("1 affected entry"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace configerator
