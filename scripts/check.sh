@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Full pre-land check: tier-1 build + tests, ASan/UBSan build + tests, and
-# clang-tidy. This is what CI runs; run it before pushing.
+# Full pre-land check: tier-1 build + tests, the DST chaos sweep, ASan/UBSan
+# build + tests, and clang-tidy. This is what CI runs; run it before pushing.
 #
-#   scripts/check.sh            # everything
-#   scripts/check.sh --fast     # tier-1 only (skip sanitizers and clang-tidy)
+#   scripts/check.sh            # everything (chaos sweep included)
+#   scripts/check.sh --fast     # tier-1 only (skip chaos, sanitizers, tidy)
+#   scripts/check.sh --chaos    # tier-1 + the wide DST chaos sweep only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+CHAOS_ONLY=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
+elif [[ "${1:-}" == "--chaos" ]]; then
+  CHAOS_ONLY=1
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -22,7 +26,15 @@ echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure
 
 if [[ "$FAST" == "1" ]]; then
-  echo "==> done (fast mode: sanitizers and clang-tidy skipped)"
+  echo "==> done (fast mode: chaos, sanitizers and clang-tidy skipped)"
+  exit 0
+fi
+
+echo "==> chaos: DST wide-seed fault-injection sweep"
+ctest --test-dir build -C chaos -L chaos --output-on-failure
+
+if [[ "$CHAOS_ONLY" == "1" ]]; then
+  echo "==> done (chaos mode: sanitizers and clang-tidy skipped)"
   exit 0
 fi
 

@@ -1,0 +1,81 @@
+#include "src/dst/shrink.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace configerator {
+
+namespace {
+
+// One probe: does `candidate` still violate the same invariant?
+bool Reproduces(const ScenarioOptions& scenario, const FaultPlan& candidate,
+                const std::string& invariant, RunResult* out) {
+  Harness harness(scenario);
+  RunResult result = harness.Run(candidate);
+  bool reproduced = result.violated && result.violation.invariant == invariant;
+  if (reproduced && out != nullptr) {
+    *out = std::move(result);
+  }
+  return reproduced;
+}
+
+FaultPlan WithoutChunk(const FaultPlan& plan, size_t begin, size_t end) {
+  FaultPlan out;
+  for (size_t i = 0; i < plan.events.size(); ++i) {
+    if (i < begin || i >= end) {
+      out.events.push_back(plan.events[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFaultPlan(const ScenarioOptions& scenario,
+                             const FaultPlan& failing_plan,
+                             const std::string& invariant,
+                             const ShrinkOptions& options) {
+  ShrinkResult result;
+  result.plan = failing_plan;
+  result.original_events = failing_plan.events.size();
+
+  // Classic ddmin over the event list: try dropping ever-smaller chunks,
+  // restarting at coarse granularity whenever a removal sticks.
+  size_t chunks = 2;
+  while (result.plan.events.size() > 1 && result.runs < options.max_runs) {
+    bool removed_any = false;
+    size_t n = result.plan.events.size();
+    chunks = std::min(chunks, n);
+    size_t chunk_size = (n + chunks - 1) / chunks;
+    for (size_t begin = 0; begin < n && result.runs < options.max_runs;
+         begin += chunk_size) {
+      size_t end = std::min(begin + chunk_size, n);
+      FaultPlan candidate = WithoutChunk(result.plan, begin, end);
+      ++result.runs;
+      if (Reproduces(scenario, candidate, invariant, &result.run)) {
+        result.plan = std::move(candidate);
+        removed_any = true;
+        break;  // Restart the scan against the smaller plan.
+      }
+    }
+    if (removed_any) {
+      chunks = 2;  // Coarse again: big chunks may now be removable.
+    } else if (chunks >= result.plan.events.size()) {
+      break;  // Already at single-event granularity and nothing removable.
+    } else {
+      chunks = std::min(chunks * 2, result.plan.events.size());
+    }
+  }
+
+  // The final plan's own run (fills the trace when no probe ever succeeded —
+  // i.e. the plan was already minimal).
+  if (result.run.trace.empty()) {
+    ++result.runs;
+    Harness harness(scenario);
+    result.run = harness.Run(result.plan);
+  }
+  result.final_events = result.plan.events.size();
+  return result;
+}
+
+}  // namespace configerator

@@ -1,0 +1,41 @@
+// Greedy delta-debugging (ddmin) shrinker for failing fault plans.
+//
+// Given a scenario and a plan whose run violates an invariant, the shrinker
+// searches for a minimal sub-plan that still reproduces the *same* invariant
+// violation — each probe is a fresh Harness run, so determinism of the
+// simulator is what makes the search sound. The result is 1-minimal: removing
+// any single remaining event no longer reproduces the failure.
+
+#ifndef SRC_DST_SHRINK_H_
+#define SRC_DST_SHRINK_H_
+
+#include <string>
+
+#include "src/dst/harness.h"
+
+namespace configerator {
+
+struct ShrinkOptions {
+  // Hard cap on harness executions (each probe replays the whole scenario).
+  int max_runs = 200;
+};
+
+struct ShrinkResult {
+  FaultPlan plan;         // Minimal plan that still reproduces the violation.
+  RunResult run;          // The run of that minimal plan (trace included).
+  int runs = 0;           // Harness executions spent.
+  size_t original_events = 0;
+  size_t final_events = 0;
+};
+
+// `invariant` is the violation to preserve (same name must fire). The
+// original failing plan itself reproduces by assumption; if a probe budget
+// runs out the best plan found so far is returned.
+ShrinkResult ShrinkFaultPlan(const ScenarioOptions& scenario,
+                             const FaultPlan& failing_plan,
+                             const std::string& invariant,
+                             const ShrinkOptions& options = {});
+
+}  // namespace configerator
+
+#endif  // SRC_DST_SHRINK_H_

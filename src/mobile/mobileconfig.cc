@@ -171,6 +171,7 @@ Result<MobilePullResponse> MobileConfigServer::HandlePull(
 
   ASSIGN_OR_RETURN(Json values, ResolveValues(schema, request.device));
   MobilePullResponse response;
+  response.server_generation = generation_;
   response.values_hash = HashValues(values);
   // Stateful mode: compare against the hash we remembered for this client
   // instead of one carried in the request (footnote 2).
@@ -205,11 +206,20 @@ Result<bool> MobileConfigClient::Sync(const MobileConfigServer& server) {
       (server.stateful() ? 64 : 96) + request.config_name.size();
 
   ASSIGN_OR_RETURN(MobilePullResponse response, server.HandlePull(request));
+  return ApplyPullResponse(response);
+}
+
+bool MobileConfigClient::ApplyPullResponse(const MobilePullResponse& response) {
+  if (response.server_generation < applied_generation_) {
+    ++stale_rejected_;  // A fresher response already landed; never roll back.
+    return false;
+  }
+  applied_generation_ = response.server_generation;
   bytes_transferred_ += static_cast<uint64_t>(response.response_bytes);
   if (response.unchanged) {
     return false;
   }
-  flash_cache_ = std::move(response.values);
+  flash_cache_ = response.values;
   cached_hash_ = response.values_hash;
   return true;
 }

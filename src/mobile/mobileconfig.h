@@ -130,6 +130,11 @@ struct MobilePullResponse {
   Json values;                     // Full value set when changed.
   Sha256Digest values_hash;
   int64_t response_bytes = 0;      // Modeled payload size.
+  // Server config generation at resolve time. Responses travel over an
+  // unordered network; the client rejects a response older than one it has
+  // already applied, so a delayed pull reply cannot roll back the values an
+  // emergency push just delivered.
+  int64_t server_generation = 0;
 };
 
 class MobileConfigServer {
@@ -152,6 +157,12 @@ class MobileConfigServer {
   void set_stateful(bool stateful) { stateful_ = stateful; }
   bool stateful() const { return stateful_; }
 
+  // Bump when any backing config / binding / gating state changed. Stamped
+  // into every response so clients can order responses that raced through
+  // the network (emergency push vs. scheduled pull).
+  void NoteConfigChanged() { ++generation_; }
+  int64_t generation() const { return generation_; }
+
   // Resolves the current value of every field of `schema` for `device`.
   Result<Json> ResolveValues(const MobileSchema& schema,
                              const UserContext& device) const;
@@ -170,6 +181,7 @@ class MobileConfigServer {
   bool stateful_ = false;
   // Stateful mode: last served value hash per (config name, user id).
   mutable std::map<std::pair<std::string, int64_t>, Sha256Digest> client_hashes_;
+  int64_t generation_ = 1;
   mutable uint64_t pulls_served_ = 0;
   mutable uint64_t unchanged_ = 0;
 };
@@ -185,6 +197,12 @@ class MobileConfigClient {
 
   // One pull round against the server. Returns true if new values landed.
   Result<bool> Sync(const MobileConfigServer& server);
+
+  // Applies a pull response that arrived over the network. Returns true if
+  // new values landed; a response staler than one already applied (its
+  // server generation is older) is rejected — the guard that makes an
+  // emergency push racing a scheduled pull safe under message reordering.
+  bool ApplyPullResponse(const MobilePullResponse& response);
 
   // Emergency push receipt: force a sync regardless of poll schedule.
   Result<bool> OnEmergencyPush(const MobileConfigServer& server) {
@@ -203,12 +221,16 @@ class MobileConfigClient {
   const MobileSchema& schema() const { return schema_; }
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   uint64_t syncs() const { return syncs_; }
+  int64_t applied_generation() const { return applied_generation_; }
+  uint64_t stale_rejected() const { return stale_rejected_; }
 
  private:
   MobileSchema schema_;
   UserContext device_;
   Json flash_cache_;  // Survives app restarts (device flash).
   Sha256Digest cached_hash_{};
+  int64_t applied_generation_ = 0;
+  uint64_t stale_rejected_ = 0;
   uint64_t bytes_transferred_ = 0;
   uint64_t syncs_ = 0;
 };

@@ -88,18 +88,25 @@ void VesselSwarm::Start(std::function<void(const ServerId&, SimTime)> on_done) {
 
 bool VesselSwarm::PickPeerSource(const ClientState& client, int64_t chunk,
                                  size_t* out_idx) {
-  const std::vector<size_t>& who = holders_[static_cast<size_t>(chunk)];
-  if (who.empty()) {
+  // Only peers the network can currently reach count as sources — a crashed
+  // or partitioned-away holder is as useless as no holder at all.
+  std::vector<size_t> reachable;
+  for (size_t idx : holders_[static_cast<size_t>(chunk)]) {
+    if (net_->CanDeliver(states_[idx].id, client.id)) {
+      reachable.push_back(idx);
+    }
+  }
+  if (reachable.empty()) {
     return false;
   }
   if (!options_.locality_aware) {
-    // Uniform choice among all holders.
-    *out_idx = who[rng_.NextBounded(who.size())];
+    // Uniform choice among all reachable holders.
+    *out_idx = reachable[rng_.NextBounded(reachable.size())];
     return true;
   }
   std::vector<size_t> same_cluster;
   std::vector<size_t> same_region;
-  for (size_t idx : who) {
+  for (size_t idx : reachable) {
     const ServerId& peer = states_[idx].id;
     if (peer.region == client.id.region) {
       if (peer.cluster == client.id.cluster) {
@@ -109,7 +116,7 @@ bool VesselSwarm::PickPeerSource(const ClientState& client, int64_t chunk,
       }
     }
   }
-  const std::vector<size_t>* pool = &who;
+  const std::vector<size_t>* pool = &reachable;
   if (!same_cluster.empty()) {
     pool = &same_cluster;
   } else if (!same_region.empty()) {
@@ -169,13 +176,14 @@ void VesselSwarm::PumpClient(size_t client_idx) {
       break;  // Everything is either present or already in flight.
     }
     client.requested[static_cast<size_t>(best_chunk)] = true;
-    FetchChunk(client_idx, best_chunk);
+    if (!FetchChunk(client_idx, best_chunk)) {
+      break;  // No reachable source; a backoff re-probe is scheduled.
+    }
   }
 }
 
-void VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
+bool VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
   ClientState& client = states_[client_idx];
-  ++client.in_flight;
 
   int64_t chunk_bytes =
       std::min(options_.chunk_size, content_size_ - chunk * options_.chunk_size);
@@ -185,10 +193,20 @@ void VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
   size_t peer_idx = 0;
   bool from_peer =
       options_.p2p_enabled && PickPeerSource(client, chunk, &peer_idx);
-  // A crashed peer cannot serve; fall back to storage for this request.
-  if (from_peer && net_->failures().IsDown(states_[peer_idx].id)) {
-    from_peer = false;
+  if (!from_peer && !net_->CanDeliver(storage_, client.id)) {
+    // Total isolation: no reachable peer and the storage service is cut off
+    // too. Back off instead of burning simulated uplink on doomed requests.
+    client.requested[static_cast<size_t>(chunk)] = false;
+    if (!client.retry_pending) {
+      client.retry_pending = true;
+      net_->sim().Schedule(options_.unreachable_backoff, [this, client_idx] {
+        states_[client_idx].retry_pending = false;
+        PumpClient(client_idx);
+      });
+    }
+    return false;
   }
+  ++client.in_flight;
 
   ServerId source;
   SimTime start;
@@ -214,12 +232,13 @@ void VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
     ClientState& c = states_[client_idx];
     --c.in_flight;
     c.requested[static_cast<size_t>(chunk)] = false;
-    // The transfer fails if either endpoint died mid-flight; the pump
-    // retries from another source (downloads survive peer churn).
+    // The transfer fails if either endpoint died mid-flight or a partition
+    // cut the link; the pump retries from another source (downloads survive
+    // peer churn).
     if (net_->failures().IsDown(c.id)) {
       return;  // Dead clients stop pumping until ResumeClient().
     }
-    if (net_->failures().IsDown(source)) {
+    if (!net_->CanDeliver(source, c.id)) {
       PumpClient(client_idx);
       return;
     }
@@ -238,6 +257,7 @@ void VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
     }
     PumpClient(client_idx);
   });
+  return true;
 }
 
 void VesselSwarm::ResumeClient(const ServerId& client) {
@@ -249,6 +269,16 @@ void VesselSwarm::ResumeClient(const ServerId& client) {
   if (!states_[idx].done) {
     PumpClient(idx);
   }
+}
+
+bool VesselSwarm::ClientDone(const ServerId& client) const {
+  auto it = index_of_.find(client);
+  return it != index_of_.end() && states_[it->second].done;
+}
+
+int64_t VesselSwarm::ClientChunks(const ServerId& client) const {
+  auto it = index_of_.find(client);
+  return it == index_of_.end() ? 0 : states_[it->second].have_count;
 }
 
 std::string VesselPublisher::SyntheticHash(const std::string& name,

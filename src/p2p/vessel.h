@@ -44,6 +44,9 @@ class VesselSwarm {
     int max_storage_uploads = 8;         // Storage service upload slots.
     bool locality_aware = true;          // Prefer same-cluster sources.
     bool p2p_enabled = true;             // false = everyone hits storage.
+    // How long a client waits before re-probing when no source is reachable
+    // (every peer and the storage service crashed or partitioned away).
+    SimTime unreachable_backoff = 250 * kSimMillisecond;
   };
 
   struct Stats {
@@ -71,6 +74,10 @@ class VesselSwarm {
   // fetched chunks is kept — partial downloads resume, like BitTorrent).
   void ResumeClient(const ServerId& client);
 
+  // Per-client progress, for churn tests and harness invariants.
+  bool ClientDone(const ServerId& client) const;
+  int64_t ClientChunks(const ServerId& client) const;
+
  private:
   struct ClientState {
     ServerId id;
@@ -79,11 +86,14 @@ class VesselSwarm {
     int64_t have_count = 0;
     int in_flight = 0;
     bool done = false;
+    bool retry_pending = false;  // A backoff re-probe is already scheduled.
     SimTime uplink_free = 0;  // Peer-serving uplink availability.
   };
 
   void PumpClient(size_t client_idx);
-  void FetchChunk(size_t client_idx, int64_t chunk);
+  // Issues the transfer; false if no source is currently reachable (a
+  // backoff re-probe has been scheduled instead).
+  bool FetchChunk(size_t client_idx, int64_t chunk);
   // Tracker-style source selection: same-cluster peer > same-region peer >
   // any peer > storage.
   bool PickPeerSource(const ClientState& client, int64_t chunk, size_t* out_idx);

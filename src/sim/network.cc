@@ -5,51 +5,167 @@ namespace configerator {
 Network::Network(Simulator* sim, Topology topology, uint64_t seed)
     : sim_(sim), topology_(std::move(topology)), rng_(seed) {}
 
-void Network::Send(const ServerId& from, const ServerId& to, int64_t bytes,
-                   std::function<void()> deliver) {
-  if (failures_.IsDown(from) || failures_.IsDown(to)) {
-    ++messages_dropped_;
-    return;
+uint64_t Network::Partition(const std::vector<ServerId>& group_a,
+                            const std::vector<ServerId>& group_b) {
+  PartitionRule rule;
+  rule.id = next_partition_id_++;
+  rule.from.insert(group_a.begin(), group_a.end());
+  rule.to.insert(group_b.begin(), group_b.end());
+  rule.bidirectional = true;
+  partitions_.push_back(std::move(rule));
+  return partitions_.back().id;
+}
+
+uint64_t Network::PartitionOneWay(const std::vector<ServerId>& from_group,
+                                  const std::vector<ServerId>& to_group) {
+  PartitionRule rule;
+  rule.id = next_partition_id_++;
+  rule.from.insert(from_group.begin(), from_group.end());
+  rule.to.insert(to_group.begin(), to_group.end());
+  rule.bidirectional = false;
+  partitions_.push_back(std::move(rule));
+  return partitions_.back().id;
+}
+
+bool Network::HealPartition(uint64_t rule_id) {
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (partitions_[i].id == rule_id) {
+      partitions_.erase(partitions_.begin() + static_cast<long>(i));
+      return true;
+    }
   }
-  ++messages_sent_;
-  bytes_sent_ += static_cast<uint64_t>(bytes);
-  SimTime delay = topology_.Latency(from, to, rng_) + topology_.TransmitTime(bytes);
-  ServerId dest = to;
-  sim_->Schedule(delay, [this, dest, deliver = std::move(deliver)] {
-    if (failures_.IsDown(dest)) {
-      ++messages_dropped_;
+  return false;
+}
+
+bool Network::Blocked(const ServerId& from, const ServerId& to) const {
+  for (const PartitionRule& rule : partitions_) {
+    if (rule.from.count(from) > 0 && rule.to.count(to) > 0) {
+      return true;
+    }
+    if (rule.bidirectional && rule.from.count(to) > 0 && rule.to.count(from) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Network::SetLinkFault(const ServerId& from, const ServerId& to,
+                           LinkFault fault) {
+  link_faults_[{from, to}] = fault;
+}
+
+const LinkFault& Network::EffectiveFault(const LinkKey& key) const {
+  auto it = link_faults_.find(key);
+  return it == link_faults_.end() ? default_fault_ : it->second;
+}
+
+LinkStats Network::link_stats(const ServerId& from, const ServerId& to) const {
+  auto it = link_stats_.find({from, to});
+  return it == link_stats_.end() ? LinkStats{} : it->second;
+}
+
+void Network::ScheduleDelivery(const LinkKey& key, SimTime arrival,
+                               std::function<void()> deliver) {
+  sim_->ScheduleAt(arrival, [this, key, deliver = std::move(deliver)] {
+    if (failures_.IsDown(key.second)) {
+      ++stats_.dropped;
+      ++link_stats_[key].dropped;
       return;
     }
+    ++stats_.delivered;
+    ++link_stats_[key].delivered;
     deliver();
   });
 }
 
-void Network::SendFifo(const ServerId& from, const ServerId& to, int64_t bytes,
-                       std::function<void()> deliver) {
-  if (failures_.IsDown(from) || failures_.IsDown(to)) {
-    ++messages_dropped_;
+void Network::SendInternal(const ServerId& from, const ServerId& to,
+                           int64_t bytes, std::function<void()> deliver,
+                           bool fifo) {
+  LinkKey key{from, to};
+  if (failures_.IsDown(from) || failures_.IsDown(to) || Blocked(from, to)) {
+    ++stats_.dropped;
+    ++link_stats_[key].dropped;
     return;
   }
-  ++messages_sent_;
-  bytes_sent_ += static_cast<uint64_t>(bytes);
-  SimTime delay = topology_.Latency(from, to, rng_) + topology_.TransmitTime(bytes);
-  // Channel key: mix both endpoint hashes.
-  uint64_t key = std::hash<ServerId>{}(from) * 0x9e3779b97f4a7c15ULL +
-                 std::hash<ServerId>{}(to);
-  SimTime arrival = sim_->now() + delay;
-  SimTime& clock = channel_clock_[key];
-  if (arrival <= clock) {
-    arrival = clock + 1;  // Preserve order: never overtake the channel.
+  const LinkFault& fault = EffectiveFault(key);
+  if (fault.drop_prob > 0 && rng_.NextBool(fault.drop_prob)) {
+    ++stats_.dropped;
+    ++link_stats_[key].dropped;
+    return;
   }
-  clock = arrival;
-  ServerId dest = to;
-  sim_->ScheduleAt(arrival, [this, dest, deliver = std::move(deliver)] {
-    if (failures_.IsDown(dest)) {
-      ++messages_dropped_;
-      return;
+
+  LinkStats& ls = link_stats_[key];
+  ++stats_.messages_sent;
+  ++ls.sent;
+  stats_.bytes_sent += static_cast<uint64_t>(bytes);
+
+  SimTime delay = topology_.Latency(from, to, rng_) + topology_.TransmitTime(bytes);
+  if (fault.extra_delay > 0 || fault.extra_delay_jitter > 0) {
+    SimTime extra = fault.extra_delay;
+    if (fault.extra_delay_jitter > 0) {
+      extra += static_cast<SimTime>(
+          rng_.NextBounded(static_cast<uint64_t>(fault.extra_delay_jitter)));
     }
-    deliver();
-  });
+    if (extra > 0) {
+      delay += extra;
+      ++stats_.delayed;
+      ++ls.delayed;
+    }
+  }
+  bool duplicate = fault.dup_prob > 0 && rng_.NextBool(fault.dup_prob);
+  if (duplicate) {
+    ++stats_.duplicated;
+    ++ls.duplicated;
+  }
+
+  if (fifo) {
+    // Channel key: mix both endpoint hashes.
+    uint64_t channel = std::hash<ServerId>{}(from) * 0x9e3779b97f4a7c15ULL +
+                       std::hash<ServerId>{}(to);
+    SimTime arrival = sim_->now() + delay;
+    SimTime& clock = channel_clock_[channel];
+    if (arrival <= clock) {
+      arrival = clock + 1;  // Preserve order: never overtake the channel.
+    }
+    clock = arrival;
+    if (duplicate) {
+      ScheduleDelivery(key, arrival, deliver);
+      clock = arrival + 1;  // Duplicate rides the channel right behind.
+      ScheduleDelivery(key, clock, std::move(deliver));
+    } else {
+      ScheduleDelivery(key, arrival, std::move(deliver));
+    }
+    return;
+  }
+
+  if (fault.reorder_prob > 0 && delay > 0 && rng_.NextBool(fault.reorder_prob)) {
+    // Reshuffle the delivery into [0, 2·delay]: the message can overtake
+    // earlier traffic or be overtaken by later traffic on the same link.
+    delay = static_cast<SimTime>(
+        rng_.NextBounded(static_cast<uint64_t>(2 * delay) + 1));
+    ++stats_.reordered;
+    ++ls.reordered;
+  }
+  if (duplicate) {
+    // Independent delay for the duplicate, so the copies can arrive in
+    // either order.
+    SimTime dup_delay = delay + 1 +
+        static_cast<SimTime>(rng_.NextBounded(static_cast<uint64_t>(delay) + 1));
+    ScheduleDelivery(key, sim_->now() + delay, deliver);
+    ScheduleDelivery(key, sim_->now() + dup_delay, std::move(deliver));
+  } else {
+    ScheduleDelivery(key, sim_->now() + delay, std::move(deliver));
+  }
+}
+
+void Network::Send(const ServerId& from, const ServerId& to, int64_t bytes,
+                   std::function<void()> deliver) {
+  SendInternal(from, to, bytes, std::move(deliver), /*fifo=*/false);
+}
+
+void Network::SendFifo(const ServerId& from, const ServerId& to, int64_t bytes,
+                       std::function<void()> deliver) {
+  SendInternal(from, to, bytes, std::move(deliver), /*fifo=*/true);
 }
 
 }  // namespace configerator

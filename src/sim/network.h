@@ -1,17 +1,35 @@
 // Message-passing layer over the simulator: point-to-point sends with
-// topology-derived latency and crash-style failure injection ("failures are
-// the norm" — §3.4). Components register handlers per server and exchange
-// opaque payloads; a message to a down server is silently dropped, like a
-// TCP connection that will time out.
+// topology-derived latency and a seed-deterministic fault model ("failures
+// are the norm" — §3.4). Components register handlers per server and exchange
+// opaque payloads.
+//
+// Fault model (all deterministic given the Network seed):
+//  * Crash-style server failures (FailureInjector): messages to/from a down
+//    server are dropped, like a TCP connection that will time out.
+//  * Network partitions, including asymmetric ones: a partition rule blocks
+//    sends from one server group to another (optionally both directions).
+//    Blocked sends are dropped at send time; messages already in flight when
+//    a partition starts still arrive.
+//  * Per-link faults (LinkFault): probabilistic message drop, duplication,
+//    reordering, and extra delivery delay, configured per directed link or
+//    globally. FIFO channels (SendFifo) model TCP connections and therefore
+//    never reorder — but they can still drop, duplicate, and delay.
+//
+// Every outcome is counted per directed link and in aggregate (stats()), so
+// tests can assert not just that a scenario converged but that the faults
+// actually fired.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
@@ -31,6 +49,42 @@ class FailureInjector {
   std::unordered_set<ServerId> down_;
 };
 
+// Probabilistic fault configuration for a directed link (or the whole
+// network, via SetDefaultFault). Zero-initialized = no faults.
+struct LinkFault {
+  double drop_prob = 0;     // P(message silently lost).
+  double dup_prob = 0;      // P(message delivered twice).
+  double reorder_prob = 0;  // P(delivery delay reshuffled) — Send() only.
+  SimTime extra_delay = 0;          // Fixed extra delivery delay.
+  SimTime extra_delay_jitter = 0;   // Plus uniform [0, jitter).
+
+  bool active() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 ||
+           extra_delay > 0 || extra_delay_jitter > 0;
+  }
+};
+
+// Per-directed-link outcome counters.
+struct LinkStats {
+  uint64_t sent = 0;        // Accepted for delivery (past drop faults).
+  uint64_t delivered = 0;   // Handler actually ran (duplicates count twice).
+  uint64_t dropped = 0;     // Down endpoint, partition, or drop fault.
+  uint64_t delayed = 0;     // A delay fault added latency.
+  uint64_t duplicated = 0;  // A duplicate delivery was scheduled.
+  uint64_t reordered = 0;   // A reorder fault reshuffled the delay.
+};
+
+// Network-wide aggregate of the same counters.
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t delayed = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t bytes_sent = 0;
+};
+
 class Network {
  public:
   Network(Simulator* sim, Topology topology, uint64_t seed = 1);
@@ -42,30 +96,96 @@ class Network {
   Rng& rng() { return rng_; }
 
   // Delivers `deliver` at the destination after latency + serialization time
-  // for `bytes`. Dropped if either endpoint is down at send or receive time.
-  // `deliver` runs only if the destination is still up on arrival.
+  // for `bytes`, subject to the fault model. `deliver` runs only if the
+  // destination is still up on arrival.
   void Send(const ServerId& from, const ServerId& to, int64_t bytes,
             std::function<void()> deliver);
 
   // Like Send, but messages on the same (from, to) channel are delivered in
   // send order — the TCP-connection semantics ZooKeeper's ordering guarantees
-  // rest on.
+  // rest on. Reorder faults do not apply; drop/dup/delay do.
   void SendFifo(const ServerId& from, const ServerId& to, int64_t bytes,
                 std::function<void()> deliver);
 
-  // Messages sent / dropped — benches report these as overhead measures.
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  // --- Partitions -----------------------------------------------------------
+
+  // Blocks traffic between the two groups (both directions). Returns a rule
+  // id usable with HealPartition.
+  uint64_t Partition(const std::vector<ServerId>& group_a,
+                     const std::vector<ServerId>& group_b);
+
+  // Asymmetric partition: blocks only `from_group` → `to_group` traffic
+  // (replies still flow — the classic half-open failure).
+  uint64_t PartitionOneWay(const std::vector<ServerId>& from_group,
+                           const std::vector<ServerId>& to_group);
+
+  bool HealPartition(uint64_t rule_id);
+  void HealAllPartitions() { partitions_.clear(); }
+  size_t partition_count() const { return partitions_.size(); }
+
+  // True if a send from → to would be blocked by a partition rule right now.
+  bool Blocked(const ServerId& from, const ServerId& to) const;
+
+  // --- Link faults ----------------------------------------------------------
+
+  // Per-directed-link fault override; replaces any previous fault for that
+  // link. The default fault applies to links without an override.
+  void SetLinkFault(const ServerId& from, const ServerId& to, LinkFault fault);
+  void SetDefaultFault(LinkFault fault) { default_fault_ = fault; }
+  void ClearLinkFaults() {
+    link_faults_.clear();
+    default_fault_ = LinkFault{};
+  }
+
+  // --- Liveness query -------------------------------------------------------
+
+  // True if a message sent now from → to could be delivered: both endpoints
+  // up and no partition rule in the way. (Probabilistic faults may still
+  // drop it.) Higher layers (PackageVessel peer selection) use this the way
+  // production code uses a connect() failure.
+  bool CanDeliver(const ServerId& from, const ServerId& to) const {
+    return !failures_.IsDown(from) && !failures_.IsDown(to) && !Blocked(from, to);
+  }
+
+  // --- Stats ----------------------------------------------------------------
+
+  const NetStats& stats() const { return stats_; }
+  // Counters for one directed link (zeroes if the link never carried a
+  // message).
+  LinkStats link_stats(const ServerId& from, const ServerId& to) const;
+
+  // Legacy aggregate accessors — benches report these as overhead measures.
+  uint64_t messages_sent() const { return stats_.messages_sent; }
+  uint64_t messages_dropped() const { return stats_.dropped; }
+  uint64_t bytes_sent() const { return stats_.bytes_sent; }
 
  private:
+  struct PartitionRule {
+    uint64_t id = 0;
+    std::unordered_set<ServerId> from;
+    std::unordered_set<ServerId> to;
+    bool bidirectional = false;
+  };
+
+  using LinkKey = std::pair<ServerId, ServerId>;
+
+  const LinkFault& EffectiveFault(const LinkKey& key) const;
+  // Shared by Send/SendFifo after the channel-independent fault handling.
+  void ScheduleDelivery(const LinkKey& key, SimTime arrival,
+                        std::function<void()> deliver);
+  void SendInternal(const ServerId& from, const ServerId& to, int64_t bytes,
+                    std::function<void()> deliver, bool fifo);
+
   Simulator* sim_;
   Topology topology_;
   FailureInjector failures_;
   Rng rng_;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
+  NetStats stats_;
+  std::map<LinkKey, LinkStats> link_stats_;
+  std::map<LinkKey, LinkFault> link_faults_;
+  LinkFault default_fault_;
+  std::vector<PartitionRule> partitions_;
+  uint64_t next_partition_id_ = 1;
   // Last scheduled arrival per FIFO channel (from, to).
   std::unordered_map<uint64_t, SimTime> channel_clock_;
 };

@@ -100,6 +100,7 @@ void ZeusEnsemble::CommitOnLeader(std::string key, std::string value,
     // after the processing delay (log fsync etc.).
     txn.zxid = ++last_committed_zxid_;
     committed_[txn.key] = ZeusValue{txn.value, txn.zxid};
+    commit_log_.push_back(txn);
     for (Member& m : members_) {
       if (!net_->failures().IsDown(m.id)) {
         m.log.push_back(txn);
@@ -220,10 +221,12 @@ void ZeusEnsemble::AntiEntropyTick() {
       if (net_->failures().IsDown(obs.id) || obs.last_zxid >= last_committed_zxid_) {
         continue;
       }
-      // Replay the missing suffix from the leader's log, in order.
-      const Member& leader = members_[leader_idx_];
+      // Replay the missing suffix of the committed stream, in order. Sourced
+      // from the hole-free commit log, not the leader's member log: a leader
+      // elected for its long log can still miss mid-stream txns it was down
+      // for, and replaying around a hole would wedge the observer forever.
       Observer* obs_ptr = &obs;
-      for (const ZeusTxn& txn : leader.log) {
+      for (const ZeusTxn& txn : commit_log_) {
         if (txn.zxid <= obs.last_zxid) {
           continue;
         }
@@ -329,6 +332,11 @@ const ZeusEnsemble::Observer* ZeusEnsemble::FindObserver(const ServerId& id) con
     }
   }
   return nullptr;
+}
+
+const ZeusValue* ZeusEnsemble::Lookup(const std::string& key) const {
+  auto it = committed_.find(key);
+  return it == committed_.end() ? nullptr : &it->second;
 }
 
 int64_t ZeusEnsemble::ObserverLastZxid(const ServerId& observer) const {

@@ -100,6 +100,11 @@ class ZeusEnsemble {
   const ServerId& leader() const { return members_[leader_idx_].id; }
   bool has_quorum() const;
   int64_t last_committed_zxid() const { return last_committed_zxid_; }
+
+  // Committed leader-state value for `key` (nullptr if never written). This
+  // is the simulation-harness ground truth: after a full heal, every replica
+  // must converge to it. Not a networked read — tests/invariants only.
+  const ZeusValue* Lookup(const std::string& key) const;
   int64_t ObserverLastZxid(const ServerId& observer) const;
   const std::vector<ServerId>& observers() const { return observer_ids_; }
 
@@ -142,6 +147,11 @@ class ZeusEnsemble {
 
   Network* net_;
   Options options_;
+  // The committed transaction stream, in zxid order with no holes (zxids are
+  // assigned at commit). Anti-entropy replays suffixes of this — a member's
+  // own log can have holes (it was down when some txns committed), so it is
+  // not a safe replay source even for the longest-log election winner.
+  std::vector<ZeusTxn> commit_log_;
   std::vector<Member> members_;
   std::vector<ServerId> observer_ids_;
   std::vector<Observer> observer_states_;

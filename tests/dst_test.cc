@@ -1,0 +1,494 @@
+// Deterministic simulation testing (DST): network fault-model unit tests,
+// fault-plan serialization, full-stack harness smoke runs, the wide chaos
+// sweep (label: chaos), the seeded torn-config bug with trace shrinking and
+// replay, PackageVessel churn, and the MobileConfig push-vs-pull race.
+//
+// This file supersedes the Zeus/proxy chaos scenario that used to live in
+// fault_injection_test.cc: the DST harness runs the same fleet shape with a
+// strictly richer fault model (partitions, link faults, disk corruption) and
+// checks invariants continuously instead of only at the end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/dst/fault_plan.h"
+#include "src/dst/harness.h"
+#include "src/dst/shrink.h"
+#include "src/mobile/mobileconfig.h"
+#include "src/sim/network.h"
+
+namespace configerator {
+namespace {
+
+// ---- Network fault model -----------------------------------------------------
+
+class NetworkStatsTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+  Network net_{&sim_, Topology(2, 2, 4), 42};
+  ServerId a_{0, 0, 0};
+  ServerId b_{0, 0, 1};
+  ServerId c_{1, 0, 0};
+};
+
+TEST_F(NetworkStatsTest, CountsDeliveriesAndDropsToDownServers) {
+  int delivered = 0;
+  net_.Send(a_, b_, 100, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_.stats().delivered, 1u);
+  EXPECT_EQ(net_.stats().dropped, 0u);
+  EXPECT_EQ(net_.link_stats(a_, b_).delivered, 1u);
+
+  // A message to a down server is not silently ignored anymore: it shows up
+  // in the per-link and aggregate drop counters.
+  net_.failures().Crash(b_);
+  net_.Send(a_, b_, 100, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_.stats().dropped, 1u);
+  EXPECT_EQ(net_.link_stats(a_, b_).dropped, 1u);
+
+  // Down *on arrival* also counts as a drop on that link.
+  net_.failures().Recover(b_);
+  net_.Send(a_, b_, 100, [&] { ++delivered; });
+  net_.failures().Crash(b_);
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_.link_stats(a_, b_).dropped, 2u);
+}
+
+TEST_F(NetworkStatsTest, PartitionsBlockTrafficUntilHealed) {
+  uint64_t rule = net_.Partition({a_}, {b_});
+  EXPECT_FALSE(net_.CanDeliver(a_, b_));
+  EXPECT_FALSE(net_.CanDeliver(b_, a_));
+  EXPECT_TRUE(net_.CanDeliver(a_, c_));
+
+  int delivered = 0;
+  net_.Send(a_, b_, 10, [&] { ++delivered; });
+  net_.Send(b_, a_, 10, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net_.stats().dropped, 2u);
+
+  EXPECT_TRUE(net_.HealPartition(rule));
+  net_.Send(a_, b_, 10, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkStatsTest, OneWayPartitionIsAsymmetric) {
+  net_.PartitionOneWay({a_}, {b_});
+  EXPECT_FALSE(net_.CanDeliver(a_, b_));
+  EXPECT_TRUE(net_.CanDeliver(b_, a_));
+
+  int forward = 0;
+  int reverse = 0;
+  net_.Send(a_, b_, 10, [&] { ++forward; });
+  net_.Send(b_, a_, 10, [&] { ++reverse; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(forward, 0);
+  EXPECT_EQ(reverse, 1);
+  net_.HealAllPartitions();
+  EXPECT_EQ(net_.partition_count(), 0u);
+}
+
+TEST_F(NetworkStatsTest, LinkFaultsDropDuplicateAndDelay) {
+  LinkFault drop_all;
+  drop_all.drop_prob = 1.0;
+  net_.SetLinkFault(a_, b_, drop_all);
+  int delivered = 0;
+  net_.Send(a_, b_, 10, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net_.link_stats(a_, b_).dropped, 1u);
+
+  LinkFault dup_all;
+  dup_all.dup_prob = 1.0;
+  net_.SetLinkFault(a_, b_, dup_all);
+  net_.Send(a_, b_, 10, [&] { ++delivered; });
+  sim_.RunUntilIdle();
+  EXPECT_EQ(delivered, 2);  // Original + duplicate both ran the handler.
+  EXPECT_EQ(net_.link_stats(a_, b_).duplicated, 1u);
+  EXPECT_EQ(net_.link_stats(a_, b_).delivered, 2u);
+
+  net_.ClearLinkFaults();
+  LinkFault slow;
+  slow.extra_delay = 50 * kSimMillisecond;
+  net_.SetDefaultFault(slow);
+  SimTime sent_at = sim_.now();
+  SimTime latency = 0;
+  net_.Send(a_, b_, 10, [&] { latency = sim_.now() - sent_at; });
+  sim_.RunUntilIdle();
+  EXPECT_GE(latency, 50 * kSimMillisecond);
+  EXPECT_GT(net_.stats().delayed, 0u);
+}
+
+TEST_F(NetworkStatsTest, FifoChannelsNeverReorderButPlainSendsCan) {
+  LinkFault reorder;
+  reorder.reorder_prob = 1.0;
+  net_.SetDefaultFault(reorder);
+
+  // TCP-like FIFO channel: order preserved even with reorder faults active.
+  std::vector<int> fifo_order;
+  for (int i = 0; i < 10; ++i) {
+    net_.SendFifo(a_, b_, 10, [&fifo_order, i] { fifo_order.push_back(i); });
+  }
+  sim_.RunUntilIdle();
+  ASSERT_EQ(fifo_order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(fifo_order.begin(), fifo_order.end()));
+  EXPECT_EQ(net_.stats().reordered, 0u);
+
+  // Plain sends: reorder faults reshuffle delivery delays.
+  for (int i = 0; i < 10; ++i) {
+    net_.Send(a_, b_, 10, [] {});
+  }
+  sim_.RunUntilIdle();
+  EXPECT_GT(net_.stats().reordered, 0u);
+}
+
+// ---- Fault plans -------------------------------------------------------------
+
+TEST(FaultPlanTest, SerializationRoundTripsEveryOp) {
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.at = 1 * kSimSecond;
+  crash.op = FaultOp::kCrash;
+  crash.group_a = {ServerId{0, 0, 3}};
+  plan.events.push_back(crash);
+  FaultEvent recover = crash;
+  recover.at = 2 * kSimSecond;
+  recover.op = FaultOp::kRecover;
+  plan.events.push_back(recover);
+  FaultEvent proxy_crash;
+  proxy_crash.at = 3 * kSimSecond;
+  proxy_crash.op = FaultOp::kCrashProxy;
+  proxy_crash.index = 4;
+  plan.events.push_back(proxy_crash);
+  FaultEvent proxy_restart = proxy_crash;
+  proxy_restart.at = 4 * kSimSecond;
+  proxy_restart.op = FaultOp::kRestartProxy;
+  plan.events.push_back(proxy_restart);
+  FaultEvent cut;
+  cut.at = 5 * kSimSecond;
+  cut.op = FaultOp::kPartition;
+  cut.group_a = {ServerId{0, 0, 0}, ServerId{0, 0, 1}};
+  cut.group_b = {ServerId{1, 0, 0}};
+  plan.events.push_back(cut);
+  FaultEvent oneway = cut;
+  oneway.at = 6 * kSimSecond;
+  oneway.op = FaultOp::kPartitionOneWay;
+  plan.events.push_back(oneway);
+  FaultEvent heal;
+  heal.at = 7 * kSimSecond;
+  heal.op = FaultOp::kHealPartitions;
+  plan.events.push_back(heal);
+  FaultEvent storm;
+  storm.at = 8 * kSimSecond;
+  storm.op = FaultOp::kGlobalFault;
+  storm.fault.drop_prob = 0.125;
+  storm.fault.dup_prob = 0.0625;
+  storm.fault.reorder_prob = 0.25;
+  storm.fault.extra_delay = 7 * kSimMillisecond;
+  storm.fault.extra_delay_jitter = 3 * kSimMillisecond;
+  plan.events.push_back(storm);
+  FaultEvent clear;
+  clear.at = 9 * kSimSecond;
+  clear.op = FaultOp::kClearFaults;
+  plan.events.push_back(clear);
+  FaultEvent corrupt;
+  corrupt.at = 10 * kSimSecond;
+  corrupt.op = FaultOp::kCorruptDisk;
+  corrupt.index = 2;
+  plan.events.push_back(corrupt);
+
+  std::string text = plan.ToString();
+  auto parsed = FaultPlan::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->ToString(), text);
+  EXPECT_EQ(parsed->size(), plan.size());
+}
+
+TEST(FaultPlanTest, RandomPlansAreSeedDeterministic) {
+  ScenarioOptions options;
+  Harness harness(options);
+  FaultPlanShape shape = harness.shape();
+  FaultPlan p1 = FaultPlan::Random(99, shape);
+  FaultPlan p2 = FaultPlan::Random(99, shape);
+  EXPECT_EQ(p1.ToString(), p2.ToString());
+  EXPECT_FALSE(p1.empty());
+
+  FaultPlan p3 = FaultPlan::Random(100, shape);
+  EXPECT_NE(p1.ToString(), p3.ToString());
+
+  // Clean-run sweeps never inject corruption unless asked.
+  for (const FaultEvent& event : p1.events) {
+    EXPECT_NE(event.op, FaultOp::kCorruptDisk);
+  }
+}
+
+// ---- Harness: clean chaos runs ----------------------------------------------
+
+ScenarioOptions SmokeScenario(uint64_t seed) {
+  ScenarioOptions options;
+  options.seed = seed;
+  options.chaos_duration = 40 * kSimSecond;
+  options.settle = 25 * kSimSecond;
+  options.writes = 30;
+  options.vessel_bytes = 8 << 20;
+  return options;
+}
+
+class DstSmokeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DstSmokeTest, RandomChaosRunsClean) {
+  ScenarioOptions options = SmokeScenario(GetParam());
+  Harness harness(options);
+  FaultPlan plan = FaultPlan::Random(GetParam(), harness.shape());
+  RunResult result = harness.Run(plan);
+  EXPECT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message;
+  // The run must have done real work under real faults.
+  EXPECT_GT(result.committed_zxid, 0);
+  EXPECT_GT(result.published, 0u);
+  EXPECT_EQ(result.vessel_completed, 8u);
+  EXPECT_GT(result.net.messages_sent, 0u);
+  EXPECT_GT(result.net.dropped + result.net.delayed + result.net.duplicated +
+                result.net.reordered,
+            0u)
+      << "fault plan fired no observable network fault";
+}
+
+// Seeds picked so every smoke run's random plan fires countable network
+// faults (a handful of seeds roll only proxy crashes / inert partitions).
+INSTANTIATE_TEST_SUITE_P(Seeds, DstSmokeTest,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+// The wide sweep: excluded from tier-1 (ctest configuration + label "chaos");
+// scripts/check.sh --chaos runs it.
+class DstChaosSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DstChaosSweepTest, RandomChaosRunsClean) {
+  ScenarioOptions options = SmokeScenario(GetParam());
+  Harness harness(options);
+  RandomPlanOptions plan_options;
+  plan_options.incidents = 10;
+  FaultPlan plan = FaultPlan::Random(GetParam() * 7 + 3, harness.shape(),
+                                     plan_options);
+  RunResult result = harness.Run(plan);
+  EXPECT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message
+      << "\n--- replayable trace ---\n"
+      << result.trace;
+  EXPECT_GT(result.committed_zxid, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DstChaosSweepTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{41}));
+
+// ---- Replay determinism ------------------------------------------------------
+
+TEST(DstReplayTest, TraceReplaysBitForBit) {
+  ScenarioOptions options = SmokeScenario(11);
+  Harness harness(options);
+  FaultPlan plan = FaultPlan::Random(11, harness.shape());
+  RunResult first = harness.Run(plan);
+
+  auto replayed = Harness::Replay(first.trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(replayed->violated, first.violated);
+  EXPECT_EQ(replayed->committed_zxid, first.committed_zxid);
+  EXPECT_EQ(replayed->published, first.published);
+  EXPECT_EQ(replayed->sim_events, first.sim_events);
+  EXPECT_EQ(replayed->net.messages_sent, first.net.messages_sent);
+  EXPECT_EQ(replayed->net.dropped, first.net.dropped);
+  // The replay's own trace is identical — the fixed point that makes traces
+  // shareable bug reports.
+  EXPECT_EQ(replayed->trace, first.trace);
+}
+
+// ---- The seeded bug: torn config served after a proxy crash ------------------
+
+// A disk-corruption event tears proxy 2's on-disk cache; when the proxy
+// process then crashes, the application client falls back to disk (the §3.4
+// availability path) and serves the torn value. The no-torn-config invariant
+// must catch it, the shrinker must reduce the schedule to its essence (the
+// corruption + the crash), and the shrunk trace must replay deterministically.
+FaultPlan SeededTornConfigPlan(const FaultPlanShape& shape) {
+  FaultPlan plan;
+  auto add = [&plan](SimTime at, FaultOp op) -> FaultEvent& {
+    FaultEvent event;
+    event.at = at;
+    event.op = op;
+    plan.events.push_back(event);
+    return plan.events.back();
+  };
+  // Noise the shrinker must discard: a member outage, a lossy window, a
+  // cross-region partition.
+  add(8 * kSimSecond, FaultOp::kCrash).group_a = {shape.members.at(1)};
+  add(14 * kSimSecond, FaultOp::kRecover).group_a = {shape.members.at(1)};
+  FaultEvent& storm = add(10 * kSimSecond, FaultOp::kGlobalFault);
+  storm.fault.drop_prob = 0.05;
+  storm.fault.reorder_prob = 0.1;
+  add(16 * kSimSecond, FaultOp::kClearFaults);
+  FaultEvent& cut = add(18 * kSimSecond, FaultOp::kPartition);
+  for (const ServerId& id : shape.members) {
+    (id.region == 0 ? cut.group_a : cut.group_b).push_back(id);
+  }
+  for (const ServerId& id : shape.observers) {
+    (id.region == 0 ? cut.group_a : cut.group_b).push_back(id);
+  }
+  add(24 * kSimSecond, FaultOp::kHealPartitions);
+  add(12 * kSimSecond, FaultOp::kCrashProxy).index = 6;
+  add(15 * kSimSecond, FaultOp::kRestartProxy).index = 6;
+  // The bug itself.
+  FaultEvent& corrupt = add(26 * kSimSecond, FaultOp::kCorruptDisk);
+  corrupt.index = 2;
+  FaultEvent& crash = add(27 * kSimSecond, FaultOp::kCrashProxy);
+  crash.index = 2;
+  plan.SortByTime();
+  return plan;
+}
+
+TEST(DstSeededBugTest, TornConfigIsCaughtShrunkAndReplayed) {
+  ScenarioOptions options = SmokeScenario(21);
+  FaultPlan plan;
+  {
+    Harness harness(options);
+    plan = SeededTornConfigPlan(harness.shape());
+  }
+  ASSERT_EQ(plan.size(), 10u);
+
+  // 1. The invariant catches the bug.
+  Harness harness(options);
+  RunResult failing = harness.Run(plan);
+  ASSERT_TRUE(failing.violated) << "seeded bug was not caught";
+  EXPECT_EQ(failing.violation.invariant, "no-torn-config")
+      << failing.violation.message;
+
+  // 2. The shrinker reduces the 9-event schedule to a minimal reproduction.
+  ShrinkResult shrunk =
+      ShrinkFaultPlan(options, plan, failing.violation.invariant);
+  EXPECT_LE(shrunk.final_events, 5u) << shrunk.plan.ToString();
+  EXPECT_GE(shrunk.final_events, 2u)
+      << "corruption alone must not fire (apps read the live proxy): "
+      << shrunk.plan.ToString();
+  ASSERT_TRUE(shrunk.run.violated);
+  EXPECT_EQ(shrunk.run.violation.invariant, "no-torn-config");
+  // The essence survived: the corruption and the proxy crash.
+  bool has_corrupt = false;
+  bool has_proxy_crash = false;
+  for (const FaultEvent& event : shrunk.plan.events) {
+    has_corrupt |= event.op == FaultOp::kCorruptDisk;
+    has_proxy_crash |= event.op == FaultOp::kCrashProxy;
+  }
+  EXPECT_TRUE(has_corrupt);
+  EXPECT_TRUE(has_proxy_crash);
+
+  // 3. seed + shrunk trace reproduce the identical violation.
+  auto replayed = Harness::Replay(shrunk.run.trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_TRUE(replayed->violated);
+  EXPECT_EQ(replayed->violation.invariant, shrunk.run.violation.invariant);
+  EXPECT_EQ(replayed->violation.at, shrunk.run.violation.at);
+  EXPECT_EQ(replayed->violation.message, shrunk.run.violation.message);
+}
+
+// ---- PackageVessel under churn ----------------------------------------------
+
+TEST(DstVesselChurnTest, SwarmSurvivesPeerChurnAndPartitions) {
+  ScenarioOptions options = SmokeScenario(31);
+  options.vessel_bytes = 16 << 20;  // 8 chunks: enough for real peer traffic.
+  Harness harness(options);
+  FaultPlanShape shape = harness.shape();
+
+  FaultPlan plan;
+  auto add = [&plan](SimTime at, FaultOp op) -> FaultEvent& {
+    FaultEvent event;
+    event.at = at;
+    event.op = op;
+    plan.events.push_back(event);
+    return plan.events.back();
+  };
+  // Two vessel clients leave and rejoin mid-download.
+  add(6 * kSimSecond, FaultOp::kCrash).group_a = {shape.proxies.at(1)};
+  add(14 * kSimSecond, FaultOp::kRecover).group_a = {shape.proxies.at(1)};
+  add(8 * kSimSecond, FaultOp::kCrash).group_a = {shape.proxies.at(5)};
+  add(16 * kSimSecond, FaultOp::kRecover).group_a = {shape.proxies.at(5)};
+  // The storage service is cut off from every client for a while: only
+  // peer-to-peer exchange can make progress.
+  FaultEvent& cut = add(10 * kSimSecond, FaultOp::kPartition);
+  cut.group_a = {shape.other_hosts.at(1)};  // Storage host.
+  cut.group_b = shape.proxies;
+  add(20 * kSimSecond, FaultOp::kHealPartitions);
+  plan.SortByTime();
+
+  RunResult result = harness.Run(plan);
+  EXPECT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message;
+  EXPECT_EQ(result.vessel_completed, 8u);
+  ASSERT_NE(harness.swarm(), nullptr);
+  EXPECT_GT(harness.swarm()->stats().bytes_from_peers, 0)
+      << "churn scenario never exercised peer-to-peer transfer";
+  // Metadata/bulk consistency held throughout (vessel-metadata-hash), and
+  // every rejoined client finished (vessel-complete would have fired).
+  for (const ServerId& client : shape.proxies) {
+    EXPECT_TRUE(harness.swarm()->ClientDone(client)) << client.ToString();
+  }
+}
+
+// ---- MobileConfig: emergency push racing a pull under reordering -------------
+
+TEST(DstMobileRaceTest, StalePullResponseCannotRollBackEmergencyPush) {
+  TranslationLayer translation;
+  translation.Bind("EMERGENCY", "killswitch", FieldBinding::Constant(Json(false)));
+  MobileConfigServer server(&translation, nullptr, nullptr);
+  MobileSchema schema;
+  schema.config_name = "EMERGENCY";
+  schema.fields = {{"killswitch", MobileFieldType::kBool}};
+  server.RegisterSchema(schema);
+
+  UserContext device;
+  device.user_id = 7;
+  MobileConfigClient client(schema, device);
+  ASSERT_TRUE(client.Sync(server).ok());
+  EXPECT_FALSE(client.getBool("killswitch", true));
+
+  // A scheduled pull is answered... but the response gets stuck in flight.
+  MobilePullRequest stale_request;
+  stale_request.config_name = schema.config_name;
+  stale_request.schema_hash = schema.Hash();
+  stale_request.values_hash = Sha256Digest{};  // Forces a full-value response.
+  stale_request.device = device;
+  auto in_flight = server.HandlePull(stale_request);
+  ASSERT_TRUE(in_flight.ok());
+  EXPECT_FALSE(in_flight->unchanged);
+
+  // Emergency: flip the killswitch and push. The client pulls immediately.
+  translation.Bind("EMERGENCY", "killswitch", FieldBinding::Constant(Json(true)));
+  server.NoteConfigChanged();
+  auto pushed = client.OnEmergencyPush(server);
+  ASSERT_TRUE(pushed.ok());
+  EXPECT_TRUE(*pushed);
+  EXPECT_TRUE(client.getBool("killswitch", false));
+
+  // The delayed pre-push response finally arrives — reordered after the push
+  // response. It must be rejected, not roll the killswitch back.
+  EXPECT_FALSE(client.ApplyPullResponse(*in_flight));
+  EXPECT_EQ(client.stale_rejected(), 1u);
+  EXPECT_TRUE(client.getBool("killswitch", false));
+  EXPECT_EQ(client.applied_generation(), server.generation());
+
+  // Swapped arrival order on a second device converges to the same state.
+  MobileConfigClient other(schema, device);
+  EXPECT_TRUE(other.ApplyPullResponse(*in_flight));   // Old arrives first...
+  EXPECT_FALSE(other.getBool("killswitch", true));
+  ASSERT_TRUE(other.Sync(server).ok());               // ...then the fresh pull.
+  EXPECT_TRUE(other.getBool("killswitch", false));
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,159 +1,22 @@
-// Randomized fault-injection and model-based property tests: the paper's
-// environment is one where "failures are the norm", so the distribution
-// invariants must hold under arbitrary interleavings of crashes, recoveries
-// and writes — not just on the happy path.
+// Model-based property tests: the repository under random operation sequences
+// versus an in-memory model.
+//
+// The Zeus + proxy chaos scenario that used to live here moved to the DST
+// harness (tests/dst_test.cc, src/dst/): same fleet shape, but with a richer
+// fault model (partitions, link faults, disk corruption), invariants checked
+// after every simulator event, and failing schedules shrunk to replayable
+// traces.
 
 #include <gtest/gtest.h>
 
 #include <map>
-#include <memory>
 #include <optional>
 
-#include "src/distribution/proxy.h"
 #include "src/util/rng.h"
 #include "src/vcs/repository.h"
-#include "src/zeus/zeus.h"
 
 namespace configerator {
 namespace {
-
-// ---- Zeus + proxies under random failures ------------------------------------
-
-class DistributionChaosTest : public ::testing::TestWithParam<uint64_t> {};
-
-TEST_P(DistributionChaosTest, FleetConvergesAfterChaos) {
-  Rng rng(GetParam());
-  Simulator sim;
-  Network net(&sim, Topology(2, 2, 16), GetParam());
-  std::vector<ServerId> members = {ServerId{0, 0, 0}, ServerId{1, 0, 0},
-                                   ServerId{0, 0, 1}, ServerId{1, 0, 1},
-                                   ServerId{0, 1, 0}};
-  std::vector<ServerId> observers = {ServerId{0, 0, 15}, ServerId{0, 1, 15},
-                                     ServerId{1, 0, 15}, ServerId{1, 1, 15}};
-  ZeusEnsemble zeus(&net, members, observers);
-
-  constexpr int kKeys = 5;
-  constexpr int kProxyCount = 8;
-  std::vector<std::unique_ptr<OnDiskCache>> disks;
-  std::vector<std::unique_ptr<ConfigProxy>> proxies;
-  for (int i = 0; i < kProxyCount; ++i) {
-    ServerId host{i % 2, (i / 2) % 2, 2 + i};
-    disks.push_back(std::make_unique<OnDiskCache>());
-    proxies.push_back(std::make_unique<ConfigProxy>(&net, &zeus, host,
-                                                    disks.back().get(),
-                                                    GetParam() * 100 + i));
-    for (int k = 0; k < kKeys; ++k) {
-      proxies.back()->Subscribe("key" + std::to_string(k), nullptr);
-    }
-  }
-  sim.RunUntil(2 * kSimSecond);
-
-  // Chaos phase: interleave writes, observer/member crashes & recoveries,
-  // and proxy crash/restart cycles.
-  std::map<std::string, std::string> last_written;
-  int64_t committed_writes = 0;
-  std::vector<ServerId> crashed_members;
-  std::vector<ServerId> crashed_observers;
-  std::vector<size_t> crashed_proxies;
-
-  for (int step = 0; step < 120; ++step) {
-    switch (rng.NextBounded(8)) {
-      case 0:
-      case 1:
-      case 2:
-      case 3: {  // Write (most common event).
-        std::string key = "key" + std::to_string(rng.NextBounded(kKeys));
-        std::string value = "v" + std::to_string(step);
-        zeus.Write(ServerId{0, 0, 14}, key, value,
-                   [&last_written, &committed_writes, key,
-                    value](Result<int64_t> zxid) {
-                     if (zxid.ok()) {
-                       last_written[key] = value;
-                       ++committed_writes;
-                     }
-                   });
-        break;
-      }
-      case 4: {  // Crash an observer (keep at least one alive).
-        if (crashed_observers.size() + 1 < observers.size()) {
-          ServerId victim = observers[rng.NextBounded(observers.size())];
-          if (!net.failures().IsDown(victim)) {
-            zeus.Crash(victim);
-            crashed_observers.push_back(victim);
-          }
-        }
-        break;
-      }
-      case 5: {  // Crash a member (keep quorum: at most 2 of 5 down).
-        if (crashed_members.size() < 2) {
-          ServerId victim = members[rng.NextBounded(members.size())];
-          if (!net.failures().IsDown(victim)) {
-            zeus.Crash(victim);
-            crashed_members.push_back(victim);
-          }
-        }
-        break;
-      }
-      case 6: {  // Recover something.
-        if (!crashed_observers.empty()) {
-          zeus.Recover(crashed_observers.back());
-          crashed_observers.pop_back();
-        } else if (!crashed_members.empty()) {
-          zeus.Recover(crashed_members.back());
-          crashed_members.pop_back();
-        }
-        break;
-      }
-      case 7: {  // Proxy crash or restart.
-        size_t idx = rng.NextBounded(proxies.size());
-        if (proxies[idx]->crashed()) {
-          proxies[idx]->Restart();
-        } else {
-          proxies[idx]->Crash();
-        }
-        break;
-      }
-    }
-    sim.RunUntil(sim.now() + static_cast<SimTime>(rng.NextBounded(800)) *
-                                 kSimMillisecond);
-  }
-
-  // Heal everything and let anti-entropy + resubscription settle.
-  for (const ServerId& id : crashed_members) {
-    zeus.Recover(id);
-  }
-  for (const ServerId& id : crashed_observers) {
-    zeus.Recover(id);
-  }
-  for (auto& proxy : proxies) {
-    if (proxy->crashed()) {
-      proxy->Restart();
-    }
-    proxy->RepickObserver();
-  }
-  sim.RunUntil(sim.now() + 30 * kSimSecond);
-
-  ASSERT_GT(committed_writes, 0);
-
-  // Invariant 1: every observer converged to the last committed zxid.
-  for (const ServerId& observer : observers) {
-    EXPECT_EQ(zeus.ObserverLastZxid(observer), zeus.last_committed_zxid())
-        << observer.ToString();
-  }
-  // Invariant 2: every proxy serves the last committed value of every key.
-  for (const auto& [key, value] : last_written) {
-    for (size_t i = 0; i < proxies.size(); ++i) {
-      const OnDiskCache::Entry* entry = proxies[i]->GetCached(key);
-      ASSERT_NE(entry, nullptr) << "proxy " << i << " missing " << key;
-      EXPECT_EQ(entry->value, value) << "proxy " << i << " stale on " << key;
-    }
-  }
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, DistributionChaosTest,
-                         ::testing::Values(101, 202, 303, 404, 505, 606));
-
-// ---- Repository vs in-memory model --------------------------------------------
 
 class RepositoryModelTest : public ::testing::TestWithParam<uint64_t> {};
 
