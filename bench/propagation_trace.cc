@@ -1,0 +1,210 @@
+// Commit-propagation trace bench: runs the real distribution pipeline
+// (landing strip → repository → git tailer → Zeus leader/observer tree →
+// per-server proxies) on the simulator with the observability layer
+// attached, then reports per-hop and end-to-end latency percentiles straight
+// from the recorded span trees and the metrics registry — the Figure 14
+// breakdown (commit, tailer discover, Zeus tree, proxy delivery), but
+// measured from traces instead of ad-hoc bookkeeping.
+//
+// Emits BENCH_propagation_trace.json. --commits=N controls the workload
+// size (scripts/check.sh uses a small smoke count).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/distribution/proxy.h"
+#include "src/distribution/tailer.h"
+#include "src/json/json.h"
+#include "src/obs/observability.h"
+#include "src/pipeline/landing_strip.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+#include "src/vcs/repository.h"
+#include "src/zeus/zeus.h"
+
+using namespace configerator;
+
+namespace {
+
+constexpr int kPaths = 20;
+constexpr int kProxies = 40;
+constexpr SimTime kCommitSpacing = 7 * kSimSecond;
+
+Json HistogramJson(const Histogram& h) {
+  Json out = Json::MakeObject();
+  out.Set("count", Json(static_cast<int64_t>(h.count())));
+  out.Set("mean", Json(h.mean()));
+  out.Set("p50", Json(h.Quantile(0.5)));
+  out.Set("p95", Json(h.Quantile(0.95)));
+  out.Set("p99", Json(h.Quantile(0.99)));
+  out.Set("p999", Json(h.Quantile(0.999)));
+  out.Set("max", Json(h.max()));
+  return out;
+}
+
+void PrintHopRow(TextTable& table, const char* name, const Histogram& h) {
+  table.AddRow({name, std::to_string(h.count()),
+                StrFormat("%.2f", h.Quantile(0.5)),
+                StrFormat("%.2f", h.Quantile(0.95)),
+                StrFormat("%.2f", h.Quantile(0.99)),
+                StrFormat("%.2f", h.Quantile(0.999)),
+                StrFormat("%.2f", h.max())});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int commits = 200;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--commits=", 0) == 0) {
+      commits = std::atoi(arg.c_str() + 10);
+    }
+  }
+
+  PrintBenchHeader("Propagation trace — per-hop latency from commit spans",
+                   "Real pipeline on the simulator; Fig 14's breakdown "
+                   "measured from the tracer's span trees");
+
+  Observability obs;
+  Simulator sim;
+  Network net(&sim, Topology(2, 2, 25), /*seed=*/14);
+  std::vector<ServerId> members = {ServerId{0, 0, 0}, ServerId{1, 0, 0},
+                                   ServerId{0, 0, 1}, ServerId{1, 0, 1},
+                                   ServerId{0, 1, 0}};
+  std::vector<ServerId> observers;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      observers.push_back(ServerId{r, c, 24});
+      observers.push_back(ServerId{r, c, 23});
+    }
+  }
+  // Fig 14's stage sizing: ~4.5 s Zeus tree (processing delay), 5 s tailer
+  // poll + 5 s fetch.
+  ZeusEnsemble::Options zeus_options;
+  zeus_options.processing_delay = 1500 * kSimMillisecond;
+  ZeusEnsemble zeus(&net, members, observers, zeus_options);
+  zeus.AttachObservability(&obs);
+
+  Repository repo;
+  LandingStrip landing(&repo);
+  landing.AttachObservability(&obs);
+  GitTailer::Options tailer_options;
+  tailer_options.poll_interval = 5 * kSimSecond;
+  tailer_options.fetch_delay = 5 * kSimSecond;
+  GitTailer tailer(&net, ServerId{0, 0, 5}, &repo, &zeus, tailer_options);
+  tailer.AttachObservability(&obs);
+  tailer.Start();
+
+  std::vector<std::unique_ptr<OnDiskCache>> disks;
+  std::vector<std::unique_ptr<ConfigProxy>> proxies;
+  for (int i = 0; i < kProxies; ++i) {
+    ServerId host{i % 2, (i / 2) % 2, 2 + (i / 4) % 20};
+    disks.push_back(std::make_unique<OnDiskCache>());
+    proxies.push_back(std::make_unique<ConfigProxy>(
+        &net, &zeus, host, disks.back().get(), 100 + i));
+    proxies.back()->AttachObservability(&obs);
+    for (int p = 0; p < kPaths; ++p) {
+      proxies.back()->Subscribe(StrFormat("conf/path%03d.json", p), nullptr);
+    }
+  }
+
+  // One landed commit every kCommitSpacing, round-robin over the paths; each
+  // commit roots a trace, exactly like the production stack does.
+  for (int i = 0; i < commits; ++i) {
+    sim.ScheduleAt((i + 1) * kCommitSpacing, [&obs, &landing, &repo, &sim, i] {
+      SimTime at = (sim.now() / kSimMillisecond) * kSimMillisecond;
+      TraceContext root = obs.tracer.StartTrace(
+          StrFormat("commit %d", i), "author", at);
+      obs.tracer.EndSpan(root, at);
+      ProposedDiff diff = MakeProposedDiff(
+          repo, "engineer", StrFormat("update %d", i),
+          {{StrFormat("conf/path%03d.json", i % kPaths),
+            StrFormat("payload-%d", i)}},
+          sim.now() / kSimMillisecond);
+      (void)landing.Land(diff, root);
+    });
+  }
+  sim.RunUntil((commits + 1) * kCommitSpacing + 60 * kSimSecond);
+
+  // Per-hop latencies, read back from the span trees.
+  Histogram hop_discover;   // commit → tailer.publish start (poll + fetch).
+  Histogram hop_zeus;       // tailer.publish duration (write → commit ack).
+  Histogram hop_tree;       // publish end → observer.apply (the Zeus tree).
+  Histogram hop_deliver;    // observer.apply → proxy.apply (last hop).
+  Histogram e2e_spans;      // commit → proxy.apply, per delivery.
+  size_t complete = 0;
+  size_t incomplete = 0;
+  for (uint64_t id = 1; id <= obs.tracer.trace_count(); ++id) {
+    const TraceData* trace = obs.tracer.Find(id);
+    if (trace == nullptr || trace->spans.empty()) {
+      continue;
+    }
+    if (obs.tracer.ValidateComplete(id).ok()) {
+      ++complete;
+    } else {
+      ++incomplete;  // e.g. a publish still in flight at the horizon.
+      continue;
+    }
+    SimTime root_start = trace->start;
+    SimTime publish_end = -1;
+    for (const Span& span : trace->spans) {
+      if (span.name == "tailer.publish") {
+        hop_discover.Record(SimToSeconds(span.start - root_start));
+        hop_zeus.Record(SimToSeconds(span.end - span.start));
+        publish_end = span.end;
+      }
+    }
+    for (const Span& span : trace->spans) {
+      if (span.name == "zeus.observer.apply" && publish_end >= 0) {
+        hop_tree.Record(SimToSeconds(span.start - publish_end));
+      }
+      if (span.name == "proxy.apply") {
+        const Span& parent = trace->spans[span.parent - 1];
+        if (parent.name == "zeus.observer.apply") {
+          hop_deliver.Record(SimToSeconds(span.start - parent.start));
+        }
+        e2e_spans.Record(SimToSeconds(span.start - root_start));
+      }
+    }
+  }
+
+  // The registry's fleet roll-up measures the same end-to-end path.
+  Histogram e2e_registry = obs.metrics.MergedHistogram("proxy_propagation_seconds");
+
+  TextTable table({"hop", "samples", "p50 (s)", "p95 (s)", "p99 (s)",
+                   "p999 (s)", "max (s)"});
+  PrintHopRow(table, "commit -> tailer publish", hop_discover);
+  PrintHopRow(table, "zeus write -> commit", hop_zeus);
+  PrintHopRow(table, "tree push -> observer", hop_tree);
+  PrintHopRow(table, "observer -> proxy apply", hop_deliver);
+  PrintHopRow(table, "end-to-end (spans)", e2e_spans);
+  PrintHopRow(table, "end-to-end (registry)", e2e_registry);
+  table.Print();
+  std::printf("\ntraces: %zu complete, %zu incomplete at horizon; paper "
+              "baseline ~14.5 s commit-to-fleet\n",
+              complete, incomplete);
+
+  Json out = Json::MakeObject();
+  out.Set("bench", Json(std::string("propagation_trace")));
+  out.Set("commits", Json(static_cast<int64_t>(commits)));
+  out.Set("proxies", Json(static_cast<int64_t>(kProxies)));
+  out.Set("complete_traces", Json(static_cast<int64_t>(complete)));
+  out.Set("incomplete_traces", Json(static_cast<int64_t>(incomplete)));
+  Json hops = Json::MakeObject();
+  hops.Set("commit_to_publish", HistogramJson(hop_discover));
+  hops.Set("zeus_commit", HistogramJson(hop_zeus));
+  hops.Set("tree_push", HistogramJson(hop_tree));
+  hops.Set("proxy_deliver", HistogramJson(hop_deliver));
+  out.Set("hops", std::move(hops));
+  out.Set("e2e_spans", HistogramJson(e2e_spans));
+  out.Set("e2e_registry", HistogramJson(e2e_registry));
+  std::ofstream file("BENCH_propagation_trace.json");
+  file << out.DumpPretty() << "\n";
+  std::printf("wrote BENCH_propagation_trace.json\n");
+  return 0;
+}

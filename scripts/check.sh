@@ -25,6 +25,9 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure
 
+echo "==> bench smoke: propagation trace (span-derived per-hop latencies)"
+(cd build/bench && ./propagation_trace --commits=25 >/dev/null)
+
 if [[ "$FAST" == "1" ]]; then
   echo "==> done (fast mode: chaos, sanitizers and clang-tidy skipped)"
   exit 0

@@ -47,15 +47,18 @@ ConfigManagementStack::ConfigManagementStack(Options options)
     }
   }
   zeus_ = std::make_unique<ZeusEnsemble>(network_.get(), members, observers);
+  zeus_->AttachObservability(&obs_);
 
   sandcastle_ = std::make_unique<Sandcastle>(&repo_, &deps_);
   landing_strip_ = std::make_unique<LandingStrip>(&repo_);
+  landing_strip_->AttachObservability(&obs_);
   canary_ = std::make_unique<CanaryService>(&sim_, options_.canary);
 
   // The tailer runs next to the master repository region.
   ServerId tailer_host{0, 0, options_.servers_per_cluster / 2};
   tailer_ = std::make_unique<GitTailer>(network_.get(), tailer_host, &repo_,
                                         zeus_.get(), options_.tailer);
+  tailer_->AttachObservability(&obs_);
   tailer_->Start();
 }
 
@@ -121,11 +124,21 @@ Result<PendingChange> ConfigManagementStack::ProposeChange(
 
   change.diff = MakeProposedDiff(repo_, author, message, all_writes, NowMs());
 
+  // Root span of the commit trace. Started at the diff's own (ms-floored)
+  // timestamp so every later span — including the land span, which reuses
+  // diff.timestamp_ms — starts at or after its parent.
+  SimTime trace_start = NowMs() * kSimMillisecond;
+  change.trace = obs_.tracer.StartTrace("change:" + author, "author", trace_start);
+
   if (options_.run_ci) {
+    TraceContext ci =
+        obs_.tracer.StartSpan(change.trace, "sandcastle.ci", "sandcastle", trace_start);
     change.ci_report = sandcastle_->RunTests(change.diff);
+    obs_.tracer.EndSpan(ci, trace_start);
   } else {
     change.ci_report.passed = true;
   }
+  obs_.tracer.EndSpan(change.trace, trace_start);
 
   // Symbol-level view of the edit: which top-level symbols each changed CSL
   // file actually modifies. Refines risk fan-in and the canary scope.
@@ -166,7 +179,7 @@ Result<ObjectId> ConfigManagementStack::LandNow(const PendingChange& change) {
   if (options_.require_review && !reviews_.IsApproved(change.review_id)) {
     return RejectedError("change is not approved");
   }
-  ASSIGN_OR_RETURN(ObjectId commit, landing_strip_->Land(change.diff));
+  ASSIGN_OR_RETURN(ObjectId commit, landing_strip_->Land(change.diff, change.trace));
   // Refresh the dependency graph for recompiled entries: file-level edges
   // from the compile, symbol-level slices from the abstract interpreter so
   // future diffs can prune dependents the edit provably can't reach.
@@ -207,8 +220,12 @@ void ConfigManagementStack::TestAndLand(
     PendingChange change, const CanarySpec& spec, ServiceModel* model,
     std::function<void(Result<ObjectId>)> done) {
   auto change_ptr = std::make_shared<PendingChange>(std::move(change));
+  TraceContext canary_span = obs_.tracer.StartSpan(
+      change_ptr->trace, "canary", "canary-service", sim_.now());
   canary_->RunTest(spec, change_ptr->Scope(), model,
-                   [this, change_ptr, done = std::move(done)](Status verdict) {
+                   [this, change_ptr, canary_span,
+                    done = std::move(done)](Status verdict) {
+                     obs_.tracer.EndSpan(canary_span, sim_.now());
                      if (!verdict.ok()) {
                        done(verdict);
                        return;
@@ -224,6 +241,7 @@ ConfigProxy* ConfigManagementStack::ProxyOn(const ServerId& server) {
     runtime.disk = std::make_unique<OnDiskCache>();
     runtime.proxy = std::make_unique<ConfigProxy>(
         network_.get(), zeus_.get(), server, runtime.disk.get(), proxy_seed_++);
+    runtime.proxy->AttachObservability(&obs_);
     it = servers_.emplace(server, std::move(runtime)).first;
   }
   return it->second.proxy.get();

@@ -23,6 +23,7 @@
 #include "src/distribution/proxy.h"
 #include "src/distribution/tailer.h"
 #include "src/lang/compiler.h"
+#include "src/obs/observability.h"
 #include "src/pipeline/ci.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
@@ -44,6 +45,10 @@ struct PendingChange {
   // Per changed CSL path, which top-level symbols the edit modifies (nullopt
   // = not statically comparable). Feeds risk fan-in and the canary scope.
   std::map<std::string, std::optional<std::set<std::string>>> changed_symbols;
+
+  // Root of this change's commit trace (the stack's tracer follows the
+  // change through CI, canary, landing, and the distribution tree).
+  TraceContext trace{};
 
   // The symbol-level blast radius, for annotating the canary run.
   CanaryScope Scope() const;
@@ -122,6 +127,11 @@ class ConfigManagementStack {
   DependencyService& deps() { return deps_; }
   LandingStrip& landing_strip() { return *landing_strip_; }
   Sandcastle& sandcastle() { return *sandcastle_; }
+  // The stack-wide metrics registry + commit tracer. Always attached: every
+  // change proposed through the stack gets a trace; proxies created via
+  // ProxyOn() record propagation metrics (staleness probes stay off — the
+  // stack adds no background network traffic).
+  Observability& obs() { return obs_; }
   const Topology& topology() const { return network_->topology(); }
   const Options& options() const { return options_; }
 
@@ -138,6 +148,7 @@ class ConfigManagementStack {
 
   Options options_;
   Simulator sim_;
+  Observability obs_;
   std::unique_ptr<Network> network_;
   Repository repo_;
   DependencyService deps_;

@@ -36,20 +36,97 @@ void ConfigProxy::OnZeusUpdate(const ZeusTxn& txn) {
   if (crashed_) {
     return;  // Delivery to a dead process.
   }
+  if (obs_ != nullptr) {
+    last_confirmed_ = net_->sim().now();  // A delivery is proof of liveness.
+  }
   auto it = memory_cache_.find(txn.key);
   if (it != memory_cache_.end() && txn.zxid <= it->second.zxid) {
     ++stale_discarded_;  // Ordering guarantee: never move backwards.
+    if (stale_counter_ != nullptr) {
+      stale_counter_->Inc();
+    }
     return;
   }
   ++updates_received_;
+  TraceContext apply_span;
+  if (obs_ != nullptr) {
+    SimTime now = net_->sim().now();
+    updates_counter_->Inc();
+    TraceContext parent = txn.trace.valid()
+                              ? txn.trace
+                              : obs_->tracer.ZxidContext(txn.zxid);
+    apply_span = obs_->tracer.StartSpan(parent, "proxy.apply",
+                                        host_.ToString(), now);
+    SimTime commit_start = obs_->tracer.TraceStartTime(parent.trace_id);
+    if (commit_start >= 0) {
+      double latency = SimToSeconds(now - commit_start);
+      propagation_hist_->Record(latency);
+      if (latency > max_propagation_) {
+        max_propagation_ = latency;
+        slowest_zxid_gauge_->Set(static_cast<double>(txn.zxid));
+      }
+    }
+  }
   memory_cache_[txn.key] = OnDiskCache::Entry{txn.value, txn.zxid};
   disk_->Put(txn.key, txn.value, txn.zxid);
   auto cb_it = callbacks_.find(txn.key);
   if (cb_it != callbacks_.end()) {
+    if (obs_ != nullptr && !cb_it->second.empty()) {
+      SimTime now = net_->sim().now();
+      obs_->tracer.EndSpan(obs_->tracer.StartSpan(apply_span, "app.callback",
+                                                  host_.ToString(), now),
+                           now);
+    }
     for (const UpdateCallback& cb : cb_it->second) {
       cb(txn.key, txn.value, txn.zxid);
     }
   }
+  if (obs_ != nullptr) {
+    obs_->tracer.EndSpan(apply_span, net_->sim().now());
+  }
+}
+
+void ConfigProxy::AttachObservability(Observability* obs,
+                                      SimTime staleness_probe_interval) {
+  obs_ = obs;
+  staleness_probe_interval_ = staleness_probe_interval;
+  MetricLabels labels{{"server", host_.ToString()}};
+  updates_counter_ = obs->metrics.GetCounter("proxy_updates_total", labels);
+  stale_counter_ =
+      obs->metrics.GetCounter("proxy_stale_discarded_total", labels);
+  propagation_hist_ =
+      obs->metrics.GetHistogram("proxy_propagation_seconds", labels);
+  staleness_gauge_ =
+      obs->metrics.GetGauge("proxy_staleness_seconds", labels);
+  slowest_zxid_gauge_ = obs->metrics.GetGauge("proxy_slowest_zxid", labels);
+  last_confirmed_ = net_->sim().now();
+  if (staleness_probe_interval_ > 0) {
+    net_->sim().Schedule(staleness_probe_interval_,
+                         [this] { ProbeStaleness(); });
+  }
+}
+
+void ConfigProxy::ProbeStaleness() {
+  if (!crashed_) {
+    staleness_gauge_->Set(SimToSeconds(net_->sim().now() - last_confirmed_));
+    // Ping the current observer; the reply (if the observer is up and no
+    // partition eats either leg) refreshes last_confirmed_. The callback
+    // guards on the incarnation token like watch deliveries do.
+    std::weak_ptr<ConfigProxy*> weak = self_;
+    zeus_->Ping(host_, observer_, [weak](int64_t /*observer_zxid*/) {
+      std::shared_ptr<ConfigProxy*> self = weak.lock();
+      if (self == nullptr) {
+        return;
+      }
+      ConfigProxy* proxy = *self;
+      if (proxy->crashed_) {
+        return;
+      }
+      proxy->last_confirmed_ = proxy->net_->sim().now();
+      proxy->staleness_gauge_->Set(0);
+    });
+  }
+  net_->sim().Schedule(staleness_probe_interval_, [this] { ProbeStaleness(); });
 }
 
 const OnDiskCache::Entry* ConfigProxy::GetCached(const std::string& key) const {

@@ -75,6 +75,14 @@ class ConfigProxy {
   // Re-picks the observer (e.g. after observer failure) and resubscribes.
   void RepickObserver();
 
+  // Opt-in metrics + tracing (must outlive the proxy). Metrics are labeled
+  // {server=<host>}. If `staleness_probe_interval` > 0 the proxy also pings
+  // its observer on that period and maintains proxy_staleness_seconds — the
+  // sim-seconds since it last heard from a live observer (rises during an
+  // outage, returns to ~0 after heal). 0 keeps the proxy message-silent.
+  void AttachObservability(Observability* obs,
+                           SimTime staleness_probe_interval = 0);
+
   const ServerId& observer() const { return observer_; }
   uint64_t updates_received() const { return updates_received_; }
   uint64_t stale_discarded() const { return stale_discarded_; }
@@ -82,6 +90,7 @@ class ConfigProxy {
  private:
   void DoSubscribe(const std::string& key);
   void OnZeusUpdate(const ZeusTxn& txn);
+  void ProbeStaleness();
 
   Network* net_;
   ZeusEnsemble* zeus_;
@@ -94,6 +103,17 @@ class ConfigProxy {
   std::map<std::string, std::vector<UpdateCallback>> callbacks_;
   uint64_t updates_received_ = 0;
   uint64_t stale_discarded_ = 0;
+
+  // Observability (nullptr = unattached; zero overhead, zero messages).
+  Observability* obs_ = nullptr;
+  SimTime staleness_probe_interval_ = 0;
+  SimTime last_confirmed_ = 0;  // Last sim time a live observer was heard.
+  double max_propagation_ = -1;
+  Counter* updates_counter_ = nullptr;
+  Counter* stale_counter_ = nullptr;
+  Histogram* propagation_hist_ = nullptr;
+  Gauge* staleness_gauge_ = nullptr;
+  Gauge* slowest_zxid_gauge_ = nullptr;
 
   // Liveness token: watch callbacks registered at observers capture a weak
   // reference through this so deliveries to a restarted proxy incarnation

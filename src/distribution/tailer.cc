@@ -12,6 +12,13 @@ void GitTailer::Start() {
   net_->sim().Schedule(options_.poll_interval, [this] { Poll(); });
 }
 
+void GitTailer::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  published_counter_ = obs->metrics.GetCounter("tailer_published_total");
+  failed_counter_ = obs->metrics.GetCounter("tailer_publish_failures_total");
+  publish_latency_ = obs->metrics.GetHistogram("tailer_publish_seconds");
+}
+
 void GitTailer::Poll() {
   std::optional<ObjectId> head = repo_->head();
   if (head.has_value() && (!last_seen_.has_value() || !(*head == *last_seen_))) {
@@ -39,12 +46,35 @@ void GitTailer::Poll() {
         net_->sim().Schedule(
             options_.fetch_delay,
             [this, path = std::move(path), value = std::move(value)]() mutable {
+              // Parent the publish span on whatever bound this path (the
+              // landing strip or the workload commit); a publish whose path
+              // was never traced records nothing.
+              TraceContext span;
+              if (obs_ != nullptr) {
+                span = obs_->tracer.StartSpan(obs_->tracer.PathContext(path),
+                                              "tailer.publish",
+                                              host_.ToString(),
+                                              net_->sim().now());
+              }
+              SimTime started = net_->sim().now();
               zeus_->Write(host_, path, std::move(value),
-                           [this, path](Result<int64_t> zxid) {
+                           [this, path, span, started](Result<int64_t> zxid) {
+                             if (obs_ != nullptr) {
+                               obs_->tracer.EndSpan(span, net_->sim().now());
+                             }
                              if (!zxid.ok()) {
+                               if (failed_counter_ != nullptr) {
+                                 failed_counter_->Inc();
+                               }
                                CLOG(Warning) << "tailer: Zeus write failed for "
                                              << path << ": " << zxid.status();
                                return;
+                             }
+                             if (obs_ != nullptr) {
+                               obs_->tracer.BindZxid(*zxid, span);
+                               published_counter_->Inc();
+                               publish_latency_->Record(SimToSeconds(
+                                   net_->sim().now() - started));
                              }
                              ++published_;
                              if (on_published_) {

@@ -37,6 +37,11 @@ class GitTailer {
   // Starts the poll loop (first poll after one interval).
   void Start();
 
+  // Opt-in metrics + tracing (must outlive the tailer). Publish spans parent
+  // on the trace bound to the changed path (BindPath at land/commit time)
+  // and bind the assigned zxid for the distribution tree to join on.
+  void AttachObservability(Observability* obs);
+
   // Fires after a changed file has been committed into Zeus (zxid assigned);
   // benches use it to segment propagation latency.
   void set_on_published(
@@ -57,6 +62,10 @@ class GitTailer {
   std::optional<ObjectId> last_seen_;
   uint64_t published_ = 0;
   std::function<void(const std::string&, int64_t)> on_published_;
+  Observability* obs_ = nullptr;
+  Counter* published_counter_ = nullptr;
+  Counter* failed_counter_ = nullptr;
+  Histogram* publish_latency_ = nullptr;
 };
 
 }  // namespace configerator

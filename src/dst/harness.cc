@@ -60,12 +60,13 @@ std::string ScenarioOptions::ToLine() const {
   return StrFormat(
       "seed=%llu regions=%d clusters=%d spc=%d members=%d observers=%d "
       "proxies=%d keys=%d writes=%d chaos_us=%lld settle_us=%lld vessel=%d "
-      "gatekeeper=%d vessel_bytes=%lld",
+      "gatekeeper=%d vessel_bytes=%lld slo_us=%lld",
       static_cast<unsigned long long>(seed), regions, clusters_per_region,
       servers_per_cluster, members, observers, proxies, keys, writes,
       static_cast<long long>(chaos_duration), static_cast<long long>(settle),
       enable_vessel ? 1 : 0, enable_gatekeeper ? 1 : 0,
-      static_cast<long long>(vessel_bytes));
+      static_cast<long long>(vessel_bytes),
+      static_cast<long long>(freshness_slo));
 }
 
 Result<ScenarioOptions> ScenarioOptions::Parse(const std::string& line) {
@@ -107,6 +108,8 @@ Result<ScenarioOptions> ScenarioOptions::Parse(const std::string& line) {
       options.enable_gatekeeper = value != 0;
     } else if (key == "vessel_bytes") {
       options.vessel_bytes = value;
+    } else if (key == "slo_us") {
+      options.freshness_slo = value;
     } else {
       return InvalidArgumentError("unknown scenario option: " + key);
     }
@@ -143,11 +146,13 @@ Harness::Harness(const ScenarioOptions& options)
   storage_host_ = {R - 1, C - 1, S - 2};
 
   zeus_ = std::make_unique<ZeusEnsemble>(net_.get(), member_ids_, observer_ids_);
+  zeus_->AttachObservability(&obs_);
 
   GitTailer::Options tailer_options;
   tailer_options.poll_interval = 1 * kSimSecond;
   tailer_ = std::make_unique<GitTailer>(net_.get(), tailer_host_, &repo_,
                                         zeus_.get(), tailer_options);
+  tailer_->AttachObservability(&obs_);
   tailer_->set_on_published([this](const std::string& path, int64_t zxid) {
     ++published_;
     Log(StrFormat("published %s zxid=%lld", path.c_str(),
@@ -175,9 +180,14 @@ Harness::Harness(const ScenarioOptions& options)
     proxies_.push_back(std::make_unique<ConfigProxy>(
         net_.get(), zeus_.get(), proxy_hosts_[static_cast<size_t>(i)],
         disks_.back().get(), options_.seed * 131 + static_cast<uint64_t>(i)));
+    // Probe interval 0: metrics + tracing only, no probe messages — the
+    // network event/rng sequence is identical to an uninstrumented run, so
+    // every recorded seed keeps replaying bit-for-bit.
+    proxies_.back()->AttachObservability(&obs_);
     apps_.push_back(std::make_unique<AppConfigClient>(proxies_.back().get(),
                                                       disks_.back().get()));
     gk_runtimes_.push_back(std::make_unique<GatekeeperRuntime>());
+    gk_runtimes_.back()->AttachObservability(&obs_);
     ConfigProxy* proxy = proxies_.back().get();
     for (const std::string& key : tracked_keys_) {
       if (key == gk_key_) {
@@ -201,11 +211,13 @@ Harness::Harness(const ScenarioOptions& options)
   if (options_.enable_vessel) {
     vessel_pub_ = std::make_unique<VesselPublisher>(net_.get(), zeus_.get(),
                                                     tailer_host_, storage_host_);
+    vessel_pub_->AttachObservability(&obs_);
     VesselSwarm::Options swarm_options;
     swarm_options.chunk_size = 2 << 20;
     swarm_ = std::make_unique<VesselSwarm>(
         net_.get(), storage_host_, proxy_hosts_, options_.vessel_bytes,
         swarm_options, options_.seed ^ 0xbead5a17ULL);
+    swarm_->AttachObservability(&obs_);
   }
 
   // Fixed evaluation panel for the Gatekeeper consistency invariant: an
@@ -249,6 +261,14 @@ void Harness::ScheduleWorkload() {
     written_values_[gk_key_].insert(value);
     initial.push_back(FileWrite{gk_key_, value});
   }
+  // Each commit (the seed included) roots a trace; the touched paths are
+  // bound so the tailer's publish span — and everything downstream of the
+  // zxid — joins the tree.
+  TraceContext seed_root = obs_.tracer.StartTrace("commit step=0", "dst", 0);
+  obs_.tracer.EndSpan(seed_root, 0);
+  for (const FileWrite& write : initial) {
+    obs_.tracer.BindPath(write.path, seed_root);
+  }
   Result<ObjectId> seed_commit = repo_.Commit("dst", "seed configs", initial, 0);
   assert(seed_commit.ok());
   (void)seed_commit;
@@ -275,6 +295,10 @@ void Harness::ScheduleWorkload() {
     }
     written_values_[path].insert(value);
     sim_->ScheduleAt(at, [this, path, value, step] {
+      TraceContext root = obs_.tracer.StartTrace(
+          StrFormat("commit step=%d", step), "dst", sim_->now());
+      obs_.tracer.EndSpan(root, sim_->now());
+      obs_.tracer.BindPath(path, root);
       Result<ObjectId> commit = repo_.Commit(
           "dst", StrFormat("step %d", step), {FileWrite{path, value}}, step);
       assert(commit.ok());
@@ -458,14 +482,16 @@ void Harness::CheckContinuous() {
         Fail("monotonic-version",
              StrFormat("proxy %zu key %s went backwards: zxid %lld -> %lld", i,
                        key.c_str(), static_cast<long long>(last_zxid),
-                       static_cast<long long>(entry->zxid)));
+                       static_cast<long long>(entry->zxid)),
+             entry->zxid);
         return;
       }
       if (entry->zxid > zeus_->last_committed_zxid()) {
         Fail("phantom-version",
              StrFormat("proxy %zu key %s has zxid %lld beyond commit point %lld",
                        i, key.c_str(), static_cast<long long>(entry->zxid),
-                       static_cast<long long>(zeus_->last_committed_zxid())));
+                       static_cast<long long>(zeus_->last_committed_zxid())),
+             entry->zxid);
         return;
       }
       if (key == vessel_key_) {
@@ -576,7 +602,8 @@ void Harness::CheckConvergence() {
                        i, key.c_str(),
                        static_cast<long long>(entry != nullptr ? entry->zxid
                                                                : -1),
-                       static_cast<long long>(truth->zxid)));
+                       static_cast<long long>(truth->zxid)),
+             truth->zxid);
         return;
       }
     }
@@ -585,10 +612,54 @@ void Harness::CheckConvergence() {
     Fail("vessel-complete",
          StrFormat("swarm finished %zu of %zu clients",
                    swarm_->stats().completed_clients, proxy_hosts_.size()));
+    return;
+  }
+  if (options_.freshness_slo > 0) {
+    CheckFreshness();
   }
 }
 
-void Harness::Fail(const std::string& invariant, std::string message) {
+void Harness::CheckFreshness() {
+  // Fleet-wide propagation latency: the merge of every proxy's log-linear
+  // histogram equals recording the union stream, so the fleet p99.9 comes
+  // straight out of the roll-up.
+  Histogram fleet = obs_.metrics.MergedHistogram("proxy_propagation_seconds");
+  if (fleet.count() == 0) {
+    return;
+  }
+  double bound = SimToSeconds(options_.freshness_slo);
+  double p999 = fleet.Quantile(0.999);
+  if (p999 <= bound) {
+    return;
+  }
+  // Identify the slowest proxy and the zxid of its slowest delivery so the
+  // violation report can embed that commit's span tree.
+  double worst = -1;
+  ServerId worst_host{};
+  for (const ServerId& host : proxy_hosts_) {
+    const Histogram* h = obs_.metrics.FindHistogram(
+        "proxy_propagation_seconds", {{"server", host.ToString()}});
+    if (h != nullptr && h->count() > 0 && h->max() > worst) {
+      worst = h->max();
+      worst_host = host;
+    }
+  }
+  int64_t slowest_zxid = -1;
+  const Gauge* slow = obs_.metrics.FindGauge(
+      "proxy_slowest_zxid", {{"server", worst_host.ToString()}});
+  if (slow != nullptr) {
+    slowest_zxid = static_cast<int64_t>(slow->value());
+  }
+  Fail("freshness-slo",
+       StrFormat("fleet p99.9 propagation %.3fs exceeds SLO %.3fs "
+                 "(worst %.3fs on proxy %s, zxid %lld)",
+                 p999, bound, worst, worst_host.ToString().c_str(),
+                 static_cast<long long>(slowest_zxid)),
+       slowest_zxid);
+}
+
+void Harness::Fail(const std::string& invariant, std::string message,
+                   int64_t zxid) {
   if (violated_) {
     return;
   }
@@ -596,6 +667,17 @@ void Harness::Fail(const std::string& invariant, std::string message) {
   violation_.at = sim_->now();
   violation_.invariant = invariant;
   violation_.message = std::move(message);
+  if (zxid >= 0) {
+    violation_.span_tree = SpanTreeForZxid(zxid);
+  }
+}
+
+std::string Harness::SpanTreeForZxid(int64_t zxid) const {
+  TraceContext ctx = obs_.tracer.ZxidContext(zxid);
+  if (!ctx.valid()) {
+    return "";
+  }
+  return obs_.tracer.DumpTree(ctx.trace_id);
 }
 
 void Harness::Log(std::string line) {
@@ -616,6 +698,13 @@ std::string Harness::BuildTrace(const FaultPlan& plan) const {
     out += StrFormat("violation at=%lld invariant=%s :: %s\n",
                      static_cast<long long>(violation_.at),
                      violation_.invariant.c_str(), violation_.message.c_str());
+    if (!violation_.span_tree.empty()) {
+      // The implicated commit's span tree, for humans reading the trace.
+      // ParseTrace ignores these lines, so replay is unaffected.
+      out += "span-tree-begin\n";
+      out += violation_.span_tree;
+      out += "span-tree-end\n";
+    }
   } else {
     out += "result ok\n";
   }

@@ -25,6 +25,12 @@
 //   convergence-*         After every fault heals and the network settles,
 //                         observers and proxies converge to Zeus ground truth
 //                         and the swarm completes.
+//   freshness-slo         (opt-in, freshness_slo > 0) After the final heal,
+//                         the fleet-wide p99.9 config propagation latency —
+//                         rolled up from every proxy's metrics-registry
+//                         histogram — is within the configured bound. The
+//                         violation report embeds the span tree of the
+//                         slowest commit.
 //
 // Every run produces a replayable text trace (scenario options + fault plan +
 // event log + violation); Replay() re-executes it bit-for-bit from the trace
@@ -43,6 +49,7 @@
 #include "src/distribution/tailer.h"
 #include "src/dst/fault_plan.h"
 #include "src/gatekeeper/project.h"
+#include "src/obs/observability.h"
 #include "src/p2p/vessel.h"
 #include "src/sim/network.h"
 #include "src/util/status.h"
@@ -68,6 +75,11 @@ struct ScenarioOptions {
   bool enable_vessel = true;
   bool enable_gatekeeper = true;
   int64_t vessel_bytes = 24 << 20;
+  // Freshness SLO (0 = disabled): after the final heal, the fleet-wide p99.9
+  // config propagation latency (from the metrics registry) must be within
+  // this bound. Serialized as slo_us; absent in old traces, which therefore
+  // replay with the invariant off.
+  SimTime freshness_slo = 0;
 
   std::string ToLine() const;
   static Result<ScenarioOptions> Parse(const std::string& line);
@@ -77,6 +89,10 @@ struct Violation {
   SimTime at = 0;
   std::string invariant;  // One of the catalog names above.
   std::string message;
+  // Span tree (Tracer::DumpTree) of the commit implicated in the violation,
+  // when one can be identified by zxid; "" otherwise. Embedded in the trace
+  // between span-tree-begin/end markers (ignored by ParseTrace).
+  std::string span_tree;
 };
 
 struct RunResult {
@@ -119,6 +135,11 @@ class Harness {
   const Network& net() const { return *net_; }
   const ZeusEnsemble& zeus() const { return *zeus_; }
   const VesselSwarm* swarm() const { return swarm_.get(); }
+  // The run's metrics registry + commit tracer. Attached to every component
+  // with staleness probes OFF, so instrumentation adds no network messages
+  // and the event/rng sequence matches an uninstrumented run exactly.
+  Observability& obs() { return obs_; }
+  const Observability& obs() const { return obs_; }
 
  private:
   void ScheduleWorkload();
@@ -128,16 +149,22 @@ class Harness {
   void CheckContinuous();
   void CheckGatekeeper(size_t proxy_idx);
   void CheckConvergence();
+  void CheckFreshness();
   // Reference compilation of a delivered Gatekeeper config (cost-based
   // reordering *off*, so the optimizer is checked against plain evaluation).
   // nullptr = the JSON does not compile.
   const GatekeeperProject* ReferenceProject(const std::string& json_text);
-  void Fail(const std::string& invariant, std::string message);
+  // `zxid` >= 0 attaches that commit's span tree to the violation report.
+  void Fail(const std::string& invariant, std::string message,
+            int64_t zxid = -1);
+  std::string SpanTreeForZxid(int64_t zxid) const;
   void Log(std::string line);
   std::string BuildTrace(const FaultPlan& plan) const;
 
   ScenarioOptions options_;
   Topology topology_;
+  // Declared before the components that cache pointers into it.
+  Observability obs_;
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<Network> net_;
   Repository repo_;

@@ -155,17 +155,27 @@ Status GatekeeperRuntime::RemoveProject(const std::string& project) {
 
 bool GatekeeperRuntime::Check(const std::string& project, const UserContext& user) {
   ++check_count_;
+  if (checks_counter_ != nullptr) {
+    checks_counter_->Inc();
+  }
   auto it = projects_.find(project);
   if (it == projects_.end()) {
     return false;
   }
-  return it->second->Check(user, laser_);
+  bool pass = it->second->Check(user, laser_);
+  if (pass && passes_counter_ != nullptr) {
+    passes_counter_->Inc();
+  }
+  return pass;
 }
 
 Status GatekeeperRuntime::ApplyConfigUpdate(const std::string& path,
                                             const std::string& json_text) {
   if (!path.starts_with("gatekeeper/")) {
     return InvalidArgumentError("not a gatekeeper config path: " + path);
+  }
+  if (updates_counter_ != nullptr) {
+    updates_counter_->Inc();
   }
   if (json_text.empty()) {
     // Tombstone: project deleted. Derive the name from the path.

@@ -157,6 +157,9 @@ Sha256Digest MobileConfigServer::HashValues(const Json& values) {
 Result<MobilePullResponse> MobileConfigServer::HandlePull(
     const MobilePullRequest& request) const {
   ++pulls_served_;
+  if (pulls_counter_ != nullptr) {
+    pulls_counter_->Inc();
+  }
   auto by_name = schemas_by_name_.find(request.config_name);
   if (by_name == schemas_by_name_.end()) {
     return NotFoundError("unknown mobile config '" + request.config_name + "'");
@@ -186,10 +189,20 @@ Result<MobilePullResponse> MobileConfigServer::HandlePull(
     response.unchanged = true;
     response.response_bytes = 32;  // Just the hash echo.
     ++unchanged_;
+    if (unchanged_counter_ != nullptr) {
+      unchanged_counter_->Inc();
+    }
+    if (response_bytes_hist_ != nullptr) {
+      response_bytes_hist_->Record(
+          static_cast<double>(response.response_bytes));
+    }
     return response;
   }
   response.response_bytes = 32 + static_cast<int64_t>(values.Dump().size());
   response.values = std::move(values);
+  if (response_bytes_hist_ != nullptr) {
+    response_bytes_hist_->Record(static_cast<double>(response.response_bytes));
+  }
   return response;
 }
 

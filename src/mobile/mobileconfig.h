@@ -157,6 +157,15 @@ class MobileConfigServer {
   void set_stateful(bool stateful) { stateful_ = stateful; }
   bool stateful() const { return stateful_; }
 
+  // Opt-in metrics: mobile_pulls_total, mobile_unchanged_total, and the
+  // mobile_response_bytes histogram (the pull-bandwidth minimization §5
+  // claims — "unchanged" responses must dominate and stay tiny).
+  void AttachObservability(Observability* obs) {
+    pulls_counter_ = obs->metrics.GetCounter("mobile_pulls_total");
+    unchanged_counter_ = obs->metrics.GetCounter("mobile_unchanged_total");
+    response_bytes_hist_ = obs->metrics.GetHistogram("mobile_response_bytes");
+  }
+
   // Bump when any backing config / binding / gating state changed. Stamped
   // into every response so clients can order responses that raced through
   // the network (emergency push vs. scheduled pull).
@@ -184,6 +193,9 @@ class MobileConfigServer {
   int64_t generation_ = 1;
   mutable uint64_t pulls_served_ = 0;
   mutable uint64_t unchanged_ = 0;
+  Counter* pulls_counter_ = nullptr;
+  Counter* unchanged_counter_ = nullptr;
+  Histogram* response_bytes_hist_ = nullptr;
 };
 
 // ---- Client ----------------------------------------------------------------

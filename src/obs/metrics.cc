@@ -1,0 +1,208 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0) || std::isnan(value)) {
+    return 0;  // Zero, negative, NaN: underflow bucket.
+  }
+  int exp = 0;
+  double frac = std::frexp(value, &exp);  // value = frac * 2^exp, frac ∈ [0.5, 1).
+  // The sample lives in octave [2^(exp-1), 2^exp).
+  int octave = (exp - 1) - kMinExp;
+  if (octave < 0) {
+    return 0;
+  }
+  if (octave >= kNumOctaves) {
+    return kNumBuckets - 1;
+  }
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBucketsPerOctave);
+  sub = std::clamp(sub, 0, kSubBucketsPerOctave - 1);
+  return 1 + octave * kSubBucketsPerOctave + sub;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  if (index >= kNumBuckets - 1) {
+    return std::ldexp(1.0, kMaxExp);
+  }
+  int octave = (index - 1) / kSubBucketsPerOctave;
+  int sub = (index - 1) % kSubBucketsPerOctave;
+  double frac = 0.5 + static_cast<double>(sub) / (2.0 * kSubBucketsPerOctave);
+  return std::ldexp(frac, kMinExp + octave + 1);
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index <= 0) {
+    return std::ldexp(1.0, kMinExp);
+  }
+  if (index >= kNumBuckets - 1) {
+    return std::ldexp(1.0, kMaxExp + 1);  // Nominal; max() is exact anyway.
+  }
+  int octave = (index - 1) / kSubBucketsPerOctave;
+  int sub = (index - 1) % kSubBucketsPerOctave;
+  double frac =
+      0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBucketsPerOctave);
+  return std::ldexp(frac, kMinExp + octave + 1);
+}
+
+void Histogram::Record(double value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += count;
+  count_ += count;
+  sum_ += value * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      if (i == 0) {
+        return min_;  // Underflow: every sample there is ≤ 2^kMinExp anyway.
+      }
+      if (i == kNumBuckets - 1) {
+        return max_;
+      }
+      double mid = 0.5 * (BucketLowerBound(i) + BucketUpperBound(i));
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;  // Unreachable: cumulative reaches count_ ≥ rank.
+}
+
+std::string MetricsRegistry::CanonicalKey(const std::string& name,
+                                          const MetricLabels& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string key = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      key += ",";
+    }
+    first = false;
+    key += k + "=" + v;
+  }
+  key += "}";
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
+  auto& slot = counters_[CanonicalKey(name, labels)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  auto& slot = gauges_[CanonicalKey(name, labels)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  std::string key = CanonicalKey(name, labels);
+  auto& slot = histograms_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+    histogram_names_[key] = name;
+  }
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const MetricLabels& labels) const {
+  auto it = counters_.find(CanonicalKey(name, labels));
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const MetricLabels& labels) const {
+  auto it = gauges_.find(CanonicalKey(name, labels));
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name, const MetricLabels& labels) const {
+  auto it = histograms_.find(CanonicalKey(name, labels));
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+Histogram MetricsRegistry::MergedHistogram(const std::string& name) const {
+  Histogram merged;
+  for (const auto& [key, hist_name] : histogram_names_) {
+    if (hist_name == name) {
+      merged.Merge(*histograms_.at(key));
+    }
+  }
+  return merged;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  for (const auto& [key, counter] : counters_) {
+    out += StrFormat("counter %s %llu\n", key.c_str(),
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out += StrFormat("gauge %s %.6f\n", key.c_str(), gauge->value());
+  }
+  for (const auto& [key, hist] : histograms_) {
+    out += StrFormat(
+        "histogram %s count=%llu p50=%.6f p99=%.6f max=%.6f\n", key.c_str(),
+        static_cast<unsigned long long>(hist->count()), hist->Quantile(0.5),
+        hist->Quantile(0.99), hist->max());
+  }
+  return out;
+}
+
+}  // namespace configerator

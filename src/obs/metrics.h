@@ -1,0 +1,158 @@
+// Process-wide metrics registry: counters, gauges, and mergeable log-linear
+// histograms, labeled by subsystem/server. The design constraints, in order:
+//
+//  * Hot-path cheap. GatekeeperRuntime::Check() runs millions of times per
+//    second in the paper's Figure 15; instrumented components therefore cache
+//    the Counter*/Gauge*/Histogram* returned by the registry once (pointers
+//    are stable for the registry's lifetime) and a counter bump is a single
+//    add on a cached pointer — no lookup, no lock, no allocation.
+//  * Mergeable. Histograms use a *fixed* log-linear bucket layout (every
+//    histogram in the process has identical bucket boundaries), so merging
+//    two histograms is an element-wise count add: exactly associative and
+//    commutative, and quantiles of the merge equal quantiles of recording
+//    the union stream into one histogram. That is what lets per-server
+//    histograms roll up into fleet-wide percentiles without resampling.
+//  * Deterministic. Iteration order over metrics is the canonical
+//    "name{k=v,...}" key order; a DST run dumps identical text on replay.
+//
+// Quantile error: a log-linear bucket spans 1/kSubBucketsPerOctave of its
+// octave, so a reported quantile is within one bucket's relative width
+// (1/32 ≈ 3.1%) of the exact sample quantile — tight enough for the p50/p95/
+// p99/p999 queries the benches and the DST freshness-SLO invariant make.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace configerator {
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Mergeable log-linear histogram over non-negative samples. Values in
+// [2^kMinExp, 2^kMaxExp) land in a bucket whose relative width is
+// 1/kSubBucketsPerOctave; values outside clamp into under/overflow buckets
+// (exact min/max are tracked separately, so Quantile(0)/Quantile(1) are
+// exact).
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 32;
+  static constexpr int kMinExp = -30;  // 2^-30 ≈ 9.3e-10 (sub-ns in seconds).
+  static constexpr int kMaxExp = 34;   // 2^34  ≈ 1.7e10 (centuries; bytes too).
+  static constexpr int kNumOctaves = kMaxExp - kMinExp;
+  // Interior buckets plus one underflow (index 0) and one overflow (last).
+  static constexpr int kNumBuckets = kNumOctaves * kSubBucketsPerOctave + 2;
+
+  Histogram() : buckets_(static_cast<size_t>(kNumBuckets), 0) {}
+
+  void Record(double value, uint64_t count = 1);
+
+  // Element-wise bucket add. Because every Histogram shares one fixed bucket
+  // layout this is exactly associative and commutative.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+
+  // Nearest-rank quantile, q in [0, 1]: the midpoint of the bucket holding
+  // the ceil(q*count)-th sample, clamped to the exact [min, max]. Worst-case
+  // relative error vs. the exact sample quantile is one bucket's relative
+  // width (QuantileRelativeError()).
+  double Quantile(double q) const;
+  double Percentile(double p) const { return Quantile(p / 100.0); }
+
+  static double QuantileRelativeError() {
+    return 1.0 / static_cast<double>(kSubBucketsPerOctave);
+  }
+
+  // Bucket geometry (exposed for the merge property test).
+  static int BucketIndex(double value);
+  static double BucketLowerBound(int index);
+  static double BucketUpperBound(int index);
+
+  uint64_t bucket_count(int index) const {
+    return buckets_[static_cast<size_t>(index)];
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Metric labels, e.g. {{"server", "0.1.4"}}. std::map: canonical order.
+using MetricLabels = std::map<std::string, std::string>;
+
+// Process-wide registry. GetX(name, labels) creates on first use and always
+// returns the same stable pointer for the same (name, labels) afterwards.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(const std::string& name,
+                          const MetricLabels& labels = {});
+
+  // Lookup without creating; nullptr if the metric was never touched.
+  const Counter* FindCounter(const std::string& name,
+                             const MetricLabels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const MetricLabels& labels = {}) const;
+
+  // Fleet roll-up: merge of every histogram named `name` across all label
+  // sets (the per-server → fleet aggregation the paper's Fig. 14 reports).
+  Histogram MergedHistogram(const std::string& name) const;
+
+  // Deterministic text dump of every metric, one per line, sorted by the
+  // canonical key — DST traces and tests can diff this.
+  std::string DumpText() const;
+
+  // "name{k=v,k2=v2}" (or just "name" with no labels).
+  static std::string CanonicalKey(const std::string& name,
+                                  const MetricLabels& labels);
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t gauge_count() const { return gauges_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+ private:
+  // unique_ptr values keep the returned pointers stable across rehash/insert.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Key → name, for MergedHistogram (key order groups names together).
+  std::map<std::string, std::string> histogram_names_;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_OBS_METRICS_H_

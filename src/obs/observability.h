@@ -1,0 +1,22 @@
+// The observability bundle components attach to: one metrics registry + one
+// commit tracer per process (or per DST harness / bench world). Attachment
+// is opt-in — every instrumented component takes an `Observability*` that
+// defaults to nullptr, and unattached components behave exactly as before
+// (no metrics, no spans, no extra messages).
+
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace configerator {
+
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+}  // namespace configerator
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

@@ -1,0 +1,198 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+TraceContext Tracer::StartTrace(const std::string& name,
+                                const std::string& host, SimTime at) {
+  uint64_t id = next_trace_id_++;
+  TraceData& trace = traces_[id];
+  trace.id = id;
+  trace.name = name;
+  trace.start = at;
+  Span root;
+  root.id = 1;
+  root.parent = 0;
+  root.name = name;
+  root.host = host;
+  root.start = at;
+  trace.spans.push_back(std::move(root));
+  return TraceContext{id, 1};
+}
+
+TraceContext Tracer::StartSpan(const TraceContext& parent,
+                               const std::string& name, const std::string& host,
+                               SimTime at) {
+  if (!parent.valid()) {
+    return TraceContext{};
+  }
+  auto it = traces_.find(parent.trace_id);
+  if (it == traces_.end() || parent.span_id == 0 ||
+      parent.span_id > it->second.spans.size()) {
+    return TraceContext{};
+  }
+  TraceData& trace = it->second;
+  Span span;
+  span.id = trace.spans.size() + 1;
+  span.parent = parent.span_id;
+  span.name = name;
+  span.host = host;
+  span.start = at;
+  trace.spans.push_back(std::move(span));
+  return TraceContext{trace.id, trace.spans.back().id};
+}
+
+void Tracer::EndSpan(const TraceContext& ctx, SimTime at) {
+  if (!ctx.valid()) {
+    return;
+  }
+  auto it = traces_.find(ctx.trace_id);
+  if (it == traces_.end() || ctx.span_id == 0 ||
+      ctx.span_id > it->second.spans.size()) {
+    return;
+  }
+  Span& span = it->second.spans[ctx.span_id - 1];
+  if (span.open()) {
+    span.end = std::max(at, span.start);
+  }
+}
+
+void Tracer::BindPath(const std::string& path, const TraceContext& ctx) {
+  if (ctx.valid()) {
+    by_path_[path] = ctx;
+  }
+}
+
+TraceContext Tracer::PathContext(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? TraceContext{} : it->second;
+}
+
+void Tracer::BindZxid(int64_t zxid, const TraceContext& ctx) {
+  if (ctx.valid()) {
+    by_zxid_[zxid] = ctx;
+  }
+}
+
+TraceContext Tracer::ZxidContext(int64_t zxid) const {
+  auto it = by_zxid_.find(zxid);
+  return it == by_zxid_.end() ? TraceContext{} : it->second;
+}
+
+const TraceData* Tracer::Find(uint64_t trace_id) const {
+  auto it = traces_.find(trace_id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+SimTime Tracer::TraceStartTime(uint64_t trace_id) const {
+  const TraceData* trace = Find(trace_id);
+  return trace == nullptr ? -1 : trace->start;
+}
+
+Status Tracer::ValidateComplete(uint64_t trace_id) const {
+  const TraceData* trace = Find(trace_id);
+  if (trace == nullptr) {
+    return NotFoundError(StrFormat("no trace %llu",
+                                   static_cast<unsigned long long>(trace_id)));
+  }
+  if (trace->spans.empty()) {
+    return InvalidArgumentError("trace has no spans");
+  }
+  for (const Span& span : trace->spans) {
+    if (span.open()) {
+      return InvalidArgumentError(
+          StrFormat("span %llu (%s on %s) never ended",
+                    static_cast<unsigned long long>(span.id), span.name.c_str(),
+                    span.host.c_str()));
+    }
+    if (span.end < span.start) {
+      return InvalidArgumentError(
+          StrFormat("span %llu (%s) ends before it starts",
+                    static_cast<unsigned long long>(span.id),
+                    span.name.c_str()));
+    }
+    if (span.parent != 0) {
+      if (span.parent > trace->spans.size()) {
+        return InvalidArgumentError(
+            StrFormat("span %llu (%s) is an orphan: parent %llu missing",
+                      static_cast<unsigned long long>(span.id),
+                      span.name.c_str(),
+                      static_cast<unsigned long long>(span.parent)));
+      }
+      const Span& parent = trace->spans[span.parent - 1];
+      if (span.start < parent.start) {
+        return InvalidArgumentError(StrFormat(
+            "span %llu (%s) starts at %lld before its parent %s at %lld",
+            static_cast<unsigned long long>(span.id), span.name.c_str(),
+            static_cast<long long>(span.start), parent.name.c_str(),
+            static_cast<long long>(parent.start)));
+      }
+    } else if (span.id != 1) {
+      return InvalidArgumentError(
+          StrFormat("span %llu (%s) claims to be a second root",
+                    static_cast<unsigned long long>(span.id),
+                    span.name.c_str()));
+    }
+  }
+  return OkStatus();
+}
+
+std::string Tracer::DumpTree(uint64_t trace_id) const {
+  const TraceData* trace = Find(trace_id);
+  if (trace == nullptr) {
+    return "";
+  }
+  // children[p] = ids of spans whose parent is p, ordered by (start, id).
+  std::map<uint64_t, std::vector<uint64_t>> children;
+  for (const Span& span : trace->spans) {
+    children[span.parent].push_back(span.id);
+  }
+  for (auto& [parent, ids] : children) {
+    std::sort(ids.begin(), ids.end(), [trace](uint64_t a, uint64_t b) {
+      const Span& sa = trace->spans[a - 1];
+      const Span& sb = trace->spans[b - 1];
+      return sa.start != sb.start ? sa.start < sb.start : a < b;
+    });
+  }
+  std::string out = StrFormat("trace %llu \"%s\" start=%lld\n",
+                              static_cast<unsigned long long>(trace->id),
+                              trace->name.c_str(),
+                              static_cast<long long>(trace->start));
+  // Iterative DFS so a deep fan-out cannot overflow the stack.
+  struct Frame {
+    uint64_t id;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  auto push_children = [&](uint64_t parent, int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) {
+      return;
+    }
+    for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+      stack.push_back(Frame{*rit, depth});
+    }
+  };
+  push_children(0, 0);
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Span& span = trace->spans[frame.id - 1];
+    out += std::string(static_cast<size_t>(frame.depth) * 2, ' ');
+    if (span.open()) {
+      out += StrFormat("%s host=%s start=%lld OPEN\n", span.name.c_str(),
+                       span.host.c_str(), static_cast<long long>(span.start));
+    } else {
+      out += StrFormat("%s host=%s start=%lld end=%lld\n", span.name.c_str(),
+                       span.host.c_str(), static_cast<long long>(span.start),
+                       static_cast<long long>(span.end));
+    }
+    push_children(frame.id, frame.depth + 1);
+  }
+  return out;
+}
+
+}  // namespace configerator

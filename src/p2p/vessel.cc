@@ -75,8 +75,19 @@ VesselSwarm::VesselSwarm(Network* net, ServerId storage,
   holders_.assign(static_cast<size_t>(num_chunks_), {});
 }
 
+void VesselSwarm::AttachObservability(Observability* obs) {
+  peer_bytes_counter_ = obs->metrics.GetCounter("vessel_peer_bytes_total");
+  storage_bytes_counter_ =
+      obs->metrics.GetCounter("vessel_storage_bytes_total");
+  cross_region_bytes_counter_ =
+      obs->metrics.GetCounter("vessel_cross_region_bytes_total");
+  completions_counter_ = obs->metrics.GetCounter("vessel_completions_total");
+  completion_hist_ = obs->metrics.GetHistogram("vessel_client_seconds");
+}
+
 void VesselSwarm::Start(std::function<void(const ServerId&, SimTime)> on_done) {
   on_done_ = std::move(on_done);
+  started_at_ = net_->sim().now();
   for (size_t i = 0; i < states_.size(); ++i) {
     // Small stagger so the fleet doesn't stampede the storage service in the
     // same microsecond (in production, metadata arrival is already jittered).
@@ -139,6 +150,10 @@ void VesselSwarm::PumpClient(size_t client_idx) {
       stats_.first_completion = now;
     }
     stats_.last_completion = std::max(stats_.last_completion, now);
+    if (completions_counter_ != nullptr) {
+      completions_counter_->Inc();
+      completion_hist_->Record(SimToSeconds(now - started_at_));
+    }
     if (on_done_) {
       on_done_(client.id, now);
     }
@@ -244,11 +259,20 @@ bool VesselSwarm::FetchChunk(size_t client_idx, int64_t chunk) {
     }
     if (from_peer) {
       stats_.bytes_from_peers += chunk_bytes;
+      if (peer_bytes_counter_ != nullptr) {
+        peer_bytes_counter_->Inc(static_cast<uint64_t>(chunk_bytes));
+      }
     } else {
       stats_.bytes_from_storage += chunk_bytes;
+      if (storage_bytes_counter_ != nullptr) {
+        storage_bytes_counter_->Inc(static_cast<uint64_t>(chunk_bytes));
+      }
     }
     if (source.region != c.id.region) {
       stats_.cross_region_bytes += chunk_bytes;
+      if (cross_region_bytes_counter_ != nullptr) {
+        cross_region_bytes_counter_->Inc(static_cast<uint64_t>(chunk_bytes));
+      }
     }
     if (!c.have[static_cast<size_t>(chunk)]) {
       c.have[static_cast<size_t>(chunk)] = true;
@@ -292,8 +316,21 @@ void VesselPublisher::Publish(const std::string& name, int64_t version,
   // Upload bulk to storage (one NIC-limited transfer), then commit metadata.
   SimTime upload_time = net_->topology().TransmitTime(size_bytes);
   ServerId host = host_;
+  TraceContext upload_span;
+  if (obs_ != nullptr) {
+    SimTime now = net_->sim().now();
+    TraceContext root = obs_->tracer.StartTrace(
+        "vessel:" + name + "@" + std::to_string(version), host.ToString(), now);
+    obs_->tracer.EndSpan(root, now);
+    upload_span =
+        obs_->tracer.StartSpan(root, "vessel.upload", host.ToString(), now);
+  }
   net_->sim().Schedule(upload_time, [this, host, name, version, size_bytes,
+                                     upload_span,
                                      done = std::move(done)]() mutable {
+    if (obs_ != nullptr) {
+      obs_->tracer.EndSpan(upload_span, net_->sim().now());
+    }
     VesselMetadata meta;
     meta.name = name;
     meta.version = version;
@@ -301,7 +338,15 @@ void VesselPublisher::Publish(const std::string& name, int64_t version,
     meta.chunk_size = 4 << 20;
     meta.content_hash = SyntheticHash(name, version);
     meta.storage_key = "blob/" + name + "/" + std::to_string(version);
-    zeus_->Write(host, MetadataKey(name), meta.ToJson().Dump(), std::move(done));
+    zeus_->Write(host, MetadataKey(name), meta.ToJson().Dump(),
+                 [this, upload_span, done = std::move(done)](
+                     Result<int64_t> zxid) {
+                   if (obs_ != nullptr && zxid.ok()) {
+                     // Metadata deliveries down the Zeus tree join here.
+                     obs_->tracer.BindZxid(*zxid, upload_span);
+                   }
+                   done(std::move(zxid));
+                 });
   });
 }
 

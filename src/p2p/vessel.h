@@ -78,6 +78,12 @@ class VesselSwarm {
   bool ClientDone(const ServerId& client) const;
   int64_t ClientChunks(const ServerId& client) const;
 
+  // Opt-in metrics: byte counters by source (peer/storage/cross-region) and
+  // the vessel_client_seconds completion histogram. No tracing here — the
+  // bulk path is content-addressed, not commit-ordered; the metadata half of
+  // the split is traced through Zeus like any config.
+  void AttachObservability(Observability* obs);
+
  private:
   struct ClientState {
     ServerId id;
@@ -112,6 +118,12 @@ class VesselSwarm {
   Stats stats_;
   SimTime storage_uplink_free_ = 0;
   std::function<void(const ServerId&, SimTime)> on_done_;
+  SimTime started_at_ = 0;
+  Counter* peer_bytes_counter_ = nullptr;
+  Counter* storage_bytes_counter_ = nullptr;
+  Counter* cross_region_bytes_counter_ = nullptr;
+  Counter* completions_counter_ = nullptr;
+  Histogram* completion_hist_ = nullptr;
 };
 
 // Publisher API: uploads the bulk content and emits the metadata update into
@@ -133,11 +145,18 @@ class VesselPublisher {
   }
   static std::string SyntheticHash(const std::string& name, int64_t version);
 
+  // Opt-in tracing: a publish opens a root trace ("vessel:<name>") with a
+  // "vessel.upload" span for the bulk upload; the metadata write's zxid is
+  // bound to it, so observer/proxy deliveries of the metadata join the tree
+  // (the PackageVessel metadata/bulk split, traced on the metadata side).
+  void AttachObservability(Observability* obs) { obs_ = obs; }
+
  private:
   Network* net_;
   ZeusEnsemble* zeus_;
   ServerId host_;
   ServerId storage_;
+  Observability* obs_ = nullptr;
 };
 
 }  // namespace configerator

@@ -36,7 +36,8 @@ ProposedDiff MakeProposedDiff(const Repository& repo, std::string author,
   return diff;
 }
 
-Result<ObjectId> LandingStrip::Land(const ProposedDiff& diff) {
+Result<ObjectId> LandingStrip::Land(const ProposedDiff& diff,
+                                    const TraceContext& parent) {
   std::lock_guard<std::mutex> lock(mutex_);
   // True-conflict check: every touched path must still be at the diff's base
   // version. Changes to *other* files never force a rebase — that is the
@@ -51,6 +52,9 @@ Result<ObjectId> LandingStrip::Land(const ProposedDiff& diff) {
     }
     if (head_id != base_id) {
       ++conflicts_;
+      if (conflicts_counter_ != nullptr) {
+        conflicts_counter_->Inc();
+      }
       return ConflictError("path '" + path +
                            "' changed since the diff was created; update and "
                            "resolve the conflict");
@@ -69,6 +73,19 @@ Result<ObjectId> LandingStrip::Land(const ProposedDiff& diff) {
   auto commit = repo_->Commit(diff.author, diff.message, writes, diff.timestamp_ms);
   if (commit.ok()) {
     ++landed_;
+    if (obs_ != nullptr) {
+      landed_counter_->Inc();
+      SimTime at = diff.timestamp_ms * kSimMillisecond;
+      TraceContext land =
+          parent.valid()
+              ? obs_->tracer.StartSpan(parent, "land", "landing-strip", at)
+              : obs_->tracer.StartTrace("land:" + diff.author, "landing-strip",
+                                        at);
+      obs_->tracer.EndSpan(land, at);
+      for (const FileWrite& write : writes) {
+        obs_->tracer.BindPath(write.path, land);
+      }
+    }
   }
   return commit;
 }

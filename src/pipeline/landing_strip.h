@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/observability.h"
+#include "src/sim/simulator.h"
 #include "src/vcs/multirepo.h"
 #include "src/vcs/repository.h"
 
@@ -41,7 +43,21 @@ class LandingStrip {
 
   // Lands the diff (FCFS under an internal lock). Returns the commit id, or
   // kConflict if any touched path changed since the diff's base.
-  Result<ObjectId> Land(const ProposedDiff& diff);
+  //
+  // With observability attached, a successful land opens the commit's trace:
+  // a "land" span (child of `parent` if the caller already traced the change
+  // through CI/canary, else a fresh root) stamped at diff.timestamp_ms, and
+  // every written path is bound to it so the git tailer's publish span joins
+  // the same tree.
+  Result<ObjectId> Land(const ProposedDiff& diff,
+                        const TraceContext& parent = {});
+
+  // Opt-in metrics + tracing; must outlive the landing strip.
+  void AttachObservability(Observability* obs) {
+    obs_ = obs;
+    landed_counter_ = obs->metrics.GetCounter("landing_landed_total");
+    conflicts_counter_ = obs->metrics.GetCounter("landing_conflicts_total");
+  }
 
   uint64_t landed() const { return landed_; }
   uint64_t conflicts() const { return conflicts_; }
@@ -51,6 +67,9 @@ class LandingStrip {
   std::mutex mutex_;
   uint64_t landed_ = 0;
   uint64_t conflicts_ = 0;
+  Observability* obs_ = nullptr;
+  Counter* landed_counter_ = nullptr;
+  Counter* conflicts_counter_ = nullptr;
 };
 
 }  // namespace configerator

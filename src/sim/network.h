@@ -154,6 +154,14 @@ class Network {
   // message).
   LinkStats link_stats(const ServerId& from, const ServerId& to) const;
 
+  // Zeroes the aggregate and per-link counters. Harness runs sharing a
+  // process (the shrinker builds dozens) reset between runs so one run's
+  // delivery counts can never leak into the next run's assertions.
+  void ResetStats() {
+    stats_ = NetStats{};
+    link_stats_.clear();
+  }
+
   // Legacy aggregate accessors — benches report these as overhead measures.
   uint64_t messages_sent() const { return stats_.messages_sent; }
   uint64_t messages_dropped() const { return stats_.dropped; }

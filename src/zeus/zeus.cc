@@ -28,6 +28,15 @@ ZeusEnsemble::ZeusEnsemble(Network* net, std::vector<ServerId> members,
   net_->sim().Schedule(options_.anti_entropy_interval, [this] { AntiEntropyTick(); });
 }
 
+void ZeusEnsemble::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  commits_counter_ = obs->metrics.GetCounter("zeus_commits_total");
+  elections_counter_ = obs->metrics.GetCounter("zeus_elections_total");
+  pushes_counter_ = obs->metrics.GetCounter("zeus_observer_pushes_total");
+  antientropy_counter_ =
+      obs->metrics.GetCounter("zeus_antientropy_replays_total");
+}
+
 size_t ZeusEnsemble::LiveMemberCount() const {
   size_t live = 0;
   for (const Member& m : members_) {
@@ -107,6 +116,9 @@ void ZeusEnsemble::CommitOnLeader(std::string key, std::string value,
         m.last_logged_zxid = txn.zxid;
       }
     }
+    if (commits_counter_ != nullptr) {
+      commits_counter_->Inc();
+    }
     net_->sim().Schedule(options_.processing_delay,
                          [this, txn] { PushToObservers(txn); });
     done(txn.zxid);
@@ -140,6 +152,9 @@ void ZeusEnsemble::StartElection() {
     return;
   }
   election_in_progress_ = true;
+  if (elections_counter_ != nullptr) {
+    elections_counter_->Inc();
+  }
   net_->sim().Schedule(options_.election_delay, [this] {
     // Elect the live member with the longest committed log.
     size_t best = members_.size();
@@ -174,13 +189,24 @@ void ZeusEnsemble::StartElection() {
 void ZeusEnsemble::PushToObservers(const ZeusTxn& txn) {
   const ServerId& leader_id = members_[leader_idx_].id;
   int64_t bytes = static_cast<int64_t>(txn.key.size() + txn.value.size() + 64);
+  ZeusTxn traced = txn;
+  if (obs_ != nullptr) {
+    // The publisher bound the zxid (in its Write done-callback, which ran
+    // before this scheduled push); parent the leader fan-out there.
+    SimTime now = net_->sim().now();
+    TraceContext ctx = obs_->tracer.ZxidContext(txn.zxid);
+    TraceContext push = obs_->tracer.StartSpan(ctx, "zeus.leader.push",
+                                               leader_id.ToString(), now);
+    obs_->tracer.EndSpan(push, now);
+    traced.trace = push;
+  }
   for (Observer& obs : observer_states_) {
     if (net_->failures().IsDown(obs.id)) {
       continue;  // Anti-entropy catches it up on recovery.
     }
     Observer* obs_ptr = &obs;
     net_->SendFifo(leader_id, obs.id, bytes,
-               [this, obs_ptr, txn] { ApplyOnObserver(obs_ptr, txn); });
+               [this, obs_ptr, txn = traced] { ApplyOnObserver(obs_ptr, txn); });
   }
 }
 
@@ -198,6 +224,22 @@ void ZeusEnsemble::ApplyOnObserver(Observer* obs, const ZeusTxn& txn) {
     const ZeusTxn& next = obs->pending.begin()->second;
     obs->last_zxid = next.zxid;
     obs->data[next.key] = ZeusValue{next.value, next.zxid};
+    TraceContext apply_ctx = next.trace;
+    if (obs_ != nullptr) {
+      if (pushes_counter_ != nullptr) {
+        pushes_counter_->Inc();
+      }
+      SimTime now = net_->sim().now();
+      TraceContext parent = next.trace.valid()
+                                ? next.trace
+                                : obs_->tracer.ZxidContext(next.zxid);
+      TraceContext span = obs_->tracer.StartSpan(parent, "zeus.observer.apply",
+                                                 obs->id.ToString(), now);
+      obs_->tracer.EndSpan(span, now);
+      if (span.valid()) {
+        apply_ctx = span;
+      }
+    }
     // Notify watching proxies (observer → proxy hop of the tree).
     auto it = obs->watches.find(next.key);
     if (it != obs->watches.end()) {
@@ -205,6 +247,7 @@ void ZeusEnsemble::ApplyOnObserver(Observer* obs, const ZeusTxn& txn) {
           static_cast<int64_t>(next.key.size() + next.value.size() + 64);
       for (const Watch& watch : it->second) {
         ZeusTxn copy = next;
+        copy.trace = apply_ctx;
         UpdateCallback cb = watch.callback;
         net_->SendFifo(obs->id, watch.proxy, bytes,
                        [cb = std::move(cb), copy = std::move(copy)] { cb(copy); });
@@ -230,9 +273,20 @@ void ZeusEnsemble::AntiEntropyTick() {
         if (txn.zxid <= obs.last_zxid) {
           continue;
         }
+        ZeusTxn replay = txn;
+        if (obs_ != nullptr) {
+          if (antientropy_counter_ != nullptr) {
+            antientropy_counter_->Inc();
+          }
+          // The commit log predates tracing of this txn's push; rejoin the
+          // replay to the publisher's span via the zxid binding.
+          replay.trace = obs_->tracer.ZxidContext(txn.zxid);
+        }
         int64_t bytes = static_cast<int64_t>(txn.key.size() + txn.value.size() + 64);
         net_->SendFifo(leader_id, obs.id, bytes,
-                   [this, obs_ptr, txn] { ApplyOnObserver(obs_ptr, txn); });
+                   [this, obs_ptr, txn = std::move(replay)] {
+                     ApplyOnObserver(obs_ptr, txn);
+                   });
       }
     }
   }
@@ -273,6 +327,11 @@ void ZeusEnsemble::Subscribe(const ServerId& proxy, const ServerId& observer,
                txn.zxid = it->second.zxid;
                txn.key = key;
                txn.value = it->second.value;
+               if (obs_ != nullptr) {
+                 // Refetch after restart/failover: rejoin the commit's trace
+                 // so the proxy's apply span is not orphaned.
+                 txn.trace = obs_->tracer.ZxidContext(txn.zxid);
+               }
                int64_t reply_bytes =
                    static_cast<int64_t>(key.size() + txn.value.size() + 64);
                net_->SendFifo(obs->id, proxy, reply_bytes,
@@ -304,6 +363,21 @@ void ZeusEnsemble::Fetch(const ServerId& proxy, const ServerId& observer,
     int64_t reply_bytes = static_cast<int64_t>(key.size() + value.value.size() + 64);
     net_->Send(obs->id, proxy, reply_bytes,
                [done, value = std::move(value)] { done(value); });
+  });
+}
+
+void ZeusEnsemble::Ping(const ServerId& proxy, const ServerId& observer,
+                        std::function<void(int64_t)> done) {
+  Observer* obs = FindObserver(observer);
+  if (obs == nullptr) {
+    return;
+  }
+  // Request and reply both traverse the simulated network, so a down
+  // observer or a partition in either direction silently eats the probe —
+  // exactly the signal the staleness gauge feeds on.
+  net_->Send(proxy, observer, 64, [this, obs, proxy, done = std::move(done)] {
+    net_->Send(obs->id, proxy, 64,
+               [done, zxid = obs->last_zxid] { done(zxid); });
   });
 }
 

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/sim/network.h"
 #include "src/util/status.h"
 
@@ -39,6 +40,9 @@ struct ZeusTxn {
   int64_t zxid = 0;
   std::string key;
   std::string value;
+  // Provenance for the commit tracer: the span this delivery is causally
+  // downstream of. Invalid (default) when tracing is not attached.
+  TraceContext trace{};
 };
 
 // Value + version returned by reads.
@@ -87,6 +91,19 @@ class ZeusEnsemble {
   // One-shot read of `key` from `observer`.
   void Fetch(const ServerId& proxy, const ServerId& observer,
              const std::string& key, FetchCallback done);
+
+  // Liveness/freshness probe: round-trips a tiny message to `observer` and
+  // reports its last applied zxid. No reply if the observer is down or a
+  // partition blocks either direction — proxies use this to measure how
+  // stale their subscription might be (staleness gauge).
+  void Ping(const ServerId& proxy, const ServerId& observer,
+            std::function<void(int64_t observer_zxid)> done);
+
+  // --- Observability --------------------------------------------------------
+
+  // Opt-in metrics + tracing. Must outlive the ensemble. Unattached (the
+  // default), Zeus emits nothing and sends no extra messages.
+  void AttachObservability(Observability* obs);
 
   // --- Failure hooks (benches/tests drive these) ---
 
@@ -147,6 +164,13 @@ class ZeusEnsemble {
 
   Network* net_;
   Options options_;
+  Observability* obs_ = nullptr;
+  // Cached metric handles (stable registry pointers): hot-path increments
+  // never touch the registry map.
+  Counter* commits_counter_ = nullptr;
+  Counter* elections_counter_ = nullptr;
+  Counter* pushes_counter_ = nullptr;
+  Counter* antientropy_counter_ = nullptr;
   // The committed transaction stream, in zxid order with no holes (zxids are
   // assigned at commit). Anti-entropy replays suffixes of this — a member's
   // own log can have holes (it was down when some txns committed), so it is

@@ -6,6 +6,7 @@
 #include "src/distribution/pull.h"
 #include "src/distribution/tailer.h"
 #include "src/lang/compiler.h"
+#include "src/obs/observability.h"
 #include "src/vcs/multirepo.h"
 
 namespace configerator {
@@ -102,6 +103,59 @@ TEST_F(DistributionTest, AppFallsBackToDiskWhenProxyCrashes) {
   const OnDiskCache::Entry* entry = app.Get("critical.json");
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->value, "survives");
+}
+
+TEST_F(DistributionTest, StalenessGaugeRisesDuringZeusOutageAndRecovers) {
+  // §3.4 availability: during a total Zeus outage the proxy keeps serving the
+  // last good config from disk, and the staleness gauge is the signal that
+  // the data is aging. After the heal it converges and the gauge drops back.
+  WriteAndSettle("app/cfg.json", "v1");
+  ServerId host{0, 0, 7};
+  OnDiskCache disk;
+  ConfigProxy proxy(net_.get(), zeus_.get(), host, &disk, 12);
+  Observability obs;
+  proxy.AttachObservability(&obs, /*staleness_probe_interval=*/2 * kSimSecond);
+  std::string latest;
+  proxy.Subscribe("app/cfg.json",
+                  [&](const std::string&, const std::string& value, int64_t) {
+                    latest = value;
+                  });
+  sim_.RunUntil(sim_.now() + 5 * kSimSecond);
+  ASSERT_EQ(latest, "v1");
+
+  const Gauge* staleness = obs.metrics.FindGauge(
+      "proxy_staleness_seconds", {{"server", host.ToString()}});
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_LE(staleness->value(), 5.0);
+
+  // Total outage: every member and every observer goes dark. Probe pings are
+  // blackholed, so each tick pushes the gauge higher.
+  for (const ServerId& m : members_) {
+    net_->failures().Crash(m);
+  }
+  for (const ServerId& o : observers_) {
+    net_->failures().Crash(o);
+  }
+  sim_.RunUntil(sim_.now() + 30 * kSimSecond);
+  EXPECT_GE(staleness->value(), 20.0);
+
+  // The app still reads the (stale) config from disk the whole time.
+  AppConfigClient app(&proxy, &disk);
+  const OnDiskCache::Entry* entry = app.Get("app/cfg.json");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, "v1");
+
+  // Heal; a fresh write flows end to end and the gauge returns to ~0.
+  for (const ServerId& m : members_) {
+    net_->failures().Recover(m);
+  }
+  for (const ServerId& o : observers_) {
+    net_->failures().Recover(o);
+  }
+  WriteAndSettle("app/cfg.json", "v2");
+  sim_.RunUntil(sim_.now() + 5 * kSimSecond);
+  EXPECT_EQ(latest, "v2");
+  EXPECT_LE(staleness->value(), 5.0);
 }
 
 TEST_F(DistributionTest, ProxyRestartRecoversFromDiskAndResubscribes) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -148,6 +149,50 @@ TEST_F(NetworkStatsTest, FifoChannelsNeverReorderButPlainSendsCan) {
   }
   sim_.RunUntilIdle();
   EXPECT_GT(net_.stats().reordered, 0u);
+}
+
+TEST_F(NetworkStatsTest, ResetStatsClearsAggregateAndPerLinkCounters) {
+  net_.failures().Crash(c_);
+  for (int i = 0; i < 5; ++i) {
+    net_.Send(a_, b_, 10, [] {});
+  }
+  net_.Send(a_, c_, 10, [] {});
+  sim_.RunUntilIdle();
+  ASSERT_EQ(net_.stats().delivered, 5u);
+  ASSERT_EQ(net_.stats().dropped, 1u);
+  ASSERT_EQ(net_.link_stats(a_, b_).delivered, 5u);
+  ASSERT_EQ(net_.link_stats(a_, c_).dropped, 1u);
+
+  net_.ResetStats();
+  EXPECT_EQ(net_.stats().messages_sent, 0u);
+  EXPECT_EQ(net_.stats().delivered, 0u);
+  EXPECT_EQ(net_.stats().dropped, 0u);
+  EXPECT_EQ(net_.link_stats(a_, b_).delivered, 0u);
+  EXPECT_EQ(net_.link_stats(a_, c_).dropped, 0u);
+}
+
+TEST_F(NetworkStatsTest, ResetStatsIsolatesMeasurementWindows) {
+  // Two identical bursts separated by a reset must report identical stats:
+  // nothing from the first window may leak into the second.
+  auto burst = [this] {
+    net_.failures().Crash(c_);
+    for (int i = 0; i < 7; ++i) {
+      net_.Send(a_, b_, 10, [] {});
+    }
+    net_.Send(a_, c_, 10, [] {});
+    sim_.RunUntilIdle();
+    net_.failures().Recover(c_);
+  };
+  burst();
+  NetStats first = net_.stats();
+  uint64_t first_ab = net_.link_stats(a_, b_).delivered;
+
+  net_.ResetStats();
+  burst();
+  EXPECT_EQ(net_.stats().messages_sent, first.messages_sent);
+  EXPECT_EQ(net_.stats().delivered, first.delivered);
+  EXPECT_EQ(net_.stats().dropped, first.dropped);
+  EXPECT_EQ(net_.link_stats(a_, b_).delivered, first_ab);
 }
 
 // ---- Fault plans -------------------------------------------------------------
@@ -395,6 +440,182 @@ TEST(DstSeededBugTest, TornConfigIsCaughtShrunkAndReplayed) {
   EXPECT_EQ(replayed->violation.invariant, shrunk.run.violation.invariant);
   EXPECT_EQ(replayed->violation.at, shrunk.run.violation.at);
   EXPECT_EQ(replayed->violation.message, shrunk.run.violation.message);
+}
+
+// ---- Freshness SLO: propagation latency as an invariant ----------------------
+
+TEST(DstFreshnessTest, SloHoldsOnCleanRun) {
+  ScenarioOptions options = SmokeScenario(13);
+  options.freshness_slo = 30 * kSimSecond;
+  Harness harness(options);
+  RunResult result = harness.Run(FaultPlan{});
+  EXPECT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message;
+  // The invariant actually had data to judge: every proxy recorded
+  // propagation samples into the registry.
+  Histogram fleet =
+      harness.obs().metrics.MergedHistogram("proxy_propagation_seconds");
+  EXPECT_GT(fleet.count(), 0u);
+  EXPECT_LE(fleet.Quantile(0.999), SimToSeconds(options.freshness_slo));
+}
+
+// A one-way partition silently starves one observer: traffic from every
+// ensemble member to it is blackholed while the reverse direction (and the
+// rest of the fleet) stays healthy, so neither the commit stream nor
+// anti-entropy reaches it until the final heal. Convergence still passes —
+// the post-heal anti-entropy replay repairs the data, txn by txn — but every
+// proxy hanging off that observer sees those commits tens of seconds late,
+// which is exactly what the freshness SLO exists to catch.
+FaultPlan SeededStarvedObserverPlan(const FaultPlanShape& shape) {
+  FaultPlan plan;
+  auto add = [&plan](SimTime at, FaultOp op) -> FaultEvent& {
+    FaultEvent event;
+    event.at = at;
+    event.op = op;
+    plan.events.push_back(event);
+    return plan.events.back();
+  };
+  // Noise the shrinker must discard.
+  add(6 * kSimSecond, FaultOp::kCrash).group_a = {shape.members.at(2)};
+  add(12 * kSimSecond, FaultOp::kRecover).group_a = {shape.members.at(2)};
+  FaultEvent& storm = add(9 * kSimSecond, FaultOp::kGlobalFault);
+  storm.fault.drop_prob = 0.05;
+  add(15 * kSimSecond, FaultOp::kClearFaults);
+  // The bug: members -> observer 1, one way, never healed before FinalHeal.
+  FaultEvent& starve = add(5 * kSimSecond, FaultOp::kPartitionOneWay);
+  starve.group_a = shape.members;
+  starve.group_b = {shape.observers.at(1)};
+  plan.SortByTime();
+  return plan;
+}
+
+TEST(DstFreshnessTest, DelayedOneWayPartitionViolatesSloAndShrinksMinimal) {
+  ScenarioOptions options = SmokeScenario(23);
+  options.freshness_slo = 30 * kSimSecond;
+  FaultPlan plan;
+  {
+    Harness harness(options);
+    plan = SeededStarvedObserverPlan(harness.shape());
+  }
+  ASSERT_EQ(plan.size(), 5u);
+
+  // 1. The SLO invariant fires, and the violation carries the span tree of
+  // the slowest delivery's commit.
+  Harness harness(options);
+  RunResult failing = harness.Run(plan);
+  {
+    Histogram fleet =
+        harness.obs().metrics.MergedHistogram("proxy_propagation_seconds");
+    fprintf(stderr, "DBG fleet count=%llu p50=%.2f p99=%.2f p999=%.2f max=%.2f\n",
+            (unsigned long long)fleet.count(), fleet.Quantile(0.5),
+            fleet.Quantile(0.99), fleet.Quantile(0.999), fleet.max());
+    for (size_t i = 0; i < harness.shape().proxies.size(); ++i) {
+      const Histogram* h = harness.obs().metrics.FindHistogram(
+          "proxy_propagation_seconds",
+          {{"server", harness.shape().proxies[i].ToString()}});
+      fprintf(stderr, "DBG proxy %zu %s count=%llu max=%.2f\n", i,
+              harness.shape().proxies[i].ToString().c_str(),
+              h ? (unsigned long long)h->count() : 0, h ? h->max() : -1);
+    }
+  }
+  ASSERT_TRUE(failing.violated) << "starved proxy did not violate the SLO";
+  EXPECT_EQ(failing.violation.invariant, "freshness-slo")
+      << failing.violation.message;
+  EXPECT_FALSE(failing.violation.span_tree.empty());
+  EXPECT_NE(failing.trace.find("span-tree-begin"), std::string::npos);
+  EXPECT_NE(failing.violation.span_tree.find("proxy.apply"),
+            std::string::npos);
+
+  // 2. The shrinker strips the noise: the one-way partition alone reproduces.
+  ShrinkResult shrunk =
+      ShrinkFaultPlan(options, plan, failing.violation.invariant);
+  EXPECT_LE(shrunk.final_events, 2u) << shrunk.plan.ToString();
+  ASSERT_TRUE(shrunk.run.violated);
+  EXPECT_EQ(shrunk.run.violation.invariant, "freshness-slo");
+  bool has_oneway = false;
+  for (const FaultEvent& event : shrunk.plan.events) {
+    has_oneway |= event.op == FaultOp::kPartitionOneWay;
+  }
+  EXPECT_TRUE(has_oneway) << shrunk.plan.ToString();
+
+  // 3. The shrunk trace replays to the identical violation (slo_us rides in
+  // the serialized scenario line).
+  auto replayed = Harness::Replay(shrunk.run.trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_TRUE(replayed->violated);
+  EXPECT_EQ(replayed->violation.invariant, shrunk.run.violation.invariant);
+  EXPECT_EQ(replayed->violation.at, shrunk.run.violation.at);
+  EXPECT_EQ(replayed->violation.message, shrunk.run.violation.message);
+}
+
+// ---- Commit span trees stay complete under faults ----------------------------
+
+TEST(DstTraceTest, CommitSpanTreeIsCompleteUnderFaults) {
+  ScenarioOptions options = SmokeScenario(17);
+  Harness harness(options);
+  FaultPlanShape shape = harness.shape();
+
+  // Faults confined to the delivery side (observers and proxies) — the
+  // tailer -> leader write path stays healthy, so every publish span closes.
+  FaultPlan plan;
+  auto add = [&plan](SimTime at, FaultOp op) -> FaultEvent& {
+    FaultEvent event;
+    event.at = at;
+    event.op = op;
+    plan.events.push_back(event);
+    return plan.events.back();
+  };
+  add(7 * kSimSecond, FaultOp::kCrash).group_a = {shape.observers.at(0)};
+  add(15 * kSimSecond, FaultOp::kRecover).group_a = {shape.observers.at(0)};
+  FaultEvent& cut = add(10 * kSimSecond, FaultOp::kPartition);
+  cut.group_a = shape.observers;
+  cut.group_b = {shape.proxies.at(1), shape.proxies.at(5)};
+  add(18 * kSimSecond, FaultOp::kHealPartitions);
+  add(12 * kSimSecond, FaultOp::kCrashProxy).index = 4;
+  add(16 * kSimSecond, FaultOp::kRestartProxy).index = 4;
+  plan.SortByTime();
+
+  RunResult result = harness.Run(plan);
+  ASSERT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message;
+  ASSERT_GT(result.committed_zxid, 0);
+
+  // Walk back from the last committed zxid to the most recent workload
+  // commit (the tail can be a vessel publish, whose trace has no proxy
+  // fan-out), then demand a complete span tree that reached every proxy.
+  const Tracer& tracer = harness.obs().tracer;
+  const TraceData* trace = nullptr;
+  for (int64_t zxid = result.committed_zxid; zxid > 0 && trace == nullptr;
+       --zxid) {
+    TraceContext ctx = tracer.ZxidContext(zxid);
+    if (!ctx.valid()) {
+      continue;
+    }
+    const TraceData* candidate = tracer.Find(ctx.trace_id);
+    if (candidate != nullptr &&
+        candidate->name.rfind("commit step=", 0) == 0) {
+      trace = candidate;
+    }
+  }
+  ASSERT_NE(trace, nullptr) << "no workload commit trace found";
+
+  Status complete = tracer.ValidateComplete(trace->id);
+  EXPECT_TRUE(complete.ok()) << complete << "\n" << tracer.DumpTree(trace->id);
+
+  // Despite the observer crash, the partition, and the proxy restart, the
+  // commit's tree reached every proxy in the fleet (late joiners re-enter
+  // through catch-up deliveries, which rebind into the same trace).
+  std::set<std::string> applied_hosts;
+  for (const Span& span : trace->spans) {
+    if (span.name == "proxy.apply") {
+      applied_hosts.insert(span.host);
+    }
+  }
+  for (const ServerId& proxy : shape.proxies) {
+    EXPECT_TRUE(applied_hosts.count(proxy.ToString()) > 0)
+        << "no proxy.apply span for " << proxy.ToString() << "\n"
+        << tracer.DumpTree(trace->id);
+  }
 }
 
 // ---- PackageVessel under churn ----------------------------------------------

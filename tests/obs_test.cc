@@ -1,0 +1,380 @@
+// Observability layer tests: log-linear histogram bucket geometry and the
+// merge property (merge of a random split == one histogram over the union),
+// metrics registry identity/roll-up/dump determinism, tracer span lifecycle
+// and completeness validation, and the end-to-end commit span tree through
+// the whole ConfigManagementStack — every subscribed server must appear as a
+// proxy.apply span in the landed commit's trace.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/stack.h"
+#include "src/obs/observability.h"
+
+namespace configerator {
+namespace {
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, EmptyAndSingleSample) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+  h.Record(3.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.25);
+  EXPECT_DOUBLE_EQ(h.max(), 3.25);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.25);
+  // A single sample: every quantile is that sample (clamped to [min, max]).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.25);
+}
+
+TEST(HistogramTest, BucketGeometryContainsItsSamples) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> exp_dist(-8.0, 8.0);
+  for (int i = 0; i < 2000; ++i) {
+    double v = std::pow(10.0, exp_dist(rng));
+    int idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 1);
+    ASSERT_LT(idx, Histogram::kNumBuckets - 1);
+    EXPECT_LE(Histogram::BucketLowerBound(idx), v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx));
+    // Relative bucket width is the advertised quantile error bound.
+    double lo = Histogram::BucketLowerBound(idx);
+    double hi = Histogram::BucketUpperBound(idx);
+    EXPECT_LE((hi - lo) / lo, Histogram::QuantileRelativeError() * 1.0000001);
+  }
+  // Out-of-range and degenerate samples clamp into under/overflow.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, 60)),
+            Histogram::kNumBuckets - 1);
+}
+
+// The merge property the fleet roll-up rests on: recording a stream split
+// across two histograms and merging equals recording it all into one, and
+// quantiles of either are within one bucket's relative error of the exact
+// sample quantile.
+TEST(HistogramTest, MergeOfRandomSplitMatchesUnionHistogram) {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> exp_dist(-6.0, 3.0);
+  const double quantiles[] = {0.0, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0};
+
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 200 + static_cast<size_t>(rng() % 800);
+    std::vector<double> samples(n);
+    for (double& s : samples) {
+      s = std::pow(10.0, exp_dist(rng));
+    }
+    Histogram whole;
+    Histogram h1;
+    Histogram h2;
+    for (double s : samples) {
+      whole.Record(s);
+      (rng() % 2 == 0 ? h1 : h2).Record(s);
+    }
+    Histogram merged = h1;
+    merged.Merge(h2);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    // Sums accumulate in different orders, so allow float rounding slack.
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : quantiles) {
+      // Merge == union, bit for bit (identical fixed bucket layout).
+      EXPECT_DOUBLE_EQ(merged.Quantile(q), whole.Quantile(q)) << "q=" << q;
+      // And within one bucket's relative error of the exact nearest-rank
+      // sample quantile.
+      size_t rank = static_cast<size_t>(
+          std::ceil(q * static_cast<double>(n)));
+      rank = std::clamp<size_t>(rank, 1, n);
+      double exact = sorted[rank - 1];
+      EXPECT_NEAR(merged.Quantile(q), exact,
+                  exact * Histogram::QuantileRelativeError())
+          << "trial=" << trial << " q=" << q;
+    }
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> exp_dist(-4.0, 4.0);
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  for (int i = 0; i < 300; ++i) {
+    a.Record(std::pow(10.0, exp_dist(rng)));
+    b.Record(std::pow(10.0, exp_dist(rng)));
+    c.Record(std::pow(10.0, exp_dist(rng)));
+  }
+
+  auto same = [](const Histogram& x, const Histogram& y) {
+    if (x.count() != y.count() || x.min() != y.min() || x.max() != y.max()) {
+      return false;
+    }
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (x.bucket_count(i) != y.bucket_count(i)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  Histogram ab = a;
+  ab.Merge(b);
+  Histogram ba = b;
+  ba.Merge(a);
+  EXPECT_TRUE(same(ab, ba));
+
+  Histogram ab_c = ab;
+  ab_c.Merge(c);
+  Histogram bc = b;
+  bc.Merge(c);
+  Histogram a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_TRUE(same(ab_c, a_bc));
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, StablePointersPerNameAndLabels) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("hits", {{"server", "0.0.1"}});
+  Counter* c2 = registry.GetCounter("hits", {{"server", "0.0.1"}});
+  Counter* c3 = registry.GetCounter("hits", {{"server", "0.0.2"}});
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  c1->Inc(5);
+  EXPECT_EQ(registry.FindCounter("hits", {{"server", "0.0.1"}})->value(), 5u);
+  EXPECT_EQ(registry.FindCounter("hits", {{"server", "0.0.3"}}), nullptr);
+  EXPECT_EQ(registry.counter_count(), 2u);
+
+  EXPECT_EQ(MetricsRegistry::CanonicalKey("hits", {{"b", "2"}, {"a", "1"}}),
+            "hits{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::CanonicalKey("hits", {}), "hits");
+}
+
+TEST(MetricsRegistryTest, MergedHistogramRollsUpAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat", {{"server", "a"}})->Record(1.0);
+  registry.GetHistogram("lat", {{"server", "b"}})->Record(100.0);
+  registry.GetHistogram("other")->Record(9.0);
+
+  Histogram fleet = registry.MergedHistogram("lat");
+  EXPECT_EQ(fleet.count(), 2u);
+  EXPECT_DOUBLE_EQ(fleet.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fleet.max(), 100.0);
+  EXPECT_EQ(registry.MergedHistogram("missing").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, DumpTextIsDeterministic) {
+  auto build = [] {
+    MetricsRegistry registry;
+    registry.GetCounter("zeta")->Inc(2);
+    registry.GetCounter("alpha", {{"server", "1.0.0"}})->Inc(1);
+    registry.GetGauge("staleness")->Set(3.5);
+    registry.GetHistogram("lat")->Record(0.25);
+    return registry.DumpText();
+  };
+  std::string dump = build();
+  EXPECT_EQ(dump, build());
+  EXPECT_NE(dump.find("counter alpha{server=1.0.0} 1"), std::string::npos);
+  EXPECT_NE(dump.find("counter zeta 2"), std::string::npos);
+  EXPECT_NE(dump.find("gauge staleness 3.5"), std::string::npos);
+  EXPECT_NE(dump.find("histogram lat count=1"), std::string::npos);
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+TEST(TracerTest, SpanLifecycleAndValidation) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("commit step=1", "dst", 100);
+  ASSERT_TRUE(root.valid());
+  TraceContext child = tracer.StartSpan(root, "tailer.publish", "0.0.14", 150);
+  ASSERT_TRUE(child.valid());
+  EXPECT_EQ(child.trace_id, root.trace_id);
+
+  // Still open: not complete yet.
+  EXPECT_FALSE(tracer.ValidateComplete(root.trace_id).ok());
+
+  tracer.EndSpan(child, 200);
+  tracer.EndSpan(root, 250);
+  EXPECT_TRUE(tracer.ValidateComplete(root.trace_id).ok());
+  EXPECT_EQ(tracer.TraceStartTime(root.trace_id), 100);
+  EXPECT_EQ(tracer.trace_count(), 1u);
+
+  const TraceData* trace = tracer.Find(root.trace_id);
+  ASSERT_NE(trace, nullptr);
+  ASSERT_EQ(trace->spans.size(), 2u);
+  EXPECT_EQ(trace->spans[1].parent, root.span_id);
+}
+
+TEST(TracerTest, InvalidParentProducesNoOrphan) {
+  Tracer tracer;
+  TraceContext none;
+  TraceContext span = tracer.StartSpan(none, "proxy.apply", "0.0.4", 10);
+  EXPECT_FALSE(span.valid());
+  EXPECT_EQ(tracer.trace_count(), 0u);
+  // Ending an invalid context is a harmless no-op.
+  tracer.EndSpan(span, 20);
+}
+
+TEST(TracerTest, ValidationCatchesNonMonotoneChild) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("t", "h", 100);
+  tracer.EndSpan(root, 100);
+  // Child starting before its parent breaks sim-time causality.
+  TraceContext child = tracer.StartSpan(root, "early", "h", 50);
+  tracer.EndSpan(child, 60);
+  EXPECT_FALSE(tracer.ValidateComplete(root.trace_id).ok());
+}
+
+TEST(TracerTest, PathAndZxidBindings) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.PathContext("cfg/a.json").valid());
+  EXPECT_FALSE(tracer.ZxidContext(7).valid());
+
+  TraceContext root = tracer.StartTrace("commit", "dst", 5);
+  tracer.EndSpan(root, 5);
+  tracer.BindPath("cfg/a.json", root);
+  tracer.BindZxid(7, root);
+  EXPECT_EQ(tracer.PathContext("cfg/a.json").trace_id, root.trace_id);
+  EXPECT_EQ(tracer.ZxidContext(7).trace_id, root.trace_id);
+
+  // Rebinding moves the join point (a later commit touching the same path).
+  TraceContext root2 = tracer.StartTrace("commit2", "dst", 9);
+  tracer.EndSpan(root2, 9);
+  tracer.BindPath("cfg/a.json", root2);
+  EXPECT_EQ(tracer.PathContext("cfg/a.json").trace_id, root2.trace_id);
+}
+
+TEST(TracerTest, DumpTreeIsDeterministicAndIndented) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("commit step=3", "dst", 1000);
+  tracer.EndSpan(root, 1000);
+  TraceContext pub = tracer.StartSpan(root, "tailer.publish", "0.0.14", 2000);
+  tracer.EndSpan(pub, 2500);
+  TraceContext apply = tracer.StartSpan(pub, "proxy.apply", "1.0.4", 3000);
+  tracer.EndSpan(apply, 3000);
+
+  std::string tree = tracer.DumpTree(root.trace_id);
+  EXPECT_EQ(tree, tracer.DumpTree(root.trace_id));
+  EXPECT_NE(tree.find("trace 1 \"commit step=3\" start=1000"),
+            std::string::npos);
+  EXPECT_NE(tree.find("\n  tailer.publish host=0.0.14 start=2000 end=2500"),
+            std::string::npos);
+  EXPECT_NE(tree.find("\n    proxy.apply host=1.0.4 start=3000 end=3000"),
+            std::string::npos);
+  EXPECT_EQ(tracer.DumpTree(999), "");
+}
+
+// ---- End-to-end: the commit span tree through the whole stack ---------------
+
+std::vector<FileWrite> JobSources() {
+  return {
+      {"schemas/job.thrift",
+       "struct Job { 1: required string name; 2: optional i32 mem = 64; }\n"},
+      {"feed/cache.cconf",
+       "import_thrift(\"schemas/job.thrift\")\n"
+       "export_if_last(Job(name=\"cache\", mem=1024))\n"},
+  };
+}
+
+TEST(ObsPipelineTest, CommitTraceReachesEverySubscribedServer) {
+  ConfigManagementStack stack;
+  // One subscriber per (region, cluster): four servers, four proxies.
+  std::vector<ServerId> servers = {
+      {0, 0, 3}, {0, 1, 3}, {1, 0, 3}, {1, 1, 3}};
+  int callbacks_fired = 0;
+  for (const ServerId& server : servers) {
+    stack.SubscribeServer(server, "feed/cache.json",
+                          [&callbacks_fired](const std::string&,
+                                             const std::string&,
+                                             int64_t) { ++callbacks_fired; });
+  }
+  stack.RunFor(2 * kSimSecond);
+
+  auto change = stack.ProposeChange("alice", "add cache job", JobSources());
+  ASSERT_TRUE(change.ok()) << change.status();
+  ASSERT_TRUE(change->trace.valid());
+  ASSERT_TRUE(stack.Approve(&*change, "bob").ok());
+  auto landed = stack.LandNow(*change);
+  ASSERT_TRUE(landed.ok()) << landed.status();
+  stack.RunFor(30 * kSimSecond);
+  ASSERT_EQ(callbacks_fired, 4);
+
+  // The trace is a complete causal tree: no orphans, every span closed,
+  // child starts never precede their parents (monotone sim time).
+  Tracer& tracer = stack.obs().tracer;
+  uint64_t trace_id = change->trace.trace_id;
+  Status complete = tracer.ValidateComplete(trace_id);
+  EXPECT_TRUE(complete.ok())
+      << complete << "\n" << tracer.DumpTree(trace_id);
+
+  const TraceData* trace = tracer.Find(trace_id);
+  ASSERT_NE(trace, nullptr);
+  std::set<std::string> names;
+  std::set<std::string> apply_hosts;
+  std::set<std::string> callback_hosts;
+  for (const Span& span : trace->spans) {
+    names.insert(span.name);
+    if (span.name == "proxy.apply") {
+      apply_hosts.insert(span.host);
+    }
+    if (span.name == "app.callback") {
+      callback_hosts.insert(span.host);
+    }
+  }
+  // Every pipeline hop left a span...
+  for (const char* hop : {"sandcastle.ci", "land", "tailer.publish",
+                          "zeus.leader.push", "zeus.observer.apply",
+                          "proxy.apply", "app.callback"}) {
+    EXPECT_TRUE(names.count(hop)) << "missing span: " << hop << "\n"
+                                  << tracer.DumpTree(trace_id);
+  }
+  // ...and the tree reaches every subscribed server.
+  for (const ServerId& server : servers) {
+    EXPECT_TRUE(apply_hosts.count(server.ToString()))
+        << "no proxy.apply span on " << server.ToString() << "\n"
+        << tracer.DumpTree(trace_id);
+    EXPECT_TRUE(callback_hosts.count(server.ToString()))
+        << "no app.callback span on " << server.ToString();
+  }
+
+  // The registry saw the same story.
+  MetricsRegistry& metrics = stack.obs().metrics;
+  ASSERT_NE(metrics.FindCounter("landing_landed_total"), nullptr);
+  EXPECT_EQ(metrics.FindCounter("landing_landed_total")->value(), 1u);
+  ASSERT_NE(metrics.FindCounter("tailer_published_total"), nullptr);
+  EXPECT_GE(metrics.FindCounter("tailer_published_total")->value(), 1u);
+  ASSERT_NE(metrics.FindCounter("zeus_commits_total"), nullptr);
+  EXPECT_GE(metrics.FindCounter("zeus_commits_total")->value(), 1u);
+  for (const ServerId& server : servers) {
+    const Counter* updates =
+        metrics.FindCounter("proxy_updates_total", {{"server", server.ToString()}});
+    ASSERT_NE(updates, nullptr) << server.ToString();
+    EXPECT_GE(updates->value(), 1u);
+  }
+  Histogram fleet = metrics.MergedHistogram("proxy_propagation_seconds");
+  EXPECT_GE(fleet.count(), 4u);
+  EXPECT_GT(fleet.Quantile(0.5), 0.0);
+  EXPECT_LT(fleet.Quantile(0.999), 30.0);
+}
+
+}  // namespace
+}  // namespace configerator
