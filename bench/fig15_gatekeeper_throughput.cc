@@ -2,15 +2,26 @@
 // checks per second across the site (hundreds of thousands of frontend
 // servers), consuming a significant share of frontend CPU. This bench
 // measures single-core gk_check() throughput with google-benchmark across
-// project shapes, ablates the cost-based restraint ordering, and then
-// extrapolates to the paper's fleet scale.
+// project shapes, ablates the cost-based restraint ordering, runs a
+// multithreaded shared-snapshot sweep (with and without live config churn),
+// and then extrapolates to the paper's fleet scale.
+//
+// --mt_smoke: run only a short 2-thread churn measurement (used by
+// scripts/check.sh as a concurrency smoke test; does not rewrite the
+// committed JSON results).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
 
 #include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 #include "src/obs/observability.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
@@ -43,13 +54,13 @@ GatekeeperProject SimpleProject() {
 }
 
 // The Figure 5 shape: several if-statements, each a conjunction.
-GatekeeperProject DnfProject() {
-  auto config = Json::Parse(R"({
+std::string DnfJson(int step) {
+  return StrFormat(R"({
     "project": "Dnf",
     "rules": [
       {"restraints": [{"type": "employee"}], "pass_probability": 1.0},
       {"restraints": [{"type": "country", "params": {"countries": ["US", "CA"]}},
-                      {"type": "min_friend_count", "params": {"count": 100}},
+                      {"type": "min_friend_count", "params": {"count": %d}},
                       {"type": "platform", "params": {"platforms": ["android"]}}],
        "pass_probability": 0.1},
       {"restraints": [{"type": "new_user", "params": {"max_days": 30}},
@@ -59,7 +70,12 @@ GatekeeperProject DnfProject() {
                        "params": {"salt": "exp", "lo": 0.0, "hi": 0.05}}],
        "pass_probability": 1.0}
     ]
-  })");
+  })",
+                   100 + step % 2);
+}
+
+GatekeeperProject DnfProject() {
+  auto config = Json::Parse(DnfJson(0));
   return std::move(GatekeeperProject::FromJson(*config)).value();
 }
 
@@ -146,9 +162,162 @@ void BM_RuntimeDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeDispatch);
 
+void BM_RuntimeCheckMany(benchmark::State& state) {
+  // The batch entry point: one snapshot acquire + one lookup per 256 users.
+  GatekeeperRuntime runtime;
+  (void)runtime.ApplyConfigUpdate("gatekeeper/Dnf.json", DnfJson(0));
+  std::vector<UserContext> batch;
+  for (int64_t id = 0; id < 256; ++id) {
+    batch.push_back(MakeUser(id));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.CheckMany("Dnf", batch, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_RuntimeCheckMany);
+
+// --- Multithreaded shared-snapshot sweep ------------------------------------
+
+struct MtPoint {
+  int threads = 0;
+  bool churn = false;
+  double checks_per_sec = 0;
+};
+
+// N reader threads hammer CheckMany() on one shared runtime; with churn on, a
+// writer thread alternates two variants of the checked config (snapshot swap
+// per update) and folds stats into a reordered snapshot every 8th update.
+MtPoint MeasureMt(int n_threads, bool churn, double seconds) {
+  GatekeeperRuntime runtime;
+  (void)runtime.ApplyConfigUpdate("gatekeeper/Dnf.json", DnfJson(0));
+
+  constexpr size_t kBatch = 256;
+  constexpr size_t kBatches = 16;
+  std::vector<std::vector<UserContext>> batches(kBatches);
+  for (size_t b = 0; b < kBatches; ++b) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      batches[b].push_back(MakeUser(static_cast<int64_t>(b * kBatch + i)));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t local = 0;
+      size_t b = static_cast<size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::vector<UserContext>& batch = batches[b % kBatches];
+        ++b;
+        benchmark::DoNotOptimize(runtime.CheckMany("Dnf", batch, nullptr));
+        local += batch.size();
+      }
+      total.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::thread writer;
+  if (churn) {
+    writer = std::thread([&] {
+      int step = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++step;
+        (void)runtime.ApplyConfigUpdate("gatekeeper/Dnf.json", DnfJson(step));
+        if (step % 8 == 0) {
+          runtime.Rebuild();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) {
+    th.join();
+  }
+  if (writer.joinable()) {
+    writer.join();
+  }
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  MtPoint point;
+  point.threads = n_threads;
+  point.churn = churn;
+  point.checks_per_sec =
+      static_cast<double>(total.load(std::memory_order_relaxed)) / elapsed;
+  return point;
+}
+
+void WriteMtJson(const std::vector<MtPoint>& points, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fig15_gatekeeper_mt\",\n";
+  out << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"batch\": 256,\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const MtPoint& p = points[i];
+    out << StrFormat("    {\"threads\": %d, \"churn\": %s, "
+                     "\"checks_per_sec\": %.0f}%s\n",
+                     p.threads, p.churn ? "true" : "false", p.checks_per_sec,
+                     i + 1 == points.size() ? "" : ",");
+  }
+  out << "  ],\n";
+  out << "  \"note\": \"Shared-snapshot GatekeeperRuntime, CheckMany batches "
+         "of 256 over one shared runtime; churn = writer swapping the checked "
+         "config every ~1ms + a stats-fold Rebuild every 8th update. "
+         "Aggregate scaling across reader threads requires hw_threads >= "
+         "thread count; on a single-core host the per-point rates show "
+         "contention-freedom, not parallel speedup.\"\n}\n";
+}
+
+std::vector<MtPoint> RunMtSweep(double seconds_per_point) {
+  std::vector<MtPoint> points;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool churn : {false, true}) {
+      points.push_back(MeasureMt(threads, churn, seconds_per_point));
+    }
+  }
+  return points;
+}
+
+void PrintMtTable(const std::vector<MtPoint>& points) {
+  std::printf("\nmultithreaded shared-snapshot sweep (%u hardware threads):\n",
+              std::thread::hardware_concurrency());
+  TextTable table({"reader threads", "config churn", "aggregate checks/s"});
+  double base = 0;
+  for (const MtPoint& p : points) {
+    if (p.threads == 1 && !p.churn) {
+      base = p.checks_per_sec;
+    }
+    std::string speedup =
+        base > 0 ? StrFormat(" (%.2fx vs 1T)", p.checks_per_sec / base) : "";
+    table.AddRow({std::to_string(p.threads), p.churn ? "on" : "off",
+                  StrFormat("%.1f M/s%s", p.checks_per_sec / 1e6,
+                            speedup.c_str())});
+  }
+  table.Print();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mt_smoke") == 0) {
+      // Quick concurrency smoke for CI: 2 readers + churn writer, ~0.3s.
+      MtPoint point = MeasureMt(2, true, 0.3);
+      std::printf("mt_smoke: 2 reader threads + churn writer -> "
+                  "%.1f M checks/s\n",
+                  point.checks_per_sec / 1e6);
+      return 0;
+    }
+  }
+
   PrintBenchHeader("Figure 15 — Gatekeeper check throughput",
                    "google-benchmark per-core gk_check() rates + site-scale "
                    "extrapolation");
@@ -231,6 +400,12 @@ int main(int argc, char** argv) {
   Observability obs;
   double rate_instrumented = measure_runtime(&obs);
   double overhead_pct = 100.0 * (rate_plain - rate_instrumented) / rate_plain;
+
+  // Multithreaded sweep over the shared-snapshot runtime.
+  std::vector<MtPoint> mt_points = RunMtSweep(0.5);
+  PrintMtTable(mt_points);
+  WriteMtJson(mt_points, "BENCH_fig15_gatekeeper_mt.json");
+  std::printf("wrote BENCH_fig15_gatekeeper_mt.json\n");
 
   // Paper scale: "frontend clusters that consist of hundreds of thousands of
   // servers"; a 2014-era frontend had ~16-24 cores.

@@ -9,7 +9,7 @@
 
 #include "src/core/mutator.h"
 #include "src/core/stack.h"
-#include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 
 using namespace configerator;
 

@@ -10,7 +10,7 @@
 
 #include "src/core/mutator.h"
 #include "src/core/stack.h"
-#include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 
 using namespace configerator;
 

@@ -1,22 +1,44 @@
 #!/usr/bin/env bash
 # Full pre-land check: tier-1 build + tests, the DST chaos sweep, ASan/UBSan
-# build + tests, and clang-tidy. This is what CI runs; run it before pushing.
+# build + tests, a TSan build + concurrency-sensitive tests, and clang-tidy.
+# This is what CI runs; run it before pushing.
 #
 #   scripts/check.sh            # everything (chaos sweep included)
 #   scripts/check.sh --fast     # tier-1 only (skip chaos, sanitizers, tidy)
 #   scripts/check.sh --chaos    # tier-1 + the wide DST chaos sweep only
+#   scripts/check.sh --tsan     # tier-1 + the TSan concurrency battery only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 CHAOS_ONLY=0
+TSAN_ONLY=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--chaos" ]]; then
   CHAOS_ONLY=1
+elif [[ "${1:-}" == "--tsan" ]]; then
+  TSAN_ONLY=1
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# ThreadSanitizer over the concurrency-sensitive surface: the shared-snapshot
+# Gatekeeper runtime (differential + stress tests), the distribution stack,
+# and the DST harness that hot-swaps gatekeeper snapshots from proxy
+# callbacks. TSan must be built alone (it is incompatible with ASan).
+run_tsan() {
+  echo "==> tsan: configure + build (thread)"
+  cmake -B build-tsan -S . -DCONFIGERATOR_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+
+  echo "==> tsan: gatekeeper + distribution + dst tests"
+  ctest --test-dir build-tsan --output-on-failure -R \
+    '^(gatekeeper_test|gatekeeper_differential_test|gatekeeper_concurrency_test|distribution_test|dst_test)$'
+
+  echo "==> tsan: fig15 2-thread churn smoke"
+  (cd build-tsan/bench && ./fig15_gatekeeper_throughput --mt_smoke)
+}
 
 echo "==> tier-1: configure + build"
 cmake -B build -S . >/dev/null
@@ -27,6 +49,15 @@ ctest --test-dir build --output-on-failure
 
 echo "==> bench smoke: propagation trace (span-derived per-hop latencies)"
 (cd build/bench && ./propagation_trace --commits=25 >/dev/null)
+
+echo "==> bench smoke: fig15 2-thread shared-snapshot churn"
+(cd build/bench && ./fig15_gatekeeper_throughput --mt_smoke)
+
+if [[ "$TSAN_ONLY" == "1" ]]; then
+  run_tsan
+  echo "==> done (tsan mode: chaos, asan and clang-tidy skipped)"
+  exit 0
+fi
 
 if [[ "$FAST" == "1" ]]; then
   echo "==> done (fast mode: chaos, sanitizers and clang-tidy skipped)"
@@ -47,6 +78,8 @@ cmake --build build-asan -j "$JOBS"
 
 echo "==> sanitized: ctest"
 ctest --test-dir build-asan --output-on-failure
+
+run_tsan
 
 echo "==> clang-tidy"
 cmake --build build --target lint

@@ -187,20 +187,21 @@ Harness::Harness(const ScenarioOptions& options)
     apps_.push_back(std::make_unique<AppConfigClient>(proxies_.back().get(),
                                                       disks_.back().get()));
     gk_runtimes_.push_back(std::make_unique<GatekeeperRuntime>());
-    gk_runtimes_.back()->AttachObservability(&obs_);
+    gk_runtimes_.back()->AttachObservability(&obs_, SidStr(proxy_hosts_[i]));
     ConfigProxy* proxy = proxies_.back().get();
     for (const std::string& key : tracked_keys_) {
       if (key == gk_key_) {
         GatekeeperRuntime* runtime = gk_runtimes_.back().get();
         std::string* delivered = &gk_delivered_[static_cast<size_t>(i)];
-        proxy->Subscribe(key, [runtime, delivered](const std::string& path,
-                                                   const std::string& value,
-                                                   int64_t /*zxid*/) {
+        proxy->Subscribe(key, [this, runtime, delivered](
+                                   const std::string& path,
+                                   const std::string& value, int64_t zxid) {
           *delivered = value;
           // Invalid JSON keeps the previous project live; the consistency
           // invariant then compares against the delivered (bad) config and
-          // flags the divergence.
-          (void)runtime->ApplyConfigUpdate(path, value);
+          // flags the divergence. The zxid parents a gatekeeper.snapshot_swap
+          // span at the commit's trace.
+          (void)runtime->ApplyConfigUpdate(path, value, zxid, sim_->now());
         });
       } else {
         proxy->Subscribe(key, nullptr);
@@ -530,30 +531,29 @@ void Harness::CheckContinuous() {
   }
 }
 
-const GatekeeperProject* Harness::ReferenceProject(const std::string& json_text) {
+const NaiveEvaluator* Harness::ReferenceProject(const std::string& json_text) {
   auto it = gk_reference_cache_.find(json_text);
   if (it != gk_reference_cache_.end()) {
     return it->second.get();
   }
-  std::unique_ptr<GatekeeperProject> compiled;
+  std::unique_ptr<NaiveEvaluator> compiled;
   Result<Json> parsed = Json::Parse(json_text);
   if (parsed.ok()) {
-    Result<GatekeeperProject> project = GatekeeperProject::FromJson(*parsed);
+    // Plain declared-order evaluation: the runtime's compiled snapshot and
+    // cost-based reordering are checked against unoptimized semantics.
+    Result<NaiveEvaluator> project = NaiveEvaluator::FromJson(*parsed);
     if (project.ok()) {
-      compiled = std::make_unique<GatekeeperProject>(std::move(*project));
-      // Plain in-order evaluation: the runtime's cost-based reordering is
-      // checked against unoptimized semantics.
-      compiled->set_cost_based_ordering(false);
+      compiled = std::make_unique<NaiveEvaluator>(std::move(*project));
     }
   }
-  const GatekeeperProject* result = compiled.get();
+  const NaiveEvaluator* result = compiled.get();
   gk_reference_cache_[json_text] = std::move(compiled);
   return result;
 }
 
 void Harness::CheckGatekeeper(size_t proxy_idx) {
   const std::string& delivered = gk_delivered_[proxy_idx];
-  const GatekeeperProject* reference =
+  const NaiveEvaluator* reference =
       delivered.empty() ? nullptr : ReferenceProject(delivered);
   if (!delivered.empty() && reference == nullptr) {
     Fail("gatekeeper-consistency",

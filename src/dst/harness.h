@@ -48,7 +48,8 @@
 #include "src/distribution/proxy.h"
 #include "src/distribution/tailer.h"
 #include "src/dst/fault_plan.h"
-#include "src/gatekeeper/project.h"
+#include "src/gatekeeper/naive.h"
+#include "src/gatekeeper/runtime.h"
 #include "src/obs/observability.h"
 #include "src/p2p/vessel.h"
 #include "src/sim/network.h"
@@ -150,10 +151,11 @@ class Harness {
   void CheckGatekeeper(size_t proxy_idx);
   void CheckConvergence();
   void CheckFreshness();
-  // Reference compilation of a delivered Gatekeeper config (cost-based
-  // reordering *off*, so the optimizer is checked against plain evaluation).
-  // nullptr = the JSON does not compile.
-  const GatekeeperProject* ReferenceProject(const std::string& json_text);
+  // Reference compilation of a delivered Gatekeeper config: the naive
+  // declared-order evaluator (no stats, no reordering), so the concurrent
+  // snapshot runtime is checked against plain evaluation. nullptr = the JSON
+  // does not compile.
+  const NaiveEvaluator* ReferenceProject(const std::string& json_text);
   // `zxid` >= 0 attaches that commit's span tree to the violation report.
   void Fail(const std::string& invariant, std::string message,
             int64_t zxid = -1);
@@ -194,7 +196,7 @@ class Harness {
   // Continuous-invariant state, per proxy per key.
   std::vector<std::map<std::string, int64_t>> last_seen_zxid_;
   std::vector<std::map<std::string, bool>> ever_seen_;
-  std::map<std::string, std::unique_ptr<GatekeeperProject>> gk_reference_cache_;
+  std::map<std::string, std::unique_ptr<NaiveEvaluator>> gk_reference_cache_;
   std::vector<UserContext> gk_users_;
 
   bool violated_ = false;

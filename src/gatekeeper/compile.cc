@@ -1,0 +1,49 @@
+#include "src/gatekeeper/compile.h"
+
+namespace configerator {
+
+Result<CompiledProjectSpec> CompileProjectSpec(const Json& config,
+                                               const RestraintRegistry& registry) {
+  if (!config.is_object()) {
+    return InvalidConfigError("gatekeeper project config must be an object");
+  }
+  const Json* name = config.Get("project");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return InvalidConfigError("gatekeeper project needs a 'project' name");
+  }
+  CompiledProjectSpec spec;
+  spec.name = name->as_string();
+  spec.salt = ProjectSalt(spec.name);
+
+  const Json* rules = config.Get("rules");
+  if (rules == nullptr || !rules->is_array()) {
+    return InvalidConfigError("gatekeeper project needs a 'rules' list");
+  }
+  for (const Json& rule_spec : rules->as_array()) {
+    if (!rule_spec.is_object()) {
+      return InvalidConfigError("gatekeeper rule must be an object");
+    }
+    CompiledRuleSpec rule;
+    const Json* prob = rule_spec.Get("pass_probability");
+    if (prob == nullptr || !prob->is_number()) {
+      return InvalidConfigError("gatekeeper rule needs 'pass_probability'");
+    }
+    rule.pass_probability = prob->as_double();
+    if (rule.pass_probability < 0 || rule.pass_probability > 1) {
+      return InvalidConfigError("pass_probability must be within [0, 1]");
+    }
+    const Json* restraints = rule_spec.Get("restraints");
+    if (restraints == nullptr || !restraints->is_array()) {
+      return InvalidConfigError("gatekeeper rule needs a 'restraints' list");
+    }
+    for (const Json& restraint_spec : restraints->as_array()) {
+      ASSIGN_OR_RETURN(RestraintPtr restraint, registry.Create(restraint_spec));
+      rule.restraints.push_back(
+          std::shared_ptr<const Restraint>(std::move(restraint)));
+    }
+    spec.rules.push_back(std::move(rule));
+  }
+  return spec;
+}
+
+}  // namespace configerator

@@ -1,11 +1,7 @@
 #include "src/gatekeeper/project.h"
 
 #include <algorithm>
-#include <cstring>
 #include <numeric>
-
-#include "src/util/rng.h"
-#include "src/util/strings.h"
 
 namespace configerator {
 
@@ -13,73 +9,39 @@ namespace {
 
 constexpr uint64_t kReorderInterval = 1024;
 
-// Deterministic per-(project,user) die in [0,1): the same user consistently
-// passes or fails a given percentage rollout, so features don't flicker.
-double SampleDie(const std::string& project, int64_t user_id) {
-  uint64_t h = StableHash64(project + "#" + std::to_string(user_id));
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
 }  // namespace
+
+GatekeeperProject::GatekeeperProject(CompiledProjectSpec spec)
+    : spec_(std::move(spec)) {
+  rules_.resize(spec_.rules.size());
+  for (size_t r = 0; r < spec_.rules.size(); ++r) {
+    RuleState& state = rules_[r];
+    state.order.resize(spec_.rules[r].restraints.size());
+    std::iota(state.order.begin(), state.order.end(), size_t{0});
+    state.stats.resize(spec_.rules[r].restraints.size());
+  }
+}
 
 Result<GatekeeperProject> GatekeeperProject::FromJson(
     const Json& config, const RestraintRegistry& registry) {
-  if (!config.is_object()) {
-    return InvalidConfigError("gatekeeper project config must be an object");
-  }
-  const Json* name = config.Get("project");
-  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
-    return InvalidConfigError("gatekeeper project needs a 'project' name");
-  }
-  GatekeeperProject project;
-  project.name_ = name->as_string();
-
-  const Json* rules = config.Get("rules");
-  if (rules == nullptr || !rules->is_array()) {
-    return InvalidConfigError("gatekeeper project needs a 'rules' list");
-  }
-  for (const Json& rule_spec : rules->as_array()) {
-    if (!rule_spec.is_object()) {
-      return InvalidConfigError("gatekeeper rule must be an object");
-    }
-    Rule rule;
-    const Json* prob = rule_spec.Get("pass_probability");
-    if (prob == nullptr || !prob->is_number()) {
-      return InvalidConfigError("gatekeeper rule needs 'pass_probability'");
-    }
-    rule.pass_probability = prob->as_double();
-    if (rule.pass_probability < 0 || rule.pass_probability > 1) {
-      return InvalidConfigError("pass_probability must be within [0, 1]");
-    }
-    const Json* restraints = rule_spec.Get("restraints");
-    if (restraints == nullptr || !restraints->is_array()) {
-      return InvalidConfigError("gatekeeper rule needs a 'restraints' list");
-    }
-    for (const Json& spec : restraints->as_array()) {
-      ASSIGN_OR_RETURN(RestraintPtr restraint, registry.Create(spec));
-      rule.restraints.push_back(std::move(restraint));
-    }
-    rule.order.resize(rule.restraints.size());
-    std::iota(rule.order.begin(), rule.order.end(), size_t{0});
-    rule.stats.resize(rule.restraints.size());
-    project.rules_.push_back(std::move(rule));
-  }
-  return project;
+  ASSIGN_OR_RETURN(CompiledProjectSpec spec, CompileProjectSpec(config, registry));
+  return GatekeeperProject(std::move(spec));
 }
 
-void GatekeeperProject::MaybeReorder(Rule& rule) const {
-  if (++rule.evals_since_reorder < kReorderInterval ||
+void GatekeeperProject::MaybeReorder(const CompiledRuleSpec& rule,
+                                     RuleState& state) const {
+  if (++state.evals_since_reorder < kReorderInterval ||
       rule.restraints.size() < 2) {
     return;
   }
-  rule.evals_since_reorder = 0;
+  state.evals_since_reorder = 0;
   // For a conjunction, evaluate first the restraint with the lowest
   // cost / P(short-circuit) = cost / (1 - pass_rate). A restraint that is
   // cheap and usually false eliminates most work.
-  std::stable_sort(rule.order.begin(), rule.order.end(),
-                   [&rule](size_t a, size_t b) {
-                     auto rank = [&rule](size_t i) {
-                       const RestraintStats& s = rule.stats[i];
+  std::stable_sort(state.order.begin(), state.order.end(),
+                   [&rule, &state](size_t a, size_t b) {
+                     auto rank = [&rule, &state](size_t i) {
+                       const RestraintStats& s = state.stats[i];
                        double pass_rate =
                            s.evals == 0
                                ? 0.5
@@ -94,11 +56,13 @@ void GatekeeperProject::MaybeReorder(Rule& rule) const {
 
 bool GatekeeperProject::Check(const UserContext& user,
                               const LaserStore* laser) const {
-  for (Rule& rule : rules_) {
+  for (size_t r = 0; r < spec_.rules.size(); ++r) {
+    const CompiledRuleSpec& rule = spec_.rules[r];
+    RuleState& state = rules_[r];
     bool all_pass = true;
-    for (size_t idx : rule.order) {
+    for (size_t idx : state.order) {
       bool pass = rule.restraints[idx]->Test(user, laser);
-      RestraintStats& stats = rule.stats[idx];
+      RestraintStats& stats = state.stats[idx];
       ++stats.evals;
       if (pass) {
         ++stats.passes;
@@ -108,11 +72,11 @@ bool GatekeeperProject::Check(const UserContext& user,
       }
     }
     if (cost_based_ordering_) {
-      MaybeReorder(rule);
+      MaybeReorder(rule, state);
     }
     if (all_pass) {
       // Cast the die: user sampling for staged rollout.
-      return SampleDie(name_, user.user_id) < rule.pass_probability;
+      return GatekeeperDie(spec_.salt, user.user_id) < rule.pass_probability;
     }
   }
   return false;
@@ -121,80 +85,23 @@ bool GatekeeperProject::Check(const UserContext& user,
 std::vector<std::vector<GatekeeperProject::RestraintStatsView>>
 GatekeeperProject::StatsSnapshot() const {
   std::vector<std::vector<RestraintStatsView>> snapshot;
-  snapshot.reserve(rules_.size());
-  for (const Rule& rule : rules_) {
+  snapshot.reserve(spec_.rules.size());
+  for (size_t r = 0; r < spec_.rules.size(); ++r) {
+    const CompiledRuleSpec& rule = spec_.rules[r];
+    const RuleState& state = rules_[r];
     std::vector<RestraintStatsView> rule_stats;
     rule_stats.reserve(rule.restraints.size());
-    for (size_t idx : rule.order) {
+    for (size_t idx : state.order) {
       RestraintStatsView view;
       view.type = std::string(rule.restraints[idx]->type_name());
       view.cost = rule.restraints[idx]->cost();
-      view.evals = rule.stats[idx].evals;
-      view.passes = rule.stats[idx].passes;
+      view.evals = state.stats[idx].evals;
+      view.passes = state.stats[idx].passes;
       rule_stats.push_back(std::move(view));
     }
     snapshot.push_back(std::move(rule_stats));
   }
   return snapshot;
-}
-
-Status GatekeeperRuntime::LoadProject(const Json& config) {
-  ASSIGN_OR_RETURN(GatekeeperProject project, GatekeeperProject::FromJson(config));
-  project.set_cost_based_ordering(cost_based_ordering_);
-  std::string name = project.name();
-  projects_[name] = std::make_unique<GatekeeperProject>(std::move(project));
-  return OkStatus();
-}
-
-Status GatekeeperRuntime::RemoveProject(const std::string& project) {
-  if (projects_.erase(project) == 0) {
-    return NotFoundError("no gatekeeper project '" + project + "'");
-  }
-  return OkStatus();
-}
-
-bool GatekeeperRuntime::Check(const std::string& project, const UserContext& user) {
-  ++check_count_;
-  if (checks_counter_ != nullptr) {
-    checks_counter_->Inc();
-  }
-  auto it = projects_.find(project);
-  if (it == projects_.end()) {
-    return false;
-  }
-  bool pass = it->second->Check(user, laser_);
-  if (pass && passes_counter_ != nullptr) {
-    passes_counter_->Inc();
-  }
-  return pass;
-}
-
-Status GatekeeperRuntime::ApplyConfigUpdate(const std::string& path,
-                                            const std::string& json_text) {
-  if (!path.starts_with("gatekeeper/")) {
-    return InvalidArgumentError("not a gatekeeper config path: " + path);
-  }
-  if (updates_counter_ != nullptr) {
-    updates_counter_->Inc();
-  }
-  if (json_text.empty()) {
-    // Tombstone: project deleted. Derive the name from the path.
-    std::string name = path.substr(strlen("gatekeeper/"));
-    if (name.ends_with(".json")) {
-      name = name.substr(0, name.size() - 5);
-    }
-    projects_.erase(name);
-    return OkStatus();
-  }
-  ASSIGN_OR_RETURN(Json config, Json::Parse(json_text));
-  return LoadProject(config);
-}
-
-void GatekeeperRuntime::set_cost_based_ordering(bool enabled) {
-  cost_based_ordering_ = enabled;
-  for (auto& [name, project] : projects_) {
-    project->set_cost_based_ordering(enabled);
-  }
 }
 
 }  // namespace configerator

@@ -1,11 +1,14 @@
-// Gatekeeper projects and runtime (paper §4).
+// Gatekeeper projects (paper §4): the single-threaded learner/reference
+// evaluation unit. The concurrent serving runtime lives in
+// src/gatekeeper/runtime.h.
 //
 // A project's gating logic is an ordered list of if-statements; each is a
 // conjunction of restraints plus a pass probability for user sampling
-// (1% → 10% → 100% rollouts). The logic lives in a JSON config and is
-// updated live; the runtime rebuilds the boolean tree on config update.
+// (1% → 10% → 100% rollouts). The logic lives in a JSON config, compiled via
+// the shared CompileProjectSpec() path so its validation and semantics match
+// every other evaluator in the tree exactly.
 //
-// Like the paper's SQL-style cost-based optimization, the runtime collects
+// Like the paper's SQL-style cost-based optimization, a project collects
 // per-restraint execution statistics (pass rate; declared cost) and reorders
 // each conjunction so cheap, likely-short-circuiting restraints run first —
 // without changing semantics (restraints are pure).
@@ -23,13 +26,10 @@
 #define SRC_GATEKEEPER_PROJECT_H_
 
 #include <cstdint>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/gatekeeper/restraint.h"
-#include "src/obs/observability.h"
+#include "src/gatekeeper/compile.h"
 
 namespace configerator {
 
@@ -40,22 +40,25 @@ class GatekeeperProject {
       const Json& config,
       const RestraintRegistry& registry = RestraintRegistry::Builtin());
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const { return spec_.name; }
 
   // The gk_check() of Figure 4: evaluates rules in order; the first rule
   // whose conjunction holds casts the (deterministic per-user) sampling die.
   // No rule matching → false.
   //
-  // Thread-compatibility: Check() updates evaluation statistics, so
-  // concurrent callers need one GatekeeperProject instance per thread (the
-  // production pattern: the runtime rebuilds per-worker state on config
-  // update anyway).
+  // Thread-compatibility: Check() updates evaluation statistics and reorders
+  // conjunctions *in place* (plain non-atomic bookkeeping), so a
+  // GatekeeperProject must be confined to one thread. It is the
+  // learner/reference unit — DST and the differential battery use it
+  // single-threaded. Concurrent serving is GatekeeperRuntime
+  // (src/gatekeeper/runtime.h), which shares one immutable snapshot across
+  // threads and keeps statistics in striped atomics instead.
   bool Check(const UserContext& user, const LaserStore* laser) const;
 
   // Cost-based restraint reordering (on by default; benches ablate it).
   void set_cost_based_ordering(bool enabled) { cost_based_ordering_ = enabled; }
 
-  size_t rule_count() const { return rules_.size(); }
+  size_t rule_count() const { return spec_.rules.size(); }
 
   // Execution-statistics snapshot, per rule, in *current evaluation order*
   // (the paper: the runtime leverages "the execution time of a restraint and
@@ -79,66 +82,21 @@ class GatekeeperProject {
     uint64_t passes = 0;
   };
 
-  struct Rule {
-    std::vector<RestraintPtr> restraints;
-    double pass_probability = 0;
-    // Evaluation order over `restraints`, re-derived from stats.
+  // Per-rule learning state, parallel to spec_.rules.
+  struct RuleState {
+    // Evaluation order over the rule's restraints, re-derived from stats.
     std::vector<size_t> order;
     std::vector<RestraintStats> stats;
     uint64_t evals_since_reorder = 0;
   };
 
-  void MaybeReorder(Rule& rule) const;
+  explicit GatekeeperProject(CompiledProjectSpec spec);
 
-  std::string name_;
-  mutable std::vector<Rule> rules_;  // Mutable: stats/order are bookkeeping.
+  void MaybeReorder(const CompiledRuleSpec& rule, RuleState& state) const;
+
+  CompiledProjectSpec spec_;
+  mutable std::vector<RuleState> rules_;  // Mutable: stats/order bookkeeping.
   bool cost_based_ordering_ = true;
-};
-
-// Holds the live projects for a frontend server; integrates with the config
-// distribution path (project configs arrive as JSON under "gatekeeper/").
-class GatekeeperRuntime {
- public:
-  explicit GatekeeperRuntime(const LaserStore* laser = nullptr) : laser_(laser) {}
-
-  // Loads or replaces a project from its JSON config.
-  Status LoadProject(const Json& config);
-  Status RemoveProject(const std::string& project);
-
-  // Entry point matching Figure 4's gk_check(). Unknown project → false
-  // (fail closed: an undistributed project gates nothing on).
-  bool Check(const std::string& project, const UserContext& user);
-
-  // Hook for the distribution layer: config updates under "gatekeeper/"
-  // (path "gatekeeper/<project>.json") re-compile the project in place; an
-  // empty value removes it.
-  Status ApplyConfigUpdate(const std::string& path, const std::string& json_text);
-
-  void set_cost_based_ordering(bool enabled);
-
-  // Opt-in metrics: gk_checks_total / gk_passes_total / gk_config_updates_
-  // total. Hot-path cost is two increments through cached pointers — the
-  // Figure-15 bench ablates this and demands < 5% overhead.
-  void AttachObservability(Observability* obs) {
-    checks_counter_ = obs->metrics.GetCounter("gk_checks_total");
-    passes_counter_ = obs->metrics.GetCounter("gk_passes_total");
-    updates_counter_ = obs->metrics.GetCounter("gk_config_updates_total");
-  }
-
-  uint64_t check_count() const { return check_count_; }
-  size_t project_count() const { return projects_.size(); }
-  bool HasProject(const std::string& project) const {
-    return projects_.count(project) > 0;
-  }
-
- private:
-  const LaserStore* laser_;
-  std::map<std::string, std::unique_ptr<GatekeeperProject>> projects_;
-  bool cost_based_ordering_ = true;
-  uint64_t check_count_ = 0;
-  Counter* checks_counter_ = nullptr;
-  Counter* passes_counter_ = nullptr;
-  Counter* updates_counter_ = nullptr;
 };
 
 }  // namespace configerator

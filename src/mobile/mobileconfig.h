@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 #include "src/json/json.h"
 #include "src/util/sha256.h"
 #include "src/util/status.h"

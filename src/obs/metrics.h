@@ -23,6 +23,7 @@
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,23 +32,34 @@
 
 namespace configerator {
 
+// Thread-safe: counters are bumped from concurrent GatekeeperRuntime check
+// threads. Relaxed atomics — counts are statistics, not synchronization, and
+// a relaxed fetch_add keeps the hot path a single lock-free RMW.
 class Counter {
  public:
-  void Inc(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    // No atomic<double>::fetch_add until C++20 libs catch up everywhere;
+    // a CAS loop is portable and this is never on the check hot path.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 // Mergeable log-linear histogram over non-negative samples. Values in

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 
 namespace configerator {
 namespace {

@@ -5,7 +5,7 @@
 
 #include "src/core/mutator.h"
 #include "src/core/stack.h"
-#include "src/gatekeeper/project.h"
+#include "src/gatekeeper/runtime.h"
 
 namespace configerator {
 namespace {
