@@ -15,89 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "bench/synthetic_repo.h"
 #include "src/analysis/absint.h"
 #include "src/analysis/lint.h"
 #include "src/json/json.h"
-#include "src/lang/compiler.h"
+#include "src/lang/ast_cache.h"
 #include "src/util/strings.h"
 #include "src/util/table.h"
 
 using namespace configerator;
 
 namespace {
-
-struct SyntheticRepo {
-  InMemorySources sources;
-  std::vector<std::string> paths;  // Analyzable CSL files, in layout order.
-};
-
-// 1k files: 20 schemas, 180 shared modules (each importing a schema; every
-// tenth also importing the previous module, for some two-hop chains without
-// making every entry transitively pull in the whole library), 800 entries
-// importing two modules each.
-SyntheticRepo BuildRepo() {
-  SyntheticRepo repo;
-  constexpr int kSchemas = 20;
-  constexpr int kModules = 180;
-  constexpr int kEntries = 800;
-
-  for (int s = 0; s < kSchemas; ++s) {
-    repo.sources.Put(
-        StrFormat("schemas/svc%02d.thrift", s),
-        StrFormat("struct Svc%02d {\n"
-                  "  1: required string name;\n"
-                  "  2: optional i32 port = %d;\n"
-                  "  3: optional list<string> tags;\n"
-                  "}\n",
-                  s, 8000 + s));
-  }
-
-  for (int m = 0; m < kModules; ++m) {
-    int schema = m % kSchemas;
-    bool chained = m > 0 && m % 10 == 0;
-    // Chained modules derive their port from the previous module's, so the
-    // import is used and the repo stays lint-clean.
-    std::string port_expr = chained
-                                ? StrFormat("BASE_PORT_%d + 1", m - 1)
-                                : StrFormat("%d", 9000 + m);
-    std::string source = StrFormat(
-        "import_thrift(\"schemas/svc%02d.thrift\")\n"
-        "BASE_PORT_%d = %s\n"
-        "REGIONS_%d = [\"east\", \"west\", \"central\"]\n"
-        "def make_svc_%d(name, port=BASE_PORT_%d):\n"
-        "    svc = Svc%02d(name=name, port=port)\n"
-        "    svc.tags = [\"module:%d\"]\n"
-        "    for region in REGIONS_%d:\n"
-        "        append(svc.tags, \"region:\" + region)\n"
-        "    return svc\n",
-        schema, m, port_expr.c_str(), m, m, m, schema, m, m);
-    if (chained) {
-      source = StrFormat("import_python(\"lib/mod%03d.cinc\", \"BASE_PORT_%d\")\n",
-                         m - 1, m - 1) +
-               source;
-    }
-    std::string path = StrFormat("lib/mod%03d.cinc", m);
-    repo.sources.Put(path, source);
-    repo.paths.push_back(path);
-  }
-
-  for (int e = 0; e < kEntries; ++e) {
-    int m1 = e % kModules;
-    int m2 = (e * 7 + 3) % kModules;
-    std::string path = StrFormat("svc/entry%03d.cconf", e);
-    repo.sources.Put(
-        path,
-        StrFormat("import_python(\"lib/mod%03d.cinc\", \"*\")\n"
-                  "import_python(\"lib/mod%03d.cinc\", \"BASE_PORT_%d\")\n"
-                  "svc = make_svc_%d(name=\"entry%03d\")\n"
-                  "if BASE_PORT_%d > 9000:\n"
-                  "    svc.port = BASE_PORT_%d\n"
-                  "export_if_last(svc)\n",
-                  m1, m2, m2, m1, e, m2, m2));
-    repo.paths.push_back(path);
-  }
-  return repo;
-}
 
 double Seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -113,7 +41,7 @@ int main() {
       "files/sec over a synthetic 1k-file repo (schemas, module "
       "libraries, entries); bounds Sandcastle's affordable closure size");
 
-  SyntheticRepo repo = BuildRepo();
+  SyntheticRepo repo = BuildSyntheticRepo();
   FileReader reader = repo.sources.AsReader();
   const size_t total_files = repo.paths.size();
 
@@ -142,10 +70,31 @@ int main() {
   }
   double absint_s = Seconds(absint_start);
 
+  // Pass 3: both analyses sharing one parsed AST per file (what Sandcastle
+  // does since lint and absint took a common AstCache): each file is parsed
+  // once instead of once per pass.
+  size_t shared_findings = 0;
+  auto shared_start = std::chrono::steady_clock::now();
+  {
+    AstCache ast_cache;
+    ConfigLint linter(reader);
+    AbstractInterpreter absint(reader);
+    linter.set_ast_cache(&ast_cache);
+    absint.set_ast_cache(&ast_cache);
+    for (const std::string& path : repo.paths) {
+      const std::string content = *reader(path);
+      shared_findings += linter.LintFile(path, content).size();
+      shared_findings += absint.Analyze(path, content).diagnostics.size();
+    }
+  }
+  double shared_s = Seconds(shared_start);
+
   double lint_fps = static_cast<double>(total_files) / lint_s;
   double absint_fps = static_cast<double>(total_files) / absint_s;
   double combined_fps =
       static_cast<double>(total_files) / (lint_s + absint_s);
+  double shared_fps = static_cast<double>(total_files) / shared_s;
+  double shared_speedup = (lint_s + absint_s) / shared_s;
 
   TextTable table({"pass", "files", "time (s)", "files/sec", "findings"});
   table.AddRow({"lint (L/G rules)", std::to_string(total_files),
@@ -157,8 +106,13 @@ int main() {
   table.AddRow({"combined", std::to_string(total_files),
                 StrFormat("%.3f", lint_s + absint_s),
                 StrFormat("%.0f", combined_fps), "-"});
+  table.AddRow({"combined, shared AST", std::to_string(total_files),
+                StrFormat("%.3f", shared_s), StrFormat("%.0f", shared_fps),
+                std::to_string(shared_findings)});
   table.Print();
   std::printf("export slices recorded: %zu\n", slices);
+  std::printf("shared-AST speedup over separate passes: %.2fx\n",
+              shared_speedup);
 
   Json out = Json::MakeObject();
   out.Set("bench", Json("lint_throughput"));
@@ -170,6 +124,9 @@ int main() {
   out.Set("absint_files_per_sec", Json(absint_fps));
   out.Set("absint_findings", Json(static_cast<int64_t>(absint_findings)));
   out.Set("combined_files_per_sec", Json(combined_fps));
+  out.Set("shared_ast_seconds", Json(shared_s));
+  out.Set("shared_ast_files_per_sec", Json(shared_fps));
+  out.Set("shared_ast_speedup", Json(shared_speedup));
   out.Set("export_slices", Json(static_cast<int64_t>(slices)));
   std::ofstream file("BENCH_lint_throughput.json");
   file << out.DumpPretty() << "\n";

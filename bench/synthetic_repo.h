@@ -1,0 +1,124 @@
+// Shared synthetic repository for static-analysis benchmarks: a 1k-file
+// tree shaped like production config repos — 20 thrift schemas, 180 .cinc
+// module libraries (every tenth chained onto the previous one), and 800
+// .cconf entries importing two modules each (one star, one specific).
+// lint_throughput measures files/sec over it; semdiff_throughput replays
+// scripted commits against it and measures commits/sec.
+
+#ifndef BENCH_SYNTHETIC_REPO_H_
+#define BENCH_SYNTHETIC_REPO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+struct SyntheticRepo {
+  static constexpr int kSchemas = 20;
+  static constexpr int kModules = 180;
+  static constexpr int kEntries = 800;
+
+  InMemorySources sources;
+  std::vector<std::string> paths;  // Analyzable CSL files, in layout order.
+
+  static std::string ModulePath(int m) {
+    return StrFormat("lib/mod%03d.cinc", m);
+  }
+  static std::string EntryPath(int e) {
+    return StrFormat("svc/entry%03d.cconf", e);
+  }
+
+  // Entry e star-imports module e % kModules and specifically imports
+  // BASE_PORT from module (e*7 + 3) % kModules.
+  static std::vector<std::string> EntriesImporting(int m) {
+    std::vector<std::string> out;
+    for (int e = 0; e < kEntries; ++e) {
+      if (e % kModules == m || (e * 7 + 3) % kModules == m) {
+        out.push_back(EntryPath(e));
+      }
+    }
+    return out;
+  }
+
+  // The module source, parameterized so commits can rewrite one module.
+  // `rev` bumps a comment line (a semantic no-op); `port_bump` shifts the
+  // module's base port (a value change that reaches every importer).
+  static std::string ModuleSource(int m, int rev = 0, int port_bump = 0) {
+    int schema = m % kSchemas;
+    bool chained = m > 0 && m % 10 == 0;
+    // Chained modules derive their port from the previous module's, so the
+    // import is used and the repo stays lint-clean.
+    std::string port_expr =
+        chained ? StrFormat("BASE_PORT_%d + 1", m - 1)
+                : StrFormat("%d", 9000 + m + port_bump);
+    std::string source = StrFormat(
+        "import_thrift(\"schemas/svc%02d.thrift\")\n"
+        "BASE_PORT_%d = %s\n"
+        "REGIONS_%d = [\"east\", \"west\", \"central\"]\n"
+        "def make_svc_%d(name, port=BASE_PORT_%d):\n"
+        "    svc = Svc%02d(name=name, port=port)\n"
+        "    svc.tags = [\"module:%d\"]\n"
+        "    for region in REGIONS_%d:\n"
+        "        append(svc.tags, \"region:\" + region)\n"
+        "    return svc\n",
+        schema, m, port_expr.c_str(), m, m, m, schema, m, m);
+    if (chained) {
+      source = StrFormat("import_python(\"lib/mod%03d.cinc\", \"BASE_PORT_%d\")\n",
+                         m - 1, m - 1) +
+               source;
+    }
+    if (rev > 0) {
+      source = StrFormat("# rev %d\n", rev) + source;
+    }
+    return source;
+  }
+
+  static std::string EntrySource(int e) {
+    int m1 = e % kModules;
+    int m2 = (e * 7 + 3) % kModules;
+    return StrFormat("import_python(\"lib/mod%03d.cinc\", \"*\")\n"
+                     "import_python(\"lib/mod%03d.cinc\", \"BASE_PORT_%d\")\n"
+                     "svc = make_svc_%d(name=\"entry%03d\")\n"
+                     "if BASE_PORT_%d > 9000:\n"
+                     "    svc.port = BASE_PORT_%d\n"
+                     "export_if_last(svc)\n",
+                     m1, m2, m2, m1, e, m2, m2);
+  }
+};
+
+// 1k files: 20 schemas, 180 shared modules (each importing a schema; every
+// tenth also importing the previous module, for some two-hop chains without
+// making every entry transitively pull in the whole library), 800 entries
+// importing two modules each.
+inline SyntheticRepo BuildSyntheticRepo() {
+  SyntheticRepo repo;
+
+  for (int s = 0; s < SyntheticRepo::kSchemas; ++s) {
+    repo.sources.Put(
+        StrFormat("schemas/svc%02d.thrift", s),
+        StrFormat("struct Svc%02d {\n"
+                  "  1: required string name;\n"
+                  "  2: optional i32 port = %d;\n"
+                  "  3: optional list<string> tags;\n"
+                  "}\n",
+                  s, 8000 + s));
+  }
+  for (int m = 0; m < SyntheticRepo::kModules; ++m) {
+    std::string path = SyntheticRepo::ModulePath(m);
+    repo.sources.Put(path, SyntheticRepo::ModuleSource(m));
+    repo.paths.push_back(path);
+  }
+  for (int e = 0; e < SyntheticRepo::kEntries; ++e) {
+    std::string path = SyntheticRepo::EntryPath(e);
+    repo.sources.Put(path, SyntheticRepo::EntrySource(e));
+    repo.paths.push_back(path);
+  }
+  return repo;
+}
+
+}  // namespace configerator
+
+#endif  // BENCH_SYNTHETIC_REPO_H_

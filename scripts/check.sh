@@ -7,18 +7,24 @@
 #   scripts/check.sh --fast     # tier-1 only (skip chaos, sanitizers, tidy)
 #   scripts/check.sh --chaos    # tier-1 + the wide DST chaos sweep only
 #   scripts/check.sh --tsan     # tier-1 + the TSan concurrency battery only
+#   scripts/check.sh --semdiff  # semantic-diff smoke only: the 20-commit
+#                               # scripted sequence, the 500-commit
+#                               # differential battery, and a throughput run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 CHAOS_ONLY=0
 TSAN_ONLY=0
+SEMDIFF_ONLY=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--chaos" ]]; then
   CHAOS_ONLY=1
 elif [[ "${1:-}" == "--tsan" ]]; then
   TSAN_ONLY=1
+elif [[ "${1:-}" == "--semdiff" ]]; then
+  SEMDIFF_ONLY=1
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -43,6 +49,16 @@ run_tsan() {
 echo "==> tier-1: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
+
+if [[ "$SEMDIFF_ONLY" == "1" ]]; then
+  echo "==> semdiff: scripted 20-commit sequence + 500-commit differential battery"
+  ctest --test-dir build --output-on-failure -R \
+    '^(semdiff_test|semdiff_differential_test)$'
+  echo "==> semdiff: throughput smoke (writes BENCH_semdiff.json)"
+  (cd build/bench && ./semdiff_throughput >/dev/null)
+  echo "==> done (semdiff mode: full tier-1, chaos, sanitizers and clang-tidy skipped)"
+  exit 0
+fi
 
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure

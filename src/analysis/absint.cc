@@ -269,7 +269,8 @@ namespace {
 
 class Analyzer {
  public:
-  explicit Analyzer(const FileReader& reader) : reader_(reader) {}
+  Analyzer(const FileReader& reader, AstCache* ast_cache)
+      : reader_(reader), ast_cache_(ast_cache) {}
 
   // A module's globals map can hold a function whose env shared_ptr points
   // back at that same map; clear the maps to break the cycles.
@@ -336,6 +337,8 @@ class Analyzer {
   std::optional<bool> TruthyWithHeap(const AbstractValue& v) const;
 
   // -- cross-module --
+  Result<std::shared_ptr<Module>> ParseSource(const std::string& content,
+                                              const std::string& path);
   void HandleImport(const Expr& expr, Ctx& ctx);
   std::shared_ptr<Bindings> AnalyzeModule(const std::string& path);
   void LoadSchema(const std::string& path);
@@ -348,8 +351,14 @@ class Analyzer {
   AbstractValue MergeDicts(const AbstractValue& a, const AbstractValue& b);
   void CollectOrigins(const AbstractValue& v, std::set<HeapId>& seen,
                       OriginSet& out) const;
+  // Canonical render of an abstract value for cross-version comparison.
+  // Sets *precise to false unless the render pins down one concrete value.
+  std::string RenderAbstract(const AbstractValue& v, std::set<HeapId>& seen,
+                             bool* precise) const;
+  SymbolSummary Summarize(const AbstractValue& v) const;
 
   const FileReader& reader_;
+  AstCache* ast_cache_;
   SchemaRegistry registry_;
   ValidatorBounds validator_bounds_;
   AbstractHeap heap_;
@@ -365,6 +374,9 @@ class Analyzer {
   std::string entry_path_;
   bool slice_sound_ = true;
   int merge_depth_ = 0;
+  // (file, line) -> truth values observed for a non-literal `if` condition.
+  // One value across every abstract visit = statically decided (G008).
+  std::map<std::pair<std::string, int>, std::set<bool>> branch_truths_;
 };
 
 Analyzer::StateSnapshot Analyzer::Snapshot(const Ctx& ctx) const {
@@ -496,6 +508,20 @@ bool Analyzer::ExecStmt(const Stmt& stmt, Ctx& ctx) {
     }
     case Stmt::Kind::kIf: {
       AbstractValue cond = Eval(*stmt.target, ctx);
+      if (stmt.target->kind != Expr::Kind::kLiteral) {
+        // Track decided truth values per site. Literal conditions are L009's
+        // finding; this catches the cross-module case (`if ENABLE_X:` where
+        // the flag is a constant in another file).
+        std::optional<bool> known = TruthyWithHeap(cond);
+        auto& truths = branch_truths_[{ctx.file, stmt.target->line}];
+        if (known.has_value()) {
+          truths.insert(*known);
+        } else {
+          // Undecided on this visit: the site is not statically dead.
+          truths.insert(true);
+          truths.insert(false);
+        }
+      }
       // Deliberately do NOT fold constant conditions here. Config programs
       // are mostly constants: `if ENABLE_X:` with today's flag value False
       // is exactly the latent branch evaluation (and canary) never reaches,
@@ -1434,6 +1460,12 @@ AbstractValue Analyzer::MergeDicts(const AbstractValue& a,
 
 // -- cross-module: imports, schemas, validators --
 
+Result<std::shared_ptr<Module>> Analyzer::ParseSource(
+    const std::string& content, const std::string& path) {
+  return ast_cache_ != nullptr ? ast_cache_->GetOrParse(path, content)
+                               : ParseCsl(content, path);
+}
+
 void Analyzer::HandleImport(const Expr& expr, Ctx& ctx) {
   // Evaluate the arguments like the interpreter would (records reads made
   // while computing a dynamic path, even though we then give up on it).
@@ -1487,7 +1519,7 @@ std::shared_ptr<Bindings> Analyzer::AnalyzeModule(const std::string& path) {
     visiting_.erase(path);
     return nullptr;
   }
-  auto module = ParseCsl(*source, path);
+  auto module = ParseSource(*source, path);
   if (!module.ok()) {
     visiting_.erase(path);
     return nullptr;
@@ -1609,7 +1641,7 @@ void MineCondition(const Expr& cond, const std::string& param,
 
 void Analyzer::MineValidatorBounds(const std::string& validator_path,
                                    const std::string& source) {
-  auto module = ParseCsl(source, validator_path);
+  auto module = ParseSource(source, validator_path);
   if (!module.ok()) {
     return;
   }
@@ -1679,11 +1711,127 @@ void Analyzer::CollectOrigins(const AbstractValue& v, std::set<HeapId>& seen,
   }
 }
 
+std::string Analyzer::RenderAbstract(const AbstractValue& v,
+                                     std::set<HeapId>& seen,
+                                     bool* precise) const {
+  if (v.any) {
+    *precise = false;
+    return "?";
+  }
+  if (v.kinds == 0) {
+    *precise = false;
+    return "<unreachable>";
+  }
+  if (v.constant.has_value()) {
+    return v.constant->ToDebugString();
+  }
+  if (v.only(kAbsNull)) {
+    return "None";
+  }
+  if (v.only(kAbsFunction)) {
+    // Identity-comparable only via the surface fingerprint, never the
+    // summary; render enough to be stable, but never "precise".
+    *precise = false;
+    if (v.function != nullptr && !v.function->builtin.empty()) {
+      return "builtin:" + v.function->builtin;
+    }
+    if (v.function != nullptr && !v.function->struct_ctor.empty()) {
+      return "ctor:" + v.function->struct_ctor;
+    }
+    if (v.function != nullptr && v.function->def != nullptr) {
+      return "fn:" + v.function->def->name;
+    }
+    return "fn:?";
+  }
+  if (v.object != kNoHeapId && v.only(kAbsDict | kAbsList)) {
+    if (!seen.insert(v.object).second) {
+      *precise = false;  // Cyclic structure.
+      return "<cycle>";
+    }
+    const AbstractObject* obj = heap_.Get(v.object);
+    if (obj == nullptr) {
+      *precise = false;
+      return "?";
+    }
+    if (obj->is_list) {
+      // Element joins lose order and multiplicity: never precise.
+      *precise = false;
+      std::string out = "[";
+      out += RenderAbstract(obj->element, seen, precise);
+      out += obj->definitely_nonempty ? " x1+]" : " x0+]";
+      return out;
+    }
+    std::string out = "{";
+    if (!obj->struct_names.empty()) {
+      for (const std::string& name : obj->struct_names) {
+        out += name + "|";
+      }
+    }
+    if (obj->struct_names.size() > 1) {
+      *precise = false;  // Branch-dependent type tag.
+    }
+    for (const auto& [name, field] : obj->fields) {
+      out += name;
+      if (field.maybe_absent) {
+        out += "?";
+        *precise = false;
+      }
+      out += "=";
+      out += RenderAbstract(field.value, seen, precise);
+      out += ",";
+    }
+    if (!obj->fields_known) {
+      out += "...";
+      *precise = false;
+    }
+    out += "}";
+    return out;
+  }
+  // A kind set without a known constant: real information (the type rules
+  // use it), but many concrete values satisfy it.
+  *precise = false;
+  std::string out = v.Describe();
+  if (v.only(kAbsInt) && (v.int_min.has_value() || v.int_max.has_value())) {
+    out += "[";
+    out += v.int_min.has_value() ? std::to_string(*v.int_min) : "";
+    out += "..";
+    out += v.int_max.has_value() ? std::to_string(*v.int_max) : "";
+    out += "]";
+  }
+  return out;
+}
+
+SymbolSummary Analyzer::Summarize(const AbstractValue& v) const {
+  SymbolSummary s;
+  s.kinds = v.kinds;
+  s.any = v.any;
+  s.precise = true;
+  std::set<HeapId> render_seen;
+  s.digest = RenderAbstract(v, render_seen, &s.precise);
+  constexpr size_t kBriefCap = 64;
+  s.brief = s.digest.size() <= kBriefCap
+                ? s.digest
+                : s.digest.substr(0, kBriefCap - 3) + "...";
+  if (v.object != kNoHeapId) {
+    const AbstractObject* obj = heap_.Get(v.object);
+    if (obj != nullptr && obj->struct_names.size() == 1) {
+      s.type_name = *obj->struct_names.begin();
+    }
+  }
+  OriginSet origins;
+  std::set<HeapId> seen;
+  CollectOrigins(v, seen, origins);
+  for (const auto& [module_path, symbol] : origins) {
+    s.deps[module_path].insert(symbol);
+  }
+  return s;
+}
+
 AbsintResult Analyzer::Run(const std::string& path,
                            const std::string& content) {
   AbsintResult result;
   entry_path_ = path;
-  auto module = ParseCsl(content, path);
+  auto module = ParseSource(content, path);
   if (!module.ok()) {
     result.slice_sound = false;
     return result;  // analyzed = false: the compiler reports parse errors.
@@ -1722,23 +1870,35 @@ AbsintResult Analyzer::Run(const std::string& path,
     OriginSet origins;
     std::set<HeapId> seen;
     CollectOrigins(rec.value, seen, origins);
+    for (const auto& [module_path, symbol] : rec.control_origins) {
+      if (origins.count({module_path, symbol}) == 0) {
+        slice.control_by_module[module_path].insert(symbol);
+      }
+    }
     origins.insert(rec.control_origins.begin(), rec.control_origins.end());
     for (const auto& [module_path, symbol] : origins) {
       slice.symbols_by_module[module_path].insert(symbol);
     }
+    SymbolSummary value_summary = Summarize(rec.value);
+    slice.value_digest = std::move(value_summary.digest);
+    slice.value_brief = std::move(value_summary.brief);
+    slice.value_precise = value_summary.precise;
     result.exports.push_back(std::move(slice));
   }
 
-  std::stable_sort(diags_.begin(), diags_.end(),
-                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
-                     if (a.file != b.file) {
-                       return a.file < b.file;
-                     }
-                     if (a.line != b.line) {
-                       return a.line < b.line;
-                     }
-                     return a.rule_id < b.rule_id;
-                   });
+  // The provenance graph's nodes: every surviving top-level binding.
+  for (const auto& [name, value] : *globals) {
+    result.symbol_summaries.emplace(name, Summarize(value));
+  }
+
+  for (const auto& [site, truths] : branch_truths_) {
+    if (truths.size() == 1) {
+      result.decided_branches.push_back(
+          DecidedBranch{site.first, site.second, *truths.begin()});
+    }
+  }
+
+  SortDiagnostics(&diags_);
   result.diagnostics = std::move(diags_);
   result.used_symbols = std::move(reads_);
   result.slice_sound = slice_sound_;
@@ -1757,7 +1917,7 @@ AbsintResult AbstractInterpreter::Analyze(const std::string& path,
   if (!path.ends_with(".cconf") && !path.ends_with(".cinc")) {
     return AbsintResult{};  // Not CSL; nothing to analyze.
   }
-  Analyzer analyzer(reader_);
+  Analyzer analyzer(reader_, ast_cache_);
   return analyzer.Run(path, content);
 }
 
@@ -2000,10 +2160,68 @@ bool ContainsImportStmt(const Stmt& stmt) {
 
 }  // namespace
 
+namespace {
+
+void MaxExprLine(const Expr& expr, int* line);
+void MaxStmtLine(const Stmt& stmt, int* line);
+
+void MaxExprLine(const Expr& expr, int* line) {
+  *line = std::max(*line, expr.line);
+  for (const ExprPtr& item : expr.items) {
+    MaxExprLine(*item, line);
+  }
+  for (const auto& [key, value] : expr.pairs) {
+    MaxExprLine(*key, line);
+    MaxExprLine(*value, line);
+  }
+  for (const auto& [kw, value] : expr.kwargs) {
+    MaxExprLine(*value, line);
+  }
+  if (expr.lhs != nullptr) {
+    MaxExprLine(*expr.lhs, line);
+  }
+  if (expr.rhs != nullptr) {
+    MaxExprLine(*expr.rhs, line);
+  }
+  if (expr.third != nullptr) {
+    MaxExprLine(*expr.third, line);
+  }
+}
+
+void MaxStmtLine(const Stmt& stmt, int* line) {
+  *line = std::max(*line, stmt.line);
+  if (stmt.target != nullptr) {
+    MaxExprLine(*stmt.target, line);
+  }
+  if (stmt.value != nullptr) {
+    MaxExprLine(*stmt.value, line);
+  }
+  for (const StmtPtr& s : stmt.body) {
+    MaxStmtLine(*s, line);
+  }
+  for (const StmtPtr& s : stmt.orelse) {
+    MaxStmtLine(*s, line);
+  }
+  if (stmt.def != nullptr) {
+    for (const ExprPtr& d : stmt.def->defaults) {
+      if (d != nullptr) {
+        MaxExprLine(*d, line);
+      }
+    }
+    for (const StmtPtr& s : stmt.def->body) {
+      MaxStmtLine(*s, line);
+    }
+  }
+}
+
+}  // namespace
+
 ModuleSymbolSurface ComputeSymbolSurface(const std::string& path,
-                                         const std::string& content) {
+                                         const std::string& content,
+                                         AstCache* ast_cache) {
   ModuleSymbolSurface surface;
-  auto module = ParseCsl(content, path);
+  auto module = ast_cache != nullptr ? ast_cache->GetOrParse(path, content)
+                                     : ParseCsl(content, path);
   if (!module.ok()) {
     return surface;  // analyzable = false.
   }
@@ -2028,9 +2246,12 @@ ModuleSymbolSurface ComputeSymbolSurface(const std::string& path,
     }
     std::set<std::string> read_names;
     CollectStmtNames(*stmt, &read_names);
+    int last_line = stmt->line;
+    MaxStmtLine(*stmt, &last_line);
     for (const std::string& name : defined) {
       surface.fingerprints[name] += dump;
       surface.reads[name].insert(read_names.begin(), read_names.end());
+      surface.def_lines[name].push_back({stmt->line, last_line});
     }
   }
   return surface;

@@ -36,6 +36,7 @@
 
 #include "src/analysis/diagnostic.h"
 #include "src/analysis/lint.h"
+#include "src/lang/ast_cache.h"
 #include "src/lang/compiler.h"
 
 namespace configerator {
@@ -148,7 +149,42 @@ struct ExportSlice {
   std::string path;       // Output path, e.g. "feed/cache_job.json".
   std::string type_name;  // Schema struct, "" for untyped exports.
   int line = 0;
+  // Union of data and control dependence (the sound invalidation set).
   std::map<std::string, std::set<std::string>> symbols_by_module;
+  // Control dependence alone: symbols that only *guard* which value is
+  // exported, never flow into it. SemanticDiffer uses the split to tell a
+  // control-shift from a value-delta.
+  std::map<std::string, std::set<std::string>> control_by_module;
+  // Deterministic render of the exported abstract value (see SymbolSummary).
+  std::string value_digest;
+  std::string value_brief;
+  bool value_precise = false;
+};
+
+// Deterministic abstract summary of one top-level binding, comparable across
+// two versions of a file. `digest` is a canonical render of the abstract
+// value — byte-equal digests mean the analyzer proved the same facts.
+// `precise` means the digest pins down exactly one concrete value (constant
+// scalars, fully-known struct literals), so equal precise digests prove the
+// runtime values equal: that is SemanticDiffer's no-op certificate.
+struct SymbolSummary {
+  uint32_t kinds = kAbsAnyMask;
+  bool any = true;
+  bool precise = false;
+  std::string digest;     // Full canonical render.
+  std::string brief;      // Truncated render for reports and canary scopes.
+  std::string type_name;  // Schema struct tag when exactly one is possible.
+  // (module -> symbols) this binding's value was derived from.
+  std::map<std::string, std::set<std::string>> deps;
+};
+
+// A non-literal branch condition the interpreter statically decided: the
+// same truth value on every abstract path (cross-module constant flow). The
+// guarded arm is unreachable under every schema-valid context — G008.
+struct DecidedBranch {
+  std::string file;
+  int line = 0;
+  bool value = false;  // The condition's decided truth value.
 };
 
 struct AbsintResult {
@@ -168,6 +204,13 @@ struct AbsintResult {
   // names, so additions must invalidate). This is the sound pruning set the
   // DependencyService consumes.
   std::map<std::string, std::set<std::string>> used_symbols;
+  // Abstract summary of every top-level binding after the module body ran
+  // (the provenance graph's nodes; keyed by symbol name).
+  std::map<std::string, SymbolSummary> symbol_summaries;
+  // Non-literal conditions decided to one truth value on every path (G008
+  // material). Sorted by (file, line); sites observed under both truth
+  // values (e.g. a helper called with different constants) are dropped.
+  std::vector<DecidedBranch> decided_branches;
 };
 
 // ---- Schema checking (type_rules.cc) ----------------------------------------
@@ -207,8 +250,14 @@ class AbstractInterpreter {
   // The T-rule table (docs, --explain).
   static const std::vector<LintRuleInfo>& TypeRules();
 
+  // Optional shared parse cache (see ConfigLint::set_ast_cache): one parse
+  // per file across lint + absint + semdiff passes over the same closure.
+  // Must outlive this interpreter; may be null.
+  void set_ast_cache(AstCache* cache) { ast_cache_ = cache; }
+
  private:
   FileReader reader_;
+  AstCache* ast_cache_ = nullptr;
 };
 
 // ---- Symbol diffing (Sandcastle's refined edges) ----------------------------
@@ -222,10 +271,14 @@ struct ModuleSymbolSurface {
   std::map<std::string, std::string> fingerprints;   // symbol -> digest.
   std::map<std::string, std::set<std::string>> reads;  // symbol -> names read.
   std::string side_effects;  // Digest of non-binding top-level statements.
+  // Source line ranges [first, last] of each symbol's defining statements —
+  // lets diff hunks be attributed to the symbols they touch.
+  std::map<std::string, std::vector<std::pair<int, int>>> def_lines;
 };
 
 ModuleSymbolSurface ComputeSymbolSurface(const std::string& path,
-                                         const std::string& content);
+                                         const std::string& content,
+                                         AstCache* ast_cache = nullptr);
 
 // Which top-level symbols changed between two versions of a module. Includes
 // the intra-module closure (dependents of changed symbols) and the "*"

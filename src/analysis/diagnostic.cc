@@ -1,5 +1,7 @@
 #include "src/analysis/diagnostic.h"
 
+#include <algorithm>
+
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -18,6 +20,9 @@ std::string LintDiagnostic::Format() const {
   std::string out = file;
   if (line > 0) {
     out += ":" + std::to_string(line);
+    if (column > 0) {
+      out += ":" + std::to_string(column);
+    }
   }
   out += ": ";
   out += LintSeverityName(severity);
@@ -26,6 +31,29 @@ std::string LintDiagnostic::Format() const {
     out += " (fix: " + suggestion + ")";
   }
   return out;
+}
+
+bool LintDiagnosticOrder(const LintDiagnostic& a, const LintDiagnostic& b) {
+  if (a.file != b.file) {
+    return a.file < b.file;
+  }
+  if (a.line != b.line) {
+    return a.line < b.line;
+  }
+  if (a.column != b.column) {
+    return a.column < b.column;
+  }
+  if (a.rule_id != b.rule_id) {
+    return a.rule_id < b.rule_id;
+  }
+  if (a.message != b.message) {
+    return a.message < b.message;
+  }
+  return a.suggestion < b.suggestion;
+}
+
+void SortDiagnostics(std::vector<LintDiagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(), LintDiagnosticOrder);
 }
 
 size_t CountLintErrors(const std::vector<LintDiagnostic>& diags) {

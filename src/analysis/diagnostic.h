@@ -24,12 +24,24 @@ struct LintDiagnostic {
   LintSeverity severity = LintSeverity::kWarning;
   std::string file;
   int line = 0;          // 1-based; 0 = whole file (JSON configs).
+  int column = 0;        // 1-based; 0 = line granularity (most rules).
   std::string message;
   std::string suggestion;  // Optional suggested fix; may be empty.
 
-  // "file:line: severity [rule] message (fix: suggestion)".
+  // "file:line: severity [rule] message (fix: suggestion)"; the column is
+  // included ("file:line:col") only when one was recorded.
   std::string Format() const;
 };
+
+// The canonical diagnostic ordering: file, line, column, rule id, message,
+// suggestion. Total over distinct findings, so any producer sorting with it
+// emits byte-stable output — Sandcastle reports and semantic-diff findings
+// can be diffed textually across runs.
+bool LintDiagnosticOrder(const LintDiagnostic& a, const LintDiagnostic& b);
+
+// Sorts with LintDiagnosticOrder (stable, so fully-equal findings keep
+// their emission order).
+void SortDiagnostics(std::vector<LintDiagnostic>* diags);
 
 // Counts error-severity findings in `diags`.
 size_t CountLintErrors(const std::vector<LintDiagnostic>& diags);

@@ -95,8 +95,9 @@ void CollectAssignedNames(const std::vector<StmtPtr>& body,
 class LangAnalyzer {
  public:
   LangAnalyzer(const Module& module, const FileReader& reader,
-               std::vector<LintDiagnostic>* diags)
-      : module_(module), reader_(reader), diags_(diags) {}
+               std::vector<LintDiagnostic>* diags, AstCache* ast_cache)
+      : module_(module), reader_(reader), diags_(diags),
+        ast_cache_(ast_cache) {}
 
   void Run() {
     // Pre-scan the module surface so forward references can be classified as
@@ -190,7 +191,9 @@ class LangAnalyzer {
     auto source = ReadSource(path);
     std::shared_ptr<Module> module;
     if (source.ok()) {
-      auto parsed = ParseCsl(*source, path);
+      auto parsed = ast_cache_ != nullptr
+                        ? ast_cache_->GetOrParse(path, *source)
+                        : ParseCsl(*source, path);
       if (parsed.ok()) {
         module = *parsed;
       }
@@ -777,13 +780,15 @@ class LangAnalyzer {
   std::set<std::string> visiting_;
   bool unresolved_star_import_ = false;
   bool unresolved_schema_import_ = false;
+  AstCache* ast_cache_;
 };
 
 }  // namespace
 
 void RunLanguageRules(const Module& module, const FileReader& reader,
-                      std::vector<LintDiagnostic>* diags) {
-  LangAnalyzer(module, reader, diags).Run();
+                      std::vector<LintDiagnostic>* diags,
+                      AstCache* ast_cache) {
+  LangAnalyzer(module, reader, diags, ast_cache).Run();
 }
 
 }  // namespace analysis

@@ -24,7 +24,9 @@ std::vector<LintDiagnostic> ConfigLint::LintFile(
 std::vector<LintDiagnostic> ConfigLint::LintSource(
     const std::string& path, const std::string& content) const {
   std::vector<LintDiagnostic> diags;
-  auto module = ParseCsl(content, path, &diags);
+  auto module = ast_cache_ != nullptr
+                    ? ast_cache_->GetOrParse(path, content, &diags)
+                    : ParseCsl(content, path, &diags);
   if (!module.ok()) {
     // The compiler rejects the file with the full parse error; lint only
     // records that analysis could not run.
@@ -36,11 +38,8 @@ std::vector<LintDiagnostic> ConfigLint::LintSource(
     diags.push_back(std::move(diag));
     return diags;
   }
-  analysis::RunLanguageRules(**module, reader_, &diags);
-  std::stable_sort(diags.begin(), diags.end(),
-                   [](const LintDiagnostic& a, const LintDiagnostic& b) {
-                     return a.line < b.line;
-                   });
+  analysis::RunLanguageRules(**module, reader_, &diags, ast_cache_);
+  SortDiagnostics(&diags);
   return diags;
 }
 
@@ -90,6 +89,17 @@ const std::vector<LintRuleInfo>& ConfigLint::Rules() {
        "identical restraint repeated inside one conjunction"},
       {"G006", "vacuous-bucket", LintSeverity::kWarning,
        "id_mod/hash_range bucket spans all users and filters nothing"},
+      {"G007", "dead-export", LintSeverity::kWarning,
+       "module symbol has no consumer anywhere in the repository"},
+      {"G008", "unreachable-branch", LintSeverity::kWarning,
+       "branch condition is statically decided under every schema-valid "
+       "context (via cross-module constant flow)"},
+      {"G009", "stale-restraint-reference", LintSeverity::kError,
+       "a Gatekeeper project in the analyzed closure references a restraint "
+       "type no longer in the RestraintRegistry"},
+      {"G010", "shadowed-import", LintSeverity::kError,
+       "a later import silently rebinds a name an earlier import already "
+       "bound (star-import surface growth hazard)"},
   };
   return *rules;
 }

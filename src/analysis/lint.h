@@ -33,6 +33,12 @@
 // | G004 unknown-restraint-type | error | type absent from the RestraintRegistry |
 // | G005 duplicate-restraint | warning | identical restraint repeated in one rule |
 // | G006 vacuous-bucket      | warning | id_mod/hash_range spans every user |
+//
+// The semantic-diff / provenance layer (src/analysis/semdiff.h,
+// src/analysis/provenance.h) adds graph-driven rules G007..G010: dead
+// export, unreachable branch, stale restraint reference in the closure, and
+// shadowed import. They are listed in Rules() for docs/--explain but emitted
+// by ProvenanceGraph / SemanticDiffer, not by LintFile.
 
 #ifndef SRC_ANALYSIS_LINT_H_
 #define SRC_ANALYSIS_LINT_H_
@@ -42,6 +48,7 @@
 
 #include "src/analysis/diagnostic.h"
 #include "src/gatekeeper/restraint.h"
+#include "src/lang/ast_cache.h"
 #include "src/lang/compiler.h"
 
 namespace configerator {
@@ -81,9 +88,16 @@ class ConfigLint {
   // The full rule table, for documentation and tooling.
   static const std::vector<LintRuleInfo>& Rules();
 
+  // Optional shared parse cache: when several passes (lint, absint, semdiff)
+  // analyze the same closure, scoping one AstCache across them parses each
+  // file once instead of once per pass. Must outlive this linter; may be
+  // null (the default) for standalone use.
+  void set_ast_cache(AstCache* cache) { ast_cache_ = cache; }
+
  private:
   FileReader reader_;
   const RestraintRegistry* registry_;
+  AstCache* ast_cache_ = nullptr;
 };
 
 }  // namespace configerator

@@ -10,15 +10,18 @@
 #include "src/analysis/diagnostic.h"
 #include "src/gatekeeper/restraint.h"
 #include "src/lang/ast.h"
+#include "src/lang/ast_cache.h"
 #include "src/lang/compiler.h"
 
 namespace configerator {
 namespace analysis {
 
 // Language rules (L001..L009) over a parsed module. `reader` resolves
-// import_python / import_thrift targets; may be null.
+// import_python / import_thrift targets; may be null. `ast_cache` (optional)
+// memoizes parses of imported modules across passes.
 void RunLanguageRules(const Module& module, const FileReader& reader,
-                      std::vector<LintDiagnostic>* diags);
+                      std::vector<LintDiagnostic>* diags,
+                      AstCache* ast_cache = nullptr);
 
 // Gating rules (G001..G006) over a parsed Gatekeeper project JSON.
 void RunGatingRules(const std::string& path, const Json& config,

@@ -213,12 +213,17 @@ std::string CanaryScope::Describe() const {
   for (const auto& [path, names] : changed_symbols) {
     symbols += names.size();
   }
-  return StrFormat("%zu affected entr%s, %zu changed symbol(s) in %zu "
-                   "file(s)%s",
-                   affected_entries.size(),
-                   affected_entries.size() == 1 ? "y" : "ies", symbols,
-                   changed_symbols.size(),
-                   symbol_pruned ? " (symbol-pruned)" : " (file-level)");
+  std::string out =
+      StrFormat("%zu affected entr%s, %zu changed symbol(s) in %zu "
+                "file(s)%s",
+                affected_entries.size(),
+                affected_entries.size() == 1 ? "y" : "ies", symbols,
+                changed_symbols.size(),
+                symbol_pruned ? " (symbol-pruned)" : " (file-level)");
+  for (const auto& [symbol, delta] : value_deltas) {
+    out += "; " + symbol + ": " + delta;
+  }
+  return out;
 }
 
 void CanaryService::RunTest(const CanarySpec& spec, const CanaryScope& scope,

@@ -72,6 +72,11 @@ struct CanaryScope {
   // True when the entry list is a sound upper bound (every slice was sound);
   // false means some dependency edges were file-level over-approximations.
   bool symbol_pruned = false;
+  // Semantic diff annotations: "file:symbol" -> "old -> new" abstract value
+  // bounds for the symbols the change moves (value-delta and control-shift
+  // impacts). The operator sees *what interval the value crosses* while the
+  // canary holds, not just which files changed.
+  std::map<std::string, std::string> value_deltas;
 
   // One-line rendering for logs and review notes.
   std::string Describe() const;

@@ -19,6 +19,17 @@ CanaryScope PendingChange::Scope() const {
       scope.symbol_pruned = false;
     }
   }
+  // Annotate the rollout with the abstract old -> new bounds the semantic
+  // diff computed for every moved symbol.
+  for (const SymbolImpact& impact : ci_report.semantic_impacts) {
+    if (impact.kind == ImpactKind::kNoOp ||
+        (impact.old_value.empty() && impact.new_value.empty())) {
+      continue;
+    }
+    scope.value_deltas[impact.file + ":" + impact.symbol] =
+        (impact.old_value.empty() ? "<absent>" : impact.old_value) + " -> " +
+        (impact.new_value.empty() ? "<absent>" : impact.new_value);
+  }
   return scope;
 }
 
@@ -144,10 +155,12 @@ Result<PendingChange> ConfigManagementStack::ProposeChange(
   // file actually modifies. Refines risk fan-in and the canary scope.
   change.changed_symbols = DiffChangedSymbols(repo_, source_diff);
 
-  // Advisory risk assessment from history (flagging, not blocking).
+  // Advisory risk assessment from history (flagging, not blocking). The
+  // semantic classification — when CI ran — weights fan-in by severity.
   if (risk_advisor_.IndexHistory(repo_).ok()) {
-    change.risk =
-        risk_advisor_.Assess(change.diff, &deps_, &change.changed_symbols);
+    change.risk = risk_advisor_.Assess(
+        change.diff, &deps_, &change.changed_symbols,
+        options_.run_ci ? &change.ci_report.semantic_impacts : nullptr);
   }
 
   if (options_.require_review) {
@@ -220,9 +233,17 @@ void ConfigManagementStack::TestAndLand(
     PendingChange change, const CanarySpec& spec, ServiceModel* model,
     std::function<void(Result<ObjectId>)> done) {
   auto change_ptr = std::make_shared<PendingChange>(std::move(change));
+  // Certified no-op landings (comment/reformat-only) take the fast-path
+  // canary: the 20-server phase alone, skipping the cluster-sized hold — no
+  // value moves, so there is nothing for load to expose.
+  CanarySpec effective_spec =
+      change_ptr->ci_report.provably_noop ? CanarySpec::SmallOnly() : spec;
+  if (change_ptr->ci_report.provably_noop) {
+    CLOG(Info) << "canary: provably no-op change, fast-path spec";
+  }
   TraceContext canary_span = obs_.tracer.StartSpan(
       change_ptr->trace, "canary", "canary-service", sim_.now());
-  canary_->RunTest(spec, change_ptr->Scope(), model,
+  canary_->RunTest(effective_spec, change_ptr->Scope(), model,
                    [this, change_ptr, canary_span,
                     done = std::move(done)](Status verdict) {
                      obs_.tracer.EndSpan(canary_span, sim_.now());

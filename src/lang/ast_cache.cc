@@ -1,0 +1,42 @@
+#include "src/lang/ast_cache.h"
+
+namespace configerator {
+
+Result<std::shared_ptr<Module>> AstCache::GetOrParse(
+    const std::string& path, const std::string& content,
+    std::vector<LintDiagnostic>* lint_diags) {
+  auto it = entries_.find(path);
+  if (it != entries_.end() && it->second.content == content) {
+    ++hits_;
+    const Entry& entry = it->second;
+    if (lint_diags != nullptr) {
+      lint_diags->insert(lint_diags->end(), entry.parse_diags.begin(),
+                         entry.parse_diags.end());
+    }
+    if (entry.module == nullptr) {
+      return entry.error;
+    }
+    return entry.module;
+  }
+
+  ++misses_;
+  Entry entry;
+  entry.content = content;
+  auto parsed = ParseCsl(content, path, &entry.parse_diags);
+  if (parsed.ok()) {
+    entry.module = *parsed;
+  } else {
+    entry.error = parsed.status();
+  }
+  if (lint_diags != nullptr) {
+    lint_diags->insert(lint_diags->end(), entry.parse_diags.begin(),
+                       entry.parse_diags.end());
+  }
+  entries_[path] = std::move(entry);
+  if (entries_[path].module == nullptr) {
+    return entries_[path].error;
+  }
+  return entries_[path].module;
+}
+
+}  // namespace configerator

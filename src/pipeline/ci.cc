@@ -62,6 +62,19 @@ std::string CiReport::Summary() const {
   if (closure_truncated) {
     out += " (closure truncated)";
   }
+  if (!semantic_impacts.empty()) {
+    size_t counts[4] = {0, 0, 0, 0};
+    for (const SymbolImpact& impact : semantic_impacts) {
+      ++counts[impact.severity()];
+    }
+    out += StrFormat(
+        "; semdiff: %zu no-op, %zu value-delta, %zu control-shift, %zu "
+        "type-change",
+        counts[0], counts[1], counts[2], counts[3]);
+  }
+  if (provably_noop) {
+    out += " (provably no-op: closure re-analysis skipped)";
+  }
   if (!lint_findings.empty()) {
     out += StrFormat("; lint: %zu error(s), %zu warning(s)", lint_errors(),
                      lint_warnings());
@@ -150,7 +163,33 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
   // Error-severity findings block the diff just like a failing compile;
   // warnings are advisory unless strict lint is on.
   report.lint_findings = RunLint(diff);
-  ReanalyzeClosure(diff, &report);
+
+  // Semantic diff: classify every impacted symbol (head tree vs overlay)
+  // and attach the classification to the landing. The differ's gating
+  // findings (G007–G010) ride the same lint stream and can block.
+  std::set<std::string> closure = PrunedClosure(diff, &report);
+  const Repository* repo = repo_;
+  FileReader head_reader = [repo](const std::string& path) {
+    return repo->ReadFile(path);
+  };
+  SemanticDiffer differ(head_reader, OverlayReader(diff));
+  SemanticDiffReport semdiff = differ.Classify(
+      changed, std::vector<std::string>(closure.begin(), closure.end()));
+  report.semantic_impacts = semdiff.impacts;
+  report.provably_noop = semdiff.provably_noop;
+  report.lint_findings.insert(report.lint_findings.end(),
+                              semdiff.findings.begin(),
+                              semdiff.findings.end());
+
+  if (report.provably_noop) {
+    // Certified no-op (comment/reformat-only): the reverse closure cannot
+    // observe it, so skip re-analyzing it.
+    CLOG(Info) << "Sandcastle: diff is provably no-op; skipping reverse-"
+               << "closure re-analysis of " << closure.size()
+               << " dependent(s)";
+  } else {
+    ReanalyzeClosure(diff, closure, &report);
+  }
   if (report.lint_errors() > 0 ||
       (strict_lint_ && !report.lint_findings.empty())) {
     report.passed = false;
@@ -159,7 +198,7 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
 }
 
 std::map<std::string, std::optional<std::set<std::string>>> DiffChangedSymbols(
-    const Repository& repo, const ProposedDiff& diff) {
+    const Repository& repo, const ProposedDiff& diff, AstCache* ast_cache) {
   std::map<std::string, std::optional<std::set<std::string>>> changed;
   for (const FileWrite& write : diff.writes) {
     const std::string& path = write.path;
@@ -171,19 +210,15 @@ std::map<std::string, std::optional<std::set<std::string>>> DiffChangedSymbols(
       changed[path] = std::nullopt;  // Added or deleted: file-level.
       continue;
     }
-    changed[path] = ChangedSymbols(ComputeSymbolSurface(path, *head),
-                                   ComputeSymbolSurface(path, *write.content));
+    changed[path] =
+        ChangedSymbols(ComputeSymbolSurface(path, *head),
+                       ComputeSymbolSurface(path, *write.content, ast_cache));
   }
   return changed;
 }
 
-void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
-                                  CiReport* report) const {
-  std::set<std::string> touched;
-  for (const FileWrite& write : diff.writes) {
-    touched.insert(write.path);
-  }
-
+std::set<std::string> Sandcastle::PrunedClosure(const ProposedDiff& diff,
+                                                CiReport* report) const {
   // The file-level reverse closure, then the symbol-pruned one. The
   // difference is the pruning win: dependents whose slice proves the edit
   // can't reach them.
@@ -207,10 +242,30 @@ void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
     }
   }
   report->pruned_dependents = file_level.size() - closure.size();
+  return closure;
+}
+
+void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
+                                  CiReport* report) const {
+  ReanalyzeClosure(diff, PrunedClosure(diff, report), report);
+}
+
+void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
+                                  const std::set<std::string>& closure,
+                                  CiReport* report) const {
+  std::set<std::string> touched;
+  for (const FileWrite& write : diff.writes) {
+    touched.insert(write.path);
+  }
 
   FileReader overlay = OverlayReader(diff);
+  // One parse per (path, content) across the lint and absint passes: the
+  // linter and the interpreter walk the same overlay closure.
+  AstCache ast_cache;
   ConfigLint linter(overlay);
+  linter.set_ast_cache(&ast_cache);
   AbstractInterpreter absint(overlay);
+  absint.set_ast_cache(&ast_cache);
 
   // Touched CSL files get the semantic pass unconditionally (RunLint already
   // ran the syntactic rules on them).
@@ -268,6 +323,8 @@ std::vector<LintDiagnostic> Sandcastle::RunLint(const ProposedDiff& diff) const 
   // Imports resolve through the overlay: a finding (or its absence) reflects
   // the tree as it would look with the diff applied.
   ConfigLint linter(OverlayReader(diff));
+  AstCache ast_cache;
+  linter.set_ast_cache(&ast_cache);
   std::vector<LintDiagnostic> findings;
   for (const FileWrite& write : diff.writes) {
     if (!write.content.has_value()) {

@@ -18,6 +18,8 @@
 
 #include "src/analysis/absint.h"
 #include "src/analysis/lint.h"
+#include "src/analysis/semdiff.h"
+#include "src/lang/ast_cache.h"
 #include "src/lang/compiler.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
@@ -42,6 +44,13 @@ struct CiReport {
   // True when the reverse closure was larger than the Sandcastle cap and
   // got truncated (a notice is logged; the skipped tail is not analyzed).
   bool closure_truncated = false;
+  // Semantic diff of the landing: per-symbol classification (no-op /
+  // value-delta / control-shift / type-change) over the touched files and
+  // the symbol-pruned closure, attached to the review.
+  std::vector<SymbolImpact> semantic_impacts;
+  // Every impacted symbol is a provable no-op: Sandcastle then skips the
+  // reverse-closure re-analysis and the landing takes the fast-path canary.
+  bool provably_noop = false;
 
   size_t lint_errors() const { return CountLintErrors(lint_findings); }
   size_t lint_warnings() const {
@@ -55,8 +64,10 @@ struct CiReport {
 // diffing ComputeSymbolSurface() of the head content against the diff's.
 // nullopt = not statically comparable (parse failure, side-effecting
 // statements changed); consumers then fall back to file-level edges.
+// `ast_cache` (optional) shares parses with the other Sandcastle stages.
 std::map<std::string, std::optional<std::set<std::string>>> DiffChangedSymbols(
-    const Repository& repo, const ProposedDiff& diff);
+    const Repository& repo, const ProposedDiff& diff,
+    AstCache* ast_cache = nullptr);
 
 class Sandcastle {
  public:
@@ -103,6 +114,15 @@ class Sandcastle {
   void ReanalyzeClosure(const ProposedDiff& diff, CiReport* report) const;
 
  private:
+  // Computes the symbol-pruned reverse closure of `diff` and records the
+  // pruning statistics in `report` (pruned_dependents).
+  std::set<std::string> PrunedClosure(const ProposedDiff& diff,
+                                      CiReport* report) const;
+  // The analysis half of ReanalyzeClosure, over a precomputed closure.
+  void ReanalyzeClosure(const ProposedDiff& diff,
+                        const std::set<std::string>& closure,
+                        CiReport* report) const;
+
   const Repository* repo_;
   const DependencyService* deps_;
   std::vector<RawValidator> raw_validators_;

@@ -57,7 +57,8 @@ const RiskAdvisor::PathHistory* RiskAdvisor::HistoryFor(
 RiskAssessment RiskAdvisor::Assess(
     const ProposedDiff& diff, const DependencyService* deps,
     const std::map<std::string, std::optional<std::set<std::string>>>*
-        changed_symbols) const {
+        changed_symbols,
+    const std::vector<SymbolImpact>* impacts) const {
   RiskAssessment assessment;
 
   for (const FileWrite& write : diff.writes) {
@@ -118,7 +119,9 @@ RiskAssessment RiskAdvisor::Assess(
 
     // High fan-in source file. With a symbol-level view of the edit, count
     // only entries that consume a changed symbol — the true blast radius —
-    // instead of every file-level dependent.
+    // instead of every file-level dependent. With a semantic classification
+    // of the edit, weight by the worst impact on this path: blast radius is
+    // fan-in times severity, not fan-in alone.
     if (deps != nullptr) {
       size_t fan_in = deps->EntriesAffectedBy({write.path}).size();
       bool symbol_refined = false;
@@ -129,12 +132,39 @@ RiskAssessment RiskAdvisor::Assess(
           symbol_refined = true;
         }
       }
+      int max_severity = -1;  // -1 = no semantic view of this path.
+      if (impacts != nullptr) {
+        for (const SymbolImpact& impact : *impacts) {
+          if (impact.file == write.path) {
+            max_severity = std::max(max_severity, impact.severity());
+          }
+        }
+      }
       if (fan_in >= options_.fan_in_threshold) {
-        assessment.score += 1.0;
-        assessment.reasons.push_back(StrFormat(
-            "%zu entry configs %s %s", fan_in,
-            symbol_refined ? "consume symbols changed in" : "depend on",
-            write.path.c_str()));
+        if (max_severity == 0) {
+          assessment.reasons.push_back(StrFormat(
+              "%s has %zu dependents but the edit is provably no-op; "
+              "fan-in signal skipped",
+              write.path.c_str(), fan_in));
+        } else {
+          static constexpr double kSeverityWeight[4] = {0.0, 0.5, 1.0, 1.5};
+          double weight =
+              max_severity < 0 ? 1.0 : kSeverityWeight[max_severity];
+          assessment.score += weight;
+          std::string reason = StrFormat(
+              "%zu entry configs %s %s", fan_in,
+              symbol_refined ? "consume symbols changed in" : "depend on",
+              write.path.c_str());
+          if (max_severity > 0) {
+            reason += StrFormat(
+                " (worst semantic impact: %s, weight %.1f)",
+                std::string(ImpactKindName(
+                                static_cast<ImpactKind>(max_severity)))
+                    .c_str(),
+                weight);
+          }
+          assessment.reasons.push_back(std::move(reason));
+        }
       }
     }
   }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/semdiff.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
 #include "src/util/status.h"
@@ -58,11 +59,16 @@ class RiskAdvisor {
   // the fan-in signal to symbol edges: only entries that actually consume a
   // changed symbol count, so editing an unused constant in a popular module
   // no longer reads as high-risk. Paths missing from the map — or mapped to
-  // nullopt — fall back to file-level fan-in.
+  // nullopt — fall back to file-level fan-in. `impacts` (the semantic
+  // diff's per-symbol classification, as Sandcastle attaches to the
+  // landing) weights the fan-in signal by severity: a provably-no-op edit
+  // to a popular module contributes nothing, a value-delta half weight, a
+  // control-shift full weight, a type-change 1.5x.
   RiskAssessment Assess(
       const ProposedDiff& diff, const DependencyService* deps = nullptr,
       const std::map<std::string, std::optional<std::set<std::string>>>*
-          changed_symbols = nullptr) const;
+          changed_symbols = nullptr,
+      const std::vector<SymbolImpact>* impacts = nullptr) const;
 
   // Per-path history snapshot (for tests and UIs).
   struct PathHistory {

@@ -124,6 +124,7 @@ LineDiff DiffLines(const std::string& old_text, const std::string& new_text) {
     for (const std::string& line : SplitLines(old_text)) {
       diff.ops.push_back({DiffOp::Kind::kKeep, line});
     }
+    AssignLineNumbers(&diff);
     return diff;
   }
   std::vector<std::string> a = SplitLines(old_text);
@@ -162,7 +163,29 @@ LineDiff DiffLines(const std::string& old_text, const std::string& new_text) {
       ++diff.deleted;
     }
   }
+  AssignLineNumbers(&diff);
   return diff;
+}
+
+void AssignLineNumbers(LineDiff* diff) {
+  int old_line = 0;
+  int new_line = 0;
+  for (DiffOp& op : diff->ops) {
+    switch (op.kind) {
+      case DiffOp::Kind::kKeep:
+        op.old_line = ++old_line;
+        op.new_line = ++new_line;
+        break;
+      case DiffOp::Kind::kDelete:
+        op.old_line = ++old_line;
+        op.new_line = 0;
+        break;
+      case DiffOp::Kind::kAdd:
+        op.old_line = 0;
+        op.new_line = ++new_line;
+        break;
+    }
+  }
 }
 
 std::string RenderDiff(const LineDiff& diff) {

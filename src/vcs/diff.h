@@ -15,6 +15,12 @@ struct DiffOp {
   enum class Kind { kKeep, kAdd, kDelete };
   Kind kind = Kind::kKeep;
   std::string text;  // The line (without trailing newline).
+  // 1-based source positions, filled by DiffLines: `old_line` for kKeep and
+  // kDelete, `new_line` for kKeep and kAdd; 0 when not applicable. The
+  // semantic differ uses them to attribute hunks to the symbols whose
+  // definition ranges they fall in.
+  int old_line = 0;
+  int new_line = 0;
 };
 
 struct LineDiff {
@@ -29,6 +35,10 @@ struct LineDiff {
 
 // Computes the line diff from `old_text` to `new_text`.
 LineDiff DiffLines(const std::string& old_text, const std::string& new_text);
+
+// (Re)fills each op's old_line/new_line from its position in the script.
+// DiffLines calls this itself; exposed for diffs assembled by hand in tests.
+void AssignLineNumbers(LineDiff* diff);
 
 // Renders a compact unified-ish diff ("-old line" / "+new line" with 0
 // context) for review UIs and logs.
