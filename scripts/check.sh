@@ -10,6 +10,12 @@
 #   scripts/check.sh --semdiff  # semantic-diff smoke only: the 20-commit
 #                               # scripted sequence, the 500-commit
 #                               # differential battery, and a throughput run
+#   scripts/check.sh --invariants
+#                               # invariant-checker smoke only: the unit +
+#                               # pipeline battery, the 500-commit
+#                               # zero-spurious property battery, the DST
+#                               # inconsistent-commit scenarios, and a
+#                               # throughput run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +23,7 @@ FAST=0
 CHAOS_ONLY=0
 TSAN_ONLY=0
 SEMDIFF_ONLY=0
+INVARIANTS_ONLY=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--chaos" ]]; then
@@ -25,6 +32,8 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   TSAN_ONLY=1
 elif [[ "${1:-}" == "--semdiff" ]]; then
   SEMDIFF_ONLY=1
+elif [[ "${1:-}" == "--invariants" ]]; then
+  INVARIANTS_ONLY=1
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -57,6 +66,18 @@ if [[ "$SEMDIFF_ONLY" == "1" ]]; then
   echo "==> semdiff: throughput smoke (writes BENCH_semdiff.json)"
   (cd build/bench && ./semdiff_throughput >/dev/null)
   echo "==> done (semdiff mode: full tier-1, chaos, sanitizers and clang-tidy skipped)"
+  exit 0
+fi
+
+if [[ "$INVARIANTS_ONLY" == "1" ]]; then
+  echo "==> invariants: unit + pipeline battery, zero-spurious property battery"
+  ctest --test-dir build --output-on-failure -R \
+    '^(invariant_test|invariant_property_test)$'
+  echo "==> invariants: DST inconsistent-commit gate + bypass scenarios"
+  (cd build/tests && ./dst_test --gtest_filter='*InconsistentCommit*')
+  echo "==> invariants: throughput smoke (writes BENCH_invariants.json)"
+  (cd build/bench && ./invariant_throughput >/dev/null)
+  echo "==> done (invariants mode: full tier-1, chaos, sanitizers and clang-tidy skipped)"
   exit 0
 fi
 
@@ -94,6 +115,9 @@ cmake --build build-asan -j "$JOBS"
 
 echo "==> sanitized: ctest"
 ctest --test-dir build-asan --output-on-failure
+
+echo "==> sanitized: invariant throughput (ddmin shrink under ASan/UBSan)"
+(cd build-asan/bench && ./invariant_throughput >/dev/null)
 
 run_tsan
 

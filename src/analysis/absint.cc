@@ -356,6 +356,9 @@ class Analyzer {
   std::string RenderAbstract(const AbstractValue& v, std::set<HeapId>& seen,
                              bool* precise) const;
   SymbolSummary Summarize(const AbstractValue& v) const;
+  void FlattenFields(const AbstractValue& v, const std::string& prefix,
+                     bool maybe_absent, int depth, std::set<HeapId>& seen,
+                     AbstractFieldMap* out) const;
 
   const FileReader& reader_;
   AstCache* ast_cache_;
@@ -1827,6 +1830,40 @@ SymbolSummary Analyzer::Summarize(const AbstractValue& v) const {
   return s;
 }
 
+// Flattens an exported abstract value into dot-path facts that outlive the
+// heap. Lists are not descended into (invariants address dict fields and
+// scalar roots); depth and entry caps bound pathological nesting.
+void Analyzer::FlattenFields(const AbstractValue& v, const std::string& prefix,
+                             bool maybe_absent, int depth,
+                             std::set<HeapId>& seen,
+                             AbstractFieldMap* out) const {
+  constexpr int kMaxDepth = 6;
+  constexpr size_t kMaxEntries = 256;
+  if (out->size() >= kMaxEntries) {
+    return;
+  }
+  AbstractFieldFacts& facts = (*out)[prefix];
+  facts.kinds = v.kinds;
+  facts.any = v.any;
+  facts.constant = v.constant;
+  facts.int_min = v.int_min;
+  facts.int_max = v.int_max;
+  facts.maybe_absent = maybe_absent;
+  if (v.object == kNoHeapId || depth >= kMaxDepth ||
+      !seen.insert(v.object).second) {
+    return;
+  }
+  const AbstractObject* obj = heap_.Get(v.object);
+  if (obj == nullptr || obj->is_list) {
+    return;
+  }
+  for (const auto& [name, field] : obj->fields) {
+    std::string child = prefix.empty() ? name : prefix + "." + name;
+    FlattenFields(field.value, child, maybe_absent || field.maybe_absent,
+                  depth + 1, seen, out);
+  }
+}
+
 AbsintResult Analyzer::Run(const std::string& path,
                            const std::string& content) {
   AbsintResult result;
@@ -1883,6 +1920,9 @@ AbsintResult Analyzer::Run(const std::string& path,
     slice.value_digest = std::move(value_summary.digest);
     slice.value_brief = std::move(value_summary.brief);
     slice.value_precise = value_summary.precise;
+    std::set<HeapId> flatten_seen;
+    FlattenFields(rec.value, "", /*maybe_absent=*/false, /*depth=*/0,
+                  flatten_seen, &slice.fields);
     result.exports.push_back(std::move(slice));
   }
 

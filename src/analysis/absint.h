@@ -143,6 +143,20 @@ class AbstractHeap {
 
 // ---- Results ----------------------------------------------------------------
 
+// Flattened, heap-independent facts about one piece of an exported value,
+// keyed by dot-path: "" is the export root, "thresholds.shed" a nested dict
+// field. Invariant checking consumes these — they survive after the
+// analyzer's heap is gone.
+struct AbstractFieldFacts {
+  uint32_t kinds = kAbsAnyMask;
+  bool any = true;
+  std::optional<Value> constant;   // Exact scalar, if pinned.
+  std::optional<int64_t> int_min;  // Integer interval (when kAbsInt set).
+  std::optional<int64_t> int_max;
+  bool maybe_absent = false;  // Assigned on some control-flow paths only.
+};
+using AbstractFieldMap = std::map<std::string, AbstractFieldFacts>;
+
 // Per-export provenance: which imported symbols flow into the exported value
 // (data or control dependence).
 struct ExportSlice {
@@ -159,6 +173,10 @@ struct ExportSlice {
   std::string value_digest;
   std::string value_brief;
   bool value_precise = false;
+  // Flattened field lattice facts (depth- and size-capped). One slice per
+  // `export` call site: an export inside both arms of a branch yields two
+  // slices for the same path — the invariant checker's case-split basis.
+  AbstractFieldMap fields;
 };
 
 // Deterministic abstract summary of one top-level binding, comparable across

@@ -43,11 +43,11 @@ bool LintDiagnosticOrder(const LintDiagnostic& a, const LintDiagnostic& b) {
   if (a.column != b.column) {
     return a.column < b.column;
   }
-  if (a.rule_id != b.rule_id) {
-    return a.rule_id < b.rule_id;
-  }
   if (a.message != b.message) {
     return a.message < b.message;
+  }
+  if (a.rule_id != b.rule_id) {
+    return a.rule_id < b.rule_id;
   }
   return a.suggestion < b.suggestion;
 }

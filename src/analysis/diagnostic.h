@@ -33,10 +33,12 @@ struct LintDiagnostic {
   std::string Format() const;
 };
 
-// The canonical diagnostic ordering: file, line, column, rule id, message,
-// suggestion. Total over distinct findings, so any producer sorting with it
-// emits byte-stable output — Sandcastle reports and semantic-diff findings
-// can be diffed textually across runs.
+// The canonical diagnostic ordering: file, line, column, message, rule id,
+// suggestion — rule id breaks ties only after column+message, so two rules
+// firing on the same line order the same way regardless of which producer
+// emitted them first. Total over distinct findings, so any producer sorting
+// with it emits byte-stable output — Sandcastle reports and semantic-diff
+// findings can be diffed textually across runs and libstdc++ versions.
 bool LintDiagnosticOrder(const LintDiagnostic& a, const LintDiagnostic& b);
 
 // Sorts with LintDiagnosticOrder (stable, so fully-equal findings keep

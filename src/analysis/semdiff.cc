@@ -92,7 +92,18 @@ std::map<std::string, std::vector<int>> AttributeDiffLines(
       }
     }
   };
+  // A changed line that is blank or comment-only cannot alter any symbol's
+  // value even when it falls inside a symbol's def range (trailing comments
+  // share the line range of multi-line defs) — attributing it would flag the
+  // nearest symbol as touched and defeat no-op detection.
+  auto semantically_inert = [](const std::string& text) {
+    size_t i = text.find_first_not_of(" \t\r");
+    return i == std::string::npos || text[i] == '#';
+  };
   for (const DiffOp& op : diff.ops) {
+    if (semantically_inert(op.text)) {
+      continue;
+    }
     if (op.kind == DiffOp::Kind::kAdd) {
       attribute(new_surface, op.new_line);
     } else if (op.kind == DiffOp::Kind::kDelete) {

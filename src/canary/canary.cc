@@ -223,6 +223,9 @@ std::string CanaryScope::Describe() const {
   for (const auto& [symbol, delta] : value_deltas) {
     out += "; " + symbol + ": " + delta;
   }
+  for (const auto& [predicate, note] : invariant_notes) {
+    out += "; invariant [" + predicate + "]: " + note;
+  }
   return out;
 }
 

@@ -77,6 +77,13 @@ struct CanaryScope {
   // impacts). The operator sees *what interval the value crosses* while the
   // canary holds, not just which files changed.
   std::map<std::string, std::string> value_deltas;
+  // Cross-config invariant annotations from the Sandcastle run: violated
+  // predicates carry their concrete counterexample witness (these normally
+  // block landing — they appear here only when an operator force-lands), and
+  // in-jeopardy predicates warn that the canary is the last line of defense
+  // for a property that lost its abstract proof. "predicate" -> rendered
+  // witness/detail.
+  std::map<std::string, std::string> invariant_notes;
 
   // One-line rendering for logs and review notes.
   std::string Describe() const;

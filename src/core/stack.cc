@@ -30,6 +30,18 @@ CanaryScope PendingChange::Scope() const {
         (impact.old_value.empty() ? "<absent>" : impact.old_value) + " -> " +
         (impact.new_value.empty() ? "<absent>" : impact.new_value);
   }
+  // Invariant annotations ride the rollout: a violated predicate carries its
+  // concrete witness (only reachable by force-landing past Sandcastle), an
+  // in-jeopardy one flags that the canary now guards a property with no
+  // abstract proof behind it.
+  for (const InvariantOutcome& outcome : ci_report.invariant_outcomes) {
+    if (outcome.status == InvariantStatus::kViolated) {
+      scope.invariant_notes[outcome.predicate] =
+          "VIOLATED; witness: " + outcome.witness.Describe();
+    } else if (outcome.status == InvariantStatus::kInJeopardy) {
+      scope.invariant_notes[outcome.predicate] = "in jeopardy: " + outcome.detail;
+    }
+  }
   return scope;
 }
 
@@ -160,7 +172,8 @@ Result<PendingChange> ConfigManagementStack::ProposeChange(
   if (risk_advisor_.IndexHistory(repo_).ok()) {
     change.risk = risk_advisor_.Assess(
         change.diff, &deps_, &change.changed_symbols,
-        options_.run_ci ? &change.ci_report.semantic_impacts : nullptr);
+        options_.run_ci ? &change.ci_report.semantic_impacts : nullptr,
+        options_.run_ci ? &change.ci_report.invariant_outcomes : nullptr);
   }
 
   if (options_.require_review) {

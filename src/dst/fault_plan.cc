@@ -90,6 +90,8 @@ std::string FaultEvent::ToLine() const {
     case FaultOp::kCorruptDisk:
       return head + StrFormat("corrupt-disk %d ", index) +
              (key.empty() ? "*" : key);
+    case FaultOp::kInconsistentCommit:
+      return head + "inconsistent-commit " + (key.empty() ? "gated" : key);
   }
   return head + "?";
 }
@@ -152,6 +154,14 @@ Result<FaultEvent> FaultEvent::FromLine(const std::string& line) {
     event.op = FaultOp::kCorruptDisk;
     event.index = std::atoi(tokens[3].c_str());
     event.key = tokens[4] == "*" ? "" : tokens[4];
+  } else if (op == "inconsistent-commit") {
+    RETURN_IF_ERROR(need(4));
+    if (tokens[3] != "gated" && tokens[3] != "bypass") {
+      return InvalidArgumentError("inconsistent-commit mode must be gated or "
+                                  "bypass: " + line);
+    }
+    event.op = FaultOp::kInconsistentCommit;
+    event.key = tokens[3];
   } else {
     return InvalidArgumentError("unknown fault op '" + op + "' in: " + line);
   }

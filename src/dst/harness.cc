@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/analysis/invariant.h"
 #include "src/json/json.h"
 #include "src/util/strings.h"
 
@@ -368,7 +369,69 @@ void Harness::ApplyFault(const FaultEvent& event) {
     case FaultOp::kCorruptDisk:
       CorruptDisk(event.index, event.key);
       break;
+    case FaultOp::kInconsistentCommit:
+      SeedInconsistentCommit(event.key != "bypass");
+      break;
   }
+}
+
+void Harness::SeedInconsistentCommit(bool gated) {
+  if (options_.keys < 2) {
+    return;
+  }
+  // A jointly-inconsistent pair: key0's shed threshold lands above key1's
+  // kill threshold. Each half is individually valid JSON that passes every
+  // per-file check — only a cross-config predicate can see the problem.
+  const std::string& path0 = tracked_keys_[0];
+  const std::string& path1 = tracked_keys_[1];
+  std::string value0 = "{\"key\":0,\"shed\":90}";
+  std::string value1 = "{\"key\":1,\"kill\":50}";
+  if (gated) {
+    // The landing gate: the same InvariantChecker Sandcastle runs, over an
+    // overlay of the proposed pair on the harness repository.
+    InvariantRegistry registry;
+    registry.AddSpecFile(
+        "invariants/dst.json",
+        "{\"invariants\":[{\"name\":\"shed-below-kill\",\"kind\":"
+        "\"ordering\",\"severity\":\"error\","
+        "\"lhs\":{\"config\":\"" + path0 + "\",\"field\":\"shed\"},"
+        "\"relation\":\"<=\","
+        "\"rhs\":{\"config\":\"" + path1 + "\",\"field\":\"kill\"}}]}");
+    assert(registry.diagnostics.empty());
+    std::map<std::string, std::string> pair = {{path0, value0},
+                                               {path1, value1}};
+    const Repository* repo = &repo_;
+    InvariantChecker checker(
+        [pair, repo](const std::string& path) -> Result<std::string> {
+          auto it = pair.find(path);
+          if (it != pair.end()) {
+            return it->second;
+          }
+          return repo->ReadFile(path);
+        });
+    InvariantReport report = checker.Check(registry, {path0, path1});
+    if (CountLintErrors(report.diagnostics) > 0) {
+      Log("inconsistent-commit blocked by invariant gate");
+      return;  // Never committed: the fleet never sees the pair.
+    }
+    Log("inconsistent-commit passed the gate unexpectedly; committing");
+  }
+  // Bypass (or a gate that failed to block): the pair lands like any other
+  // commit and the continuous cross-config check must catch it downstream.
+  written_values_[path0].insert(value0);
+  written_values_[path1].insert(value1);
+  TraceContext root =
+      obs_.tracer.StartTrace("commit inconsistent-pair", "dst", sim_->now());
+  obs_.tracer.EndSpan(root, sim_->now());
+  obs_.tracer.BindPath(path0, root);
+  obs_.tracer.BindPath(path1, root);
+  Result<ObjectId> commit = repo_.Commit(
+      "dst", "inconsistent pair",
+      {FileWrite{path0, value0}, FileWrite{path1, value1}},
+      options_.writes + 1);
+  assert(commit.ok());
+  (void)commit;
+  Log("commit inconsistent-pair");
 }
 
 void Harness::CorruptDisk(int index, const std::string& key) {
@@ -521,6 +584,37 @@ void Harness::CheckContinuous() {
       }
       seen = true;
       last_zxid = std::max(last_zxid, entry->zxid);
+    }
+    // cross-config-invariant: the shed/kill marker pair is only ever written
+    // by the inconsistent-commit fault (the normal workload's values carry
+    // neither field), so a proxy serving both halves in a violating state
+    // means an inconsistent commit reached the fleet. The substring guard
+    // keeps the JSON parse off the hot path for ordinary values.
+    if (options_.keys >= 2) {
+      const OnDiskCache::Entry* e0 = apps_[i]->Get(tracked_keys_[0]);
+      const OnDiskCache::Entry* e1 = apps_[i]->Get(tracked_keys_[1]);
+      if (e0 != nullptr && e1 != nullptr &&
+          e0->value.find("\"shed\"") != std::string::npos &&
+          e1->value.find("\"kill\"") != std::string::npos) {
+        Result<Json> j0 = Json::Parse(e0->value);
+        Result<Json> j1 = Json::Parse(e1->value);
+        if (j0.ok() && j1.ok()) {
+          const Json* shed = j0->Get("shed");
+          const Json* kill = j1->Get("kill");
+          if (shed != nullptr && kill != nullptr && shed->is_number() &&
+              kill->is_number() && shed->as_double() > kill->as_double()) {
+            Fail("cross-config-invariant",
+                 StrFormat("proxy %zu serves shed=%g above kill=%g (zxids "
+                           "%lld/%lld): a jointly-inconsistent pair reached "
+                           "the fleet",
+                           i, shed->as_double(), kill->as_double(),
+                           static_cast<long long>(e0->zxid),
+                           static_cast<long long>(e1->zxid)),
+                 std::max(e0->zxid, e1->zxid));
+            return;
+          }
+        }
+      }
     }
     if (options_.enable_gatekeeper) {
       CheckGatekeeper(i);

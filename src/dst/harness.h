@@ -22,6 +22,13 @@
 //                         reference evaluation of the exact config JSON that
 //                         was delivered to it (cost-based reordering and
 //                         live updates must not change semantics).
+//   cross-config-invariant No proxy ever serves a jointly-inconsistent config
+//                         pair (a shed threshold above the kill threshold it
+//                         must stay below, split across two keys). Such pairs
+//                         are only produced by the inconsistent-commit fault;
+//                         in "gated" mode the cross-config InvariantChecker
+//                         blocks them before commit, so only "bypass" (a
+//                         simulated force-land) can trip this.
 //   convergence-*         After every fault heals and the network settles,
 //                         observers and proxies converge to Zeus ground truth
 //                         and the swarm completes.
@@ -146,6 +153,7 @@ class Harness {
   void ScheduleWorkload();
   void ApplyFault(const FaultEvent& event);
   void CorruptDisk(int index, const std::string& key);
+  void SeedInconsistentCommit(bool gated);
   void FinalHeal();
   void CheckContinuous();
   void CheckGatekeeper(size_t proxy_idx);

@@ -1,7 +1,9 @@
 #include "src/dst/shrink.h"
 
-#include <algorithm>
 #include <utility>
+#include <vector>
+
+#include "src/util/ddmin.h"
 
 namespace configerator {
 
@@ -19,12 +21,11 @@ bool Reproduces(const ScenarioOptions& scenario, const FaultPlan& candidate,
   return reproduced;
 }
 
-FaultPlan WithoutChunk(const FaultPlan& plan, size_t begin, size_t end) {
+FaultPlan KeepEvents(const FaultPlan& plan, const std::vector<size_t>& kept) {
   FaultPlan out;
-  for (size_t i = 0; i < plan.events.size(); ++i) {
-    if (i < begin || i >= end) {
-      out.events.push_back(plan.events[i]);
-    }
+  out.events.reserve(kept.size());
+  for (size_t i : kept) {
+    out.events.push_back(plan.events[i]);
   }
   return out;
 }
@@ -36,36 +37,16 @@ ShrinkResult ShrinkFaultPlan(const ScenarioOptions& scenario,
                              const std::string& invariant,
                              const ShrinkOptions& options) {
   ShrinkResult result;
-  result.plan = failing_plan;
   result.original_events = failing_plan.events.size();
 
-  // Classic ddmin over the event list: try dropping ever-smaller chunks,
-  // restarting at coarse granularity whenever a removal sticks.
-  size_t chunks = 2;
-  while (result.plan.events.size() > 1 && result.runs < options.max_runs) {
-    bool removed_any = false;
-    size_t n = result.plan.events.size();
-    chunks = std::min(chunks, n);
-    size_t chunk_size = (n + chunks - 1) / chunks;
-    for (size_t begin = 0; begin < n && result.runs < options.max_runs;
-         begin += chunk_size) {
-      size_t end = std::min(begin + chunk_size, n);
-      FaultPlan candidate = WithoutChunk(result.plan, begin, end);
-      ++result.runs;
-      if (Reproduces(scenario, candidate, invariant, &result.run)) {
-        result.plan = std::move(candidate);
-        removed_any = true;
-        break;  // Restart the scan against the smaller plan.
-      }
-    }
-    if (removed_any) {
-      chunks = 2;  // Coarse again: big chunks may now be removable.
-    } else if (chunks >= result.plan.events.size()) {
-      break;  // Already at single-event granularity and nothing removable.
-    } else {
-      chunks = std::min(chunks * 2, result.plan.events.size());
-    }
-  }
+  std::vector<size_t> kept = DdminSubset(
+      failing_plan.events.size(),
+      [&](const std::vector<size_t>& candidate) {
+        return Reproduces(scenario, KeepEvents(failing_plan, candidate),
+                          invariant, &result.run);
+      },
+      options.max_runs, &result.runs);
+  result.plan = KeepEvents(failing_plan, kept);
 
   // The final plan's own run (fills the trace when no probe ever succeeded —
   // i.e. the plan was already minimal).

@@ -38,6 +38,20 @@ Sandcastle::Sandcastle(const Repository* repo, const DependencyService* deps)
       });
   raw_validators_.push_back(
       [](const std::string& path, const std::string& content) -> Status {
+        if (!path.starts_with("invariants/") || !path.ends_with(".json")) {
+          return OkStatus();
+        }
+        // A spec file must parse with zero I000s: a malformed invariant is a
+        // silently-unenforced invariant, which must not land.
+        InvariantRegistry registry;
+        registry.AddSpecFile(path, content);
+        if (!registry.diagnostics.empty()) {
+          return InvalidConfigError(registry.diagnostics.front().message);
+        }
+        return OkStatus();
+      });
+  raw_validators_.push_back(
+      [](const std::string& path, const std::string& content) -> Status {
         if (!path.ends_with(".json")) {
           return OkStatus();
         }
@@ -74,6 +88,16 @@ std::string CiReport::Summary() const {
   }
   if (provably_noop) {
     out += " (provably no-op: closure re-analysis skipped)";
+  }
+  if (!invariant_outcomes.empty()) {
+    size_t violated = 0;
+    for (const InvariantOutcome& outcome : invariant_outcomes) {
+      if (outcome.status == InvariantStatus::kViolated) {
+        ++violated;
+      }
+    }
+    out += StrFormat("; invariants: %zu proven, %zu violated, %zu in-jeopardy",
+                     invariants_proven, violated, invariants_in_jeopardy);
   }
   if (!lint_findings.empty()) {
     out += StrFormat("; lint: %zu error(s), %zu warning(s)", lint_errors(),
@@ -190,6 +214,45 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
   } else {
     ReanalyzeClosure(diff, closure, &report);
   }
+
+  // Cross-config invariants over the blast radius. A provably-no-op diff
+  // cannot change any exported value, so re-verification is skipped — unless
+  // the diff edits an invariant spec itself (then the *predicates* changed
+  // even though no config value did), or touches a path the no-op
+  // certificate does not cover: the semantic differ only certifies CSL
+  // sources and Gatekeeper projects, so any other write (a raw JSON config,
+  // say) can change invariant inputs while leaving the certificate intact.
+  bool touches_invariants = false;
+  bool outside_certificate = false;
+  for (const FileWrite& write : diff.writes) {
+    if (write.path.starts_with("invariants/")) {
+      touches_invariants = true;
+    }
+    bool certified = write.path.ends_with(".cconf") ||
+                     write.path.ends_with(".cinc") ||
+                     (write.path.starts_with("gatekeeper/") &&
+                      write.path.ends_with(".json"));
+    if (!certified || !write.content.has_value()) {
+      outside_certificate = true;
+    }
+  }
+  if (!report.provably_noop || touches_invariants || outside_certificate) {
+    std::set<std::string> scope;
+    for (const std::string& path : changed) {
+      scope.insert(path);
+    }
+    for (const std::string& entry : report.compiled_entries) {
+      scope.insert(ConfigCompiler::OutputPathFor(entry));
+    }
+    for (const std::string& entry : closure) {
+      scope.insert(ConfigCompiler::OutputPathFor(entry));
+    }
+    RunInvariants(diff, scope, &report);
+  } else if (report.provably_noop) {
+    CLOG(Info) << "Sandcastle: provably no-op diff; invariant re-verification "
+               << "skipped";
+  }
+
   if (report.lint_errors() > 0 ||
       (strict_lint_ && !report.lint_findings.empty())) {
     report.passed = false;
@@ -317,6 +380,44 @@ void Sandcastle::ReanalyzeClosure(const ProposedDiff& diff,
                                  result.diagnostics.begin(),
                                  result.diagnostics.end());
   }
+}
+
+void Sandcastle::RunInvariants(const ProposedDiff& diff,
+                               const std::set<std::string>& scope,
+                               CiReport* report) const {
+  // The spec set: every "invariants/" file at head plus any the diff adds.
+  // Files the diff deletes drop out naturally — Load skips unreadable paths,
+  // and the overlay reports deleted files as not found.
+  std::set<std::string> spec_files;
+  for (const std::string& file : repo_->ListFilesUnder("invariants/")) {
+    spec_files.insert(file);
+  }
+  for (const FileWrite& write : diff.writes) {
+    if (write.path.starts_with("invariants/")) {
+      spec_files.insert(write.path);
+    }
+  }
+  if (spec_files.empty()) {
+    return;
+  }
+  FileReader overlay = OverlayReader(diff);
+  InvariantRegistry registry = InvariantRegistry::Load(
+      overlay,
+      std::vector<std::string>(spec_files.begin(), spec_files.end()));
+  InvariantChecker checker(overlay);
+  InvariantReport result = checker.Check(registry, scope);
+  report->invariants_proven = result.proven;
+  report->invariants_in_jeopardy = result.in_jeopardy;
+  if (result.violated > 0) {
+    CLOG(Warning) << "Sandcastle: " << result.violated
+                  << " cross-config invariant(s) violated by this diff";
+  }
+  report->lint_findings.insert(report->lint_findings.end(),
+                               std::make_move_iterator(
+                                   result.diagnostics.begin()),
+                               std::make_move_iterator(
+                                   result.diagnostics.end()));
+  report->invariant_outcomes = std::move(result.outcomes);
 }
 
 std::vector<LintDiagnostic> Sandcastle::RunLint(const ProposedDiff& diff) const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/analysis/absint.h"
+#include "src/analysis/invariant.h"
 #include "src/analysis/lint.h"
 #include "src/analysis/semdiff.h"
 #include "src/lang/ast_cache.h"
@@ -51,6 +52,13 @@ struct CiReport {
   // Every impacted symbol is a provable no-op: Sandcastle then skips the
   // reverse-closure re-analysis and the landing takes the fast-path canary.
   bool provably_noop = false;
+  // Cross-config invariants activated by the diff's blast radius (touched
+  // paths + recompiled/reanalyzed outputs), evaluated over the overlay.
+  // Violations inject I-series diagnostics into lint_findings (errors block
+  // landing); in-jeopardy outcomes feed RiskAdvisor and CanaryScope.
+  std::vector<InvariantOutcome> invariant_outcomes;
+  size_t invariants_proven = 0;
+  size_t invariants_in_jeopardy = 0;
 
   size_t lint_errors() const { return CountLintErrors(lint_findings); }
   size_t lint_warnings() const {
@@ -88,6 +96,15 @@ class Sandcastle {
 
   // The ConfigLint stage alone: diagnostics for every file `diff` touches.
   std::vector<LintDiagnostic> RunLint(const ProposedDiff& diff) const;
+
+  // The cross-config invariant stage alone: loads every "invariants/" spec
+  // through the overlay, activates those whose referenced configs intersect
+  // `scope` (empty = audit everything), and records outcomes + diagnostics
+  // in `report`. RunTests calls this with the semdiff-pruned blast radius;
+  // a provably-no-op diff that touches no invariant spec skips it entirely.
+  void RunInvariants(const ProposedDiff& diff,
+                     const std::set<std::string>& scope,
+                     CiReport* report) const;
 
   // A FileReader that resolves through `diff` first, then the repo head.
   FileReader OverlayReader(const ProposedDiff& diff) const;

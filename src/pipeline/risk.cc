@@ -58,8 +58,25 @@ RiskAssessment RiskAdvisor::Assess(
     const ProposedDiff& diff, const DependencyService* deps,
     const std::map<std::string, std::optional<std::set<std::string>>>*
         changed_symbols,
-    const std::vector<SymbolImpact>* impacts) const {
+    const std::vector<SymbolImpact>* impacts,
+    const std::vector<InvariantOutcome>* invariants) const {
   RiskAssessment assessment;
+
+  // Invariants newly in jeopardy: the diff did not break them, but it
+  // removed the abstract proof that they *cannot* break — the joint
+  // consistency now rests on the specific values at head. Violated outcomes
+  // block at Sandcastle and are not double-counted here.
+  if (invariants != nullptr) {
+    for (const InvariantOutcome& outcome : *invariants) {
+      if (outcome.status == InvariantStatus::kInJeopardy) {
+        assessment.score += 0.75;
+        assessment.reasons.push_back(
+            "invariant '" + outcome.name +
+            "' is in jeopardy: it holds concretely but is no longer "
+            "abstractly provable (" + outcome.detail + ")");
+      }
+    }
+  }
 
   for (const FileWrite& write : diff.writes) {
     const PathHistory* history = HistoryFor(write.path);

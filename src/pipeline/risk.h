@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/invariant.h"
 #include "src/analysis/semdiff.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
@@ -63,12 +64,17 @@ class RiskAdvisor {
   // diff's per-symbol classification, as Sandcastle attaches to the
   // landing) weights the fan-in signal by severity: a provably-no-op edit
   // to a popular module contributes nothing, a value-delta half weight, a
-  // control-shift full weight, a type-change 1.5x.
+  // control-shift full weight, a type-change 1.5x. `invariants` (the
+  // outcomes Sandcastle's invariant stage attaches) adds the
+  // newly-in-jeopardy signal: an invariant that still holds concretely but
+  // lost its abstract proof under this diff is one bad follow-up edit away
+  // from an outage, so each in-jeopardy outcome raises the score.
   RiskAssessment Assess(
       const ProposedDiff& diff, const DependencyService* deps = nullptr,
       const std::map<std::string, std::optional<std::set<std::string>>>*
           changed_symbols = nullptr,
-      const std::vector<SymbolImpact>* impacts = nullptr) const;
+      const std::vector<SymbolImpact>* impacts = nullptr,
+      const std::vector<InvariantOutcome>* invariants = nullptr) const;
 
   // Per-path history snapshot (for tests and UIs).
   struct PathHistory {

@@ -1,0 +1,66 @@
+#include "src/util/ddmin.h"
+
+#include <algorithm>
+
+namespace configerator {
+
+namespace {
+
+std::vector<size_t> WithoutChunk(const std::vector<size_t>& kept, size_t begin,
+                                 size_t end) {
+  std::vector<size_t> out;
+  out.reserve(kept.size() - (end - begin));
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (i < begin || i >= end) {
+      out.push_back(kept[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> DdminSubset(
+    size_t n, const std::function<bool(const std::vector<size_t>&)>& reproduces,
+    int max_probes, int* probes_used) {
+  std::vector<size_t> kept(n);
+  for (size_t i = 0; i < n; ++i) {
+    kept[i] = i;
+  }
+  int probes = 0;
+
+  // Classic ddmin: try dropping ever-smaller chunks, restarting at coarse
+  // granularity whenever a removal sticks.
+  size_t chunks = 2;
+  while (kept.size() > 1 && probes < max_probes) {
+    bool removed_any = false;
+    size_t size = kept.size();
+    chunks = std::min(chunks, size);
+    size_t chunk_size = (size + chunks - 1) / chunks;
+    for (size_t begin = 0; begin < size && probes < max_probes;
+         begin += chunk_size) {
+      size_t end = std::min(begin + chunk_size, size);
+      std::vector<size_t> candidate = WithoutChunk(kept, begin, end);
+      ++probes;
+      if (reproduces(candidate)) {
+        kept = std::move(candidate);
+        removed_any = true;
+        break;  // Restart the scan against the smaller set.
+      }
+    }
+    if (removed_any) {
+      chunks = 2;  // Coarse again: big chunks may now be removable.
+    } else if (chunks >= kept.size()) {
+      break;  // Single-item granularity and nothing removable: 1-minimal.
+    } else {
+      chunks = std::min(chunks * 2, kept.size());
+    }
+  }
+
+  if (probes_used != nullptr) {
+    *probes_used = probes;
+  }
+  return kept;
+}
+
+}  // namespace configerator

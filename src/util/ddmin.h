@@ -1,0 +1,29 @@
+// Generic greedy delta-debugging (ddmin) subset minimizer.
+//
+// Given n items and a predicate that says whether a kept-subset still
+// reproduces some failure, finds a small (1-minimal within the probe budget)
+// subset of indices that still satisfies the predicate. The full set is
+// assumed to reproduce; the predicate is never called on it. Used by the DST
+// fault-plan shrinker and by the invariant witness shrinker — anything whose
+// probes are deterministic can be minimized this way.
+
+#ifndef SRC_UTIL_DDMIN_H_
+#define SRC_UTIL_DDMIN_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace configerator {
+
+// `reproduces` receives the kept indices into the original [0, n) sequence,
+// in ascending order. Returns the minimized kept-index list (ascending).
+// Every predicate call costs one probe; at most `max_probes` are spent.
+// `probes_used` (optional) receives the number actually spent.
+std::vector<size_t> DdminSubset(
+    size_t n, const std::function<bool(const std::vector<size_t>&)>& reproduces,
+    int max_probes, int* probes_used = nullptr);
+
+}  // namespace configerator
+
+#endif  // SRC_UTIL_DDMIN_H_

@@ -249,6 +249,15 @@ TEST(FaultPlanTest, SerializationRoundTripsEveryOp) {
   corrupt.op = FaultOp::kCorruptDisk;
   corrupt.index = 2;
   plan.events.push_back(corrupt);
+  FaultEvent gated_pair;
+  gated_pair.at = 11 * kSimSecond;
+  gated_pair.op = FaultOp::kInconsistentCommit;
+  gated_pair.key = "gated";
+  plan.events.push_back(gated_pair);
+  FaultEvent bypass_pair = gated_pair;
+  bypass_pair.at = 12 * kSimSecond;
+  bypass_pair.key = "bypass";
+  plan.events.push_back(bypass_pair);
 
   std::string text = plan.ToString();
   auto parsed = FaultPlan::Parse(text);
@@ -432,6 +441,83 @@ TEST(DstSeededBugTest, TornConfigIsCaughtShrunkAndReplayed) {
   }
   EXPECT_TRUE(has_corrupt);
   EXPECT_TRUE(has_proxy_crash);
+
+  // 3. seed + shrunk trace reproduce the identical violation.
+  auto replayed = Harness::Replay(shrunk.run.trace);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ASSERT_TRUE(replayed->violated);
+  EXPECT_EQ(replayed->violation.invariant, shrunk.run.violation.invariant);
+  EXPECT_EQ(replayed->violation.at, shrunk.run.violation.at);
+  EXPECT_EQ(replayed->violation.message, shrunk.run.violation.message);
+}
+
+// ---- Cross-config invariants at the commit gate ------------------------------
+
+// Builds a plan that lands the jointly-inconsistent shed/kill pair after the
+// workload's last write (writes land strictly before chaos_duration - 1s),
+// so no later benign write papers over the pair before proxies serve it.
+FaultPlan InconsistentCommitPlan(const ScenarioOptions& options,
+                                 const std::string& mode) {
+  FaultPlan plan;
+  FaultEvent pair;
+  pair.at = options.chaos_duration - 1;
+  pair.op = FaultOp::kInconsistentCommit;
+  pair.key = mode;
+  plan.events.push_back(pair);
+  return plan;
+}
+
+TEST(DstSeededBugTest, InconsistentCommitIsBlockedByTheGate) {
+  // "gated" runs the pair through the same cross-config InvariantChecker
+  // Sandcastle uses; it must refuse the commit, so the fleet never sees the
+  // pair and the run converges clean.
+  ScenarioOptions options = SmokeScenario(31);
+  Harness harness(options);
+  RunResult result = harness.Run(InconsistentCommitPlan(options, "gated"));
+  EXPECT_FALSE(result.violated)
+      << result.violation.invariant << ": " << result.violation.message;
+  EXPECT_NE(result.trace.find("blocked by invariant gate"), std::string::npos)
+      << "the gate never fired";
+  EXPECT_EQ(result.trace.find("commit inconsistent-pair"), std::string::npos);
+}
+
+TEST(DstSeededBugTest, InconsistentCommitBypassIsCaughtShrunkAndReplayed) {
+  ScenarioOptions options = SmokeScenario(31);
+  // The bypass (a simulated force-land) buried in schedule noise.
+  FaultPlan plan = InconsistentCommitPlan(options, "bypass");
+  {
+    Harness noise_shape(options);
+    FaultPlanShape shape = noise_shape.shape();
+    FaultEvent crash;
+    crash.at = 5 * kSimSecond;
+    crash.op = FaultOp::kCrash;
+    crash.group_a = {shape.observers[0]};
+    plan.events.push_back(crash);
+    FaultEvent recover = crash;
+    recover.at = 9 * kSimSecond;
+    recover.op = FaultOp::kRecover;
+    plan.events.push_back(recover);
+    plan.SortByTime();
+  }
+
+  // 1. The continuous cross-config check catches the served pair.
+  Harness harness(options);
+  RunResult failing = harness.Run(plan);
+  ASSERT_TRUE(failing.violated) << "bypassed pair was never caught";
+  EXPECT_EQ(failing.violation.invariant, "cross-config-invariant")
+      << failing.violation.message;
+  EXPECT_NE(failing.violation.message.find("shed=90"), std::string::npos)
+      << failing.violation.message;
+
+  // 2. The shrinker strips the noise: the force-landed commit alone
+  //    reproduces.
+  ShrinkResult shrunk =
+      ShrinkFaultPlan(options, plan, failing.violation.invariant);
+  EXPECT_EQ(shrunk.final_events, 1u) << shrunk.plan.ToString();
+  ASSERT_TRUE(shrunk.run.violated);
+  ASSERT_EQ(shrunk.plan.events.size(), 1u);
+  EXPECT_EQ(shrunk.plan.events[0].op, FaultOp::kInconsistentCommit);
+  EXPECT_EQ(shrunk.plan.events[0].key, "bypass");
 
   // 3. seed + shrunk trace reproduce the identical violation.
   auto replayed = Harness::Replay(shrunk.run.trace);

@@ -1,0 +1,294 @@
+// Zero-spurious battery for the cross-config invariant checker: across ~500
+// seeded random commits over a small config tree — raw JSON configs plus a
+// branchy compiled entry — every violation the checker reports must be a
+// concrete, independently-recomputed violation of the declared predicate,
+// and every state the ground truth says is consistent must produce zero
+// violation diagnostics. The checker's abstract side is free to lose
+// precision (that is what the in-jeopardy status is for); the *diagnostics*
+// are the claim that must be exact, because Sandcastle blocks landings on
+// their strength.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/invariant.h"
+#include "src/lang/compiler.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+namespace {
+
+constexpr int kCommits = 500;
+
+// The mutable knobs behind one config tree. Every ground-truth predicate is
+// computable from these fields alone, so the test can judge the checker
+// without trusting any of its machinery.
+struct Tree {
+  int shed_lo = 20;   // Branch arm taken when big == false.
+  int shed_hi = 45;   // Branch arm taken when big == true.
+  bool big = false;
+  int kill = 50;
+  int w[3] = {20, 30, 10};
+  std::string tier = "hot";
+  std::string fallback = "kill.json";
+  int gate_mode = 0;       // 0 = employee, 1 = everyone, 2 = country US.
+  bool gate_friend = false;  // Adds a min_friend_count restraint to roll.
+
+  std::string Roll() const {
+    std::vector<std::string> restraints;
+    if (gate_mode == 0) {
+      restraints.push_back(R"({"type": "employee"})");
+    } else if (gate_mode == 2) {
+      restraints.push_back(
+          R"({"type": "country", "params": {"countries": ["US"]}})");
+    }
+    if (gate_friend) {
+      restraints.push_back(
+          R"({"type": "min_friend_count", "params": {"count": 10}})");
+    }
+    std::string joined;
+    for (size_t i = 0; i < restraints.size(); ++i) {
+      if (i > 0) {
+        joined += ", ";
+      }
+      joined += restraints[i];
+    }
+    return StrFormat(
+        "{\"project\": \"roll\", \"rules\": [{\"restraints\": [%s], "
+        "\"pass_probability\": 1.0}]}",
+        joined.c_str());
+  }
+
+  InMemorySources Sources() const {
+    InMemorySources sources;
+    sources.Put("flags.cinc", StrFormat("BIG = %s\n", big ? "True" : "False"));
+    sources.Put("shed.cconf",
+                StrFormat("import_python(\"flags.cinc\", \"*\")\n"
+                          "if BIG:\n"
+                          "    export_if_last({\"threshold\": %d})\n"
+                          "else:\n"
+                          "    export_if_last({\"threshold\": %d})\n",
+                          shed_hi, shed_lo));
+    sources.Put("kill.json", StrFormat("{\"threshold\": %d}", kill));
+    for (int i = 0; i < 3; ++i) {
+      sources.Put(StrFormat("w%d.json", i),
+                  StrFormat("{\"weight\": %d}", w[i]));
+    }
+    sources.Put("route.json",
+                StrFormat("{\"tier\": \"%s\", \"fallback\": \"%s\"}",
+                          tier.c_str(), fallback.c_str()));
+    sources.Put("gk/roll.json", Roll());
+    sources.Put("gk/elig.json",
+                R"({"project": "elig", "rules": [
+                    {"restraints": [{"type": "employee"}],
+                     "pass_probability": 1.0}]})");
+    return sources;
+  }
+
+  // --- Ground truth, from the knobs alone -----------------------------------
+
+  int ConcreteShed() const { return big ? shed_hi : shed_lo; }
+  bool OrderingViolated() const { return ConcreteShed() > kill; }
+  int WeightSum() const { return w[0] + w[1] + w[2]; }
+  bool SumViolated() const { return WeightSum() > 100; }
+  bool MembershipViolated() const {
+    return tier != "hot" && tier != "warm" && tier != "cold";
+  }
+  bool ReferenceViolated() const {
+    return fallback != "kill.json" && fallback != "w0.json";
+  }
+  // elig admits only employees; roll reaches a non-employee unless it also
+  // carries the employee restraint.
+  bool ImpliesViolated() const { return gate_mode != 0; }
+  bool ContextViolated() const { return gate_friend; }
+};
+
+const char* kSpec = R"({"invariants": [
+  {"name": "shed-below-kill", "kind": "ordering", "severity": "error",
+   "lhs": {"config": "shed.json", "field": "threshold"},
+   "relation": "<=",
+   "rhs": {"config": "kill.json", "field": "threshold"}},
+  {"name": "shard-budget", "kind": "sum", "relation": "<=", "budget": 100,
+   "terms": [{"config": "w0.json", "field": "weight"},
+             {"config": "w1.json", "field": "weight"},
+             {"config": "w2.json", "field": "weight"}]},
+  {"name": "route-tier", "kind": "membership",
+   "subject": {"config": "route.json", "field": "tier"},
+   "allowed": ["hot", "warm", "cold"]},
+  {"name": "route-fallback", "kind": "reference",
+   "subject": {"config": "route.json", "field": "fallback"}},
+  {"name": "roll-in-elig", "kind": "gate_implies",
+   "if_project": "gk/roll.json", "then_project": "gk/elig.json"},
+  {"name": "roll-fields", "kind": "gate_context", "project": "gk/roll.json",
+   "allowed_fields": ["is_employee", "country", "user_id"]}
+]})";
+
+// Re-derives, per invariant name, whether the ground truth says it is
+// concretely violated right now.
+bool GroundTruthViolated(const Tree& tree, const std::string& name) {
+  if (name == "shed-below-kill") return tree.OrderingViolated();
+  if (name == "shard-budget") return tree.SumViolated();
+  if (name == "route-tier") return tree.MembershipViolated();
+  if (name == "route-fallback") return tree.ReferenceViolated();
+  if (name == "roll-in-elig") return tree.ImpliesViolated();
+  if (name == "roll-fields") return tree.ContextViolated();
+  ADD_FAILURE() << "unknown invariant " << name;
+  return false;
+}
+
+TEST(InvariantPropertyTest, WitnessesAreRealAndCleanStatesStayClean) {
+  InvariantRegistry registry;
+  registry.AddSpecFile("invariants/prop.json", kSpec);
+  ASSERT_TRUE(registry.diagnostics.empty());
+  ASSERT_EQ(registry.invariants.size(), 6u);
+
+  Rng rng(20260809);
+  Tree tree;
+  static const char* kTiers[] = {"hot", "warm", "cold", "lava", "tepid"};
+  static const char* kFallbacks[] = {"kill.json", "w0.json", "missing0.json",
+                                     "missing1.json"};
+
+  int clean_commits = 0;
+  int violating_commits = 0;
+  int jeopardy_seen = 0;
+
+  for (int commit = 0; commit < kCommits; ++commit) {
+    // One or two random mutations per commit.
+    int mutations = 1 + static_cast<int>(rng.NextBounded(2));
+    for (int m = 0; m < mutations; ++m) {
+      // Valid-leaning mutations: the walk must spend real time on both
+      // sides of every predicate, so violating choices are drawn with
+      // minority probability rather than uniformly.
+      switch (rng.NextBounded(10)) {
+        case 0:
+          tree.shed_lo = static_cast<int>(rng.NextBounded(51));
+          break;
+        case 1:
+          tree.shed_hi = 40 + static_cast<int>(rng.NextBounded(61));
+          break;
+        case 2:
+          tree.big = rng.NextBool(0.3);
+          break;
+        case 3:
+          tree.kill = 40 + static_cast<int>(rng.NextBounded(31));
+          break;
+        case 4:
+          tree.w[rng.NextBounded(3)] =
+              5 + static_cast<int>(rng.NextBounded(36));
+          break;
+        case 5:
+          tree.tier = rng.NextBool(0.75) ? kTiers[rng.NextBounded(3)]
+                                         : kTiers[3 + rng.NextBounded(2)];
+          break;
+        case 6:
+          tree.fallback = rng.NextBool(0.75)
+                              ? kFallbacks[rng.NextBounded(2)]
+                              : kFallbacks[2 + rng.NextBounded(2)];
+          break;
+        case 7:
+          tree.gate_mode = rng.NextBool(0.7)
+                               ? 0
+                               : 1 + static_cast<int>(rng.NextBounded(2));
+          break;
+        case 8:
+          tree.gate_friend = rng.NextBool(0.25);
+          break;
+        case 9:  // Repair commit: back to the known-clean baseline.
+          tree = Tree{};
+          break;
+      }
+    }
+
+    InMemorySources sources = tree.Sources();
+    InvariantChecker checker(sources.AsReader());
+    InvariantReport report = checker.Check(registry);
+    ASSERT_EQ(report.outcomes.size(), 6u) << "commit " << commit;
+
+    bool any_ground_violation = false;
+    for (const InvariantOutcome& outcome : report.outcomes) {
+      bool truth = GroundTruthViolated(tree, outcome.name);
+      any_ground_violation |= truth;
+
+      // Soundness of the report: the checker flags violated exactly when the
+      // predicate concretely fails — never on a lost abstract proof alone.
+      EXPECT_EQ(outcome.status == InvariantStatus::kViolated, truth)
+          << "commit " << commit << " invariant " << outcome.name << " ("
+          << outcome.detail << ")";
+      if (outcome.status == InvariantStatus::kUnresolved) {
+        ADD_FAILURE() << "commit " << commit << ": " << outcome.name
+                      << " unresolved over a fully-present tree";
+      }
+      if (outcome.status == InvariantStatus::kInJeopardy) {
+        ++jeopardy_seen;
+      }
+      if (outcome.status != InvariantStatus::kViolated) {
+        continue;
+      }
+
+      // Every witness is marked concretely validated and carries a predicate.
+      EXPECT_TRUE(outcome.witness.validated) << outcome.name;
+      EXPECT_FALSE(outcome.witness.predicate.empty()) << outcome.name;
+
+      // Independent recomputation, from the knobs, per kind.
+      if (outcome.name == "shed-below-kill") {
+        ASSERT_EQ(outcome.witness.valuation.size(), 2u);
+        EXPECT_EQ(outcome.witness.valuation[0].second,
+                  StrFormat("%d", tree.ConcreteShed()));
+        EXPECT_EQ(outcome.witness.valuation[1].second,
+                  StrFormat("%d", tree.kill));
+      } else if (outcome.name == "shard-budget") {
+        // The shrunk subset must itself exceed the budget: sum the surviving
+        // valuation entries and re-check without the checker's help.
+        double kept = 0;
+        for (const auto& [ref, value] : outcome.witness.valuation) {
+          kept += std::stod(value);
+        }
+        EXPECT_GT(kept, 100.0) << outcome.witness.Describe();
+        EXPECT_GE(outcome.witness.valuation.size(), 1u);
+        EXPECT_LE(outcome.witness.valuation.size(), 3u);
+      } else if (outcome.name == "route-tier") {
+        EXPECT_NE(outcome.witness.Describe().find(tree.tier),
+                  std::string::npos);
+      } else if (outcome.name == "route-fallback") {
+        EXPECT_NE(outcome.witness.predicate.find(tree.fallback),
+                  std::string::npos);
+        EXPECT_FALSE(sources.AsReader()(tree.fallback).ok());
+      } else if (outcome.name == "roll-in-elig") {
+        // The checker validated the context against both compiled projects;
+        // the ground truth confirms roll really is wider than elig.
+        EXPECT_NE(tree.gate_mode, 0);
+        EXPECT_FALSE(outcome.witness.context.empty());
+      } else if (outcome.name == "roll-fields") {
+        EXPECT_TRUE(tree.gate_friend);
+        EXPECT_NE(outcome.witness.valuation[0].second.find("friend_count"),
+                  std::string::npos);
+      }
+    }
+
+    // Zero spurious reports: a consistent tree yields zero violation
+    // diagnostics (the registry itself is clean, so any diagnostic would be
+    // a violation or a bogus unresolved).
+    if (!any_ground_violation) {
+      ++clean_commits;
+      EXPECT_TRUE(report.diagnostics.empty())
+          << "commit " << commit << ": "
+          << report.diagnostics.front().Format();
+    } else {
+      ++violating_commits;
+      EXPECT_FALSE(report.diagnostics.empty()) << "commit " << commit;
+    }
+  }
+
+  // The walk must actually exercise both sides of every claim.
+  EXPECT_GE(clean_commits, 50);
+  EXPECT_GE(violating_commits, 50);
+  EXPECT_GE(jeopardy_seen, 1) << "branch arms never diverged across the run";
+}
+
+}  // namespace
+}  // namespace configerator

@@ -417,6 +417,40 @@ TEST(AttributeDiffLinesTest, AttributesHunksToDefinitionRanges) {
   }
 }
 
+TEST(AttributeDiffLinesTest, CommentAndBlankHunksAreNotAttributed) {
+  // A changed line that is blank or comment-only can fall inside a symbol's
+  // def range (trailing comments share the range of multi-line defs) but
+  // cannot change its value; attributing it used to flag the symbol as
+  // touched and defeat the no-op certificate.
+  std::string old_text =
+      "B = {\n"
+      "    \"x\": 1,\n"
+      "    # tuning notes\n"
+      "}\n";
+  std::string new_text =
+      "B = {\n"
+      "    \"x\": 1,\n"
+      "    # tuning notes, revised\n"
+      "\n"
+      "}\n";
+  auto old_surface = ComputeSymbolSurface("m.cinc", old_text);
+  auto new_surface = ComputeSymbolSurface("m.cinc", new_text);
+  auto attributed = AttributeDiffLines(old_surface, new_surface,
+                                       DiffLines(old_text, new_text));
+  EXPECT_EQ(attributed.count("B"), 0u);
+
+  // A real edit in the same hunk still attributes.
+  std::string value_text =
+      "B = {\n"
+      "    \"x\": 2,\n"
+      "    # tuning notes, revised\n"
+      "}\n";
+  auto value_surface = ComputeSymbolSurface("m.cinc", value_text);
+  auto value_attr = AttributeDiffLines(old_surface, value_surface,
+                                       DiffLines(old_text, value_text));
+  EXPECT_EQ(value_attr.count("B"), 1u);
+}
+
 TEST(AttributeDiffLinesTest, DiffOpsCarryLineNumbers) {
   LineDiff diff = DiffLines("a\nb\nc\n", "a\nX\nc\n");
   int keeps = 0;
@@ -495,6 +529,32 @@ TEST(SemdiffDeterminismTest, DiagnosticOrderTieBreaksOnColumnAndMessage) {
   for (size_t i = 0; i < diags.size(); ++i) {
     EXPECT_EQ(reversed[i].Format(), diags[i].Format());
   }
+}
+
+TEST(SemdiffDeterminismTest, MessageOrdersBeforeRuleIdOnColumnTie) {
+  // Two producers firing different rules on the same file/line/column must
+  // order by message first, rule id second — so the report is identical no
+  // matter which pass emitted its finding first.
+  LintDiagnostic g10;
+  g10.rule_id = "G010";
+  g10.file = "f.cconf";
+  g10.line = 4;
+  g10.column = 1;
+  g10.message = "aaa import shadowed";
+  LintDiagnostic g7 = g10;
+  g7.rule_id = "G007";
+  g7.message = "zzz symbol is dead";
+  EXPECT_TRUE(LintDiagnosticOrder(g10, g7));   // message wins...
+  EXPECT_FALSE(LintDiagnosticOrder(g7, g10));
+
+  LintDiagnostic same_msg = g10;
+  same_msg.rule_id = "G008";
+  EXPECT_TRUE(LintDiagnosticOrder(same_msg, g10));  // ...then rule id.
+
+  std::vector<LintDiagnostic> diags = {g7, g10};
+  SortDiagnostics(&diags);
+  EXPECT_EQ(diags[0].rule_id, "G010");
+  EXPECT_EQ(diags[1].rule_id, "G007");
 }
 
 // ---- Scripted 20-commit sequence (check.sh --semdiff drives this) -----------
