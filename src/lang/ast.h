@@ -54,6 +54,11 @@ struct FunctionDefStmt {
   std::vector<ExprPtr> defaults;  // Parallel to params; null = no default.
   std::vector<StmtPtr> body;
   int line = 0;
+  // Path of the module that defines the function. Runtime errors inside the
+  // body are reported against this origin, not the caller's module — a
+  // cross-module call must point at the failing line where it actually
+  // lives.
+  std::string origin;
 };
 
 struct Stmt {

@@ -41,6 +41,21 @@ void Def(Environment* env, const std::string& name, NativeFn fn) {
 
 }  // namespace
 
+const std::shared_ptr<Environment>& SharedBuiltinsEnvironment() {
+  // Construction may run lazily inside a session whose ContainerCycleBreaker
+  // is installed, so this environment must bind only natives and scalars:
+  // a list/dict cell created here would be emptied at that session's
+  // teardown, corrupting the shared scope for every later session. (Mutable
+  // bindings like enum namespaces belong in RegisterSchemaConstructors,
+  // which populates each session's own base layer.)
+  static const std::shared_ptr<Environment> env = [] {
+    auto e = std::make_shared<Environment>();
+    RegisterCslBuiltins(e.get());
+    return e;
+  }();
+  return env;
+}
+
 void RegisterCslBuiltins(Environment* env) {
   Def(env, "len", [](std::vector<Value>& args, std::map<std::string, Value>&)
           -> Result<Value> {

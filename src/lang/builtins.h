@@ -14,6 +14,14 @@ namespace configerator {
 // format, fail.
 void RegisterCslBuiltins(Environment* env);
 
+// Process-wide environment holding exactly the RegisterCslBuiltins bindings,
+// built once and shared read-only by every engine session as the root of its
+// scope chain. Safe to share because every binding is an immutable native
+// function and name assignment always defines in the innermost scope — user
+// code can shadow a builtin in its own session but never write through to
+// this environment.
+const std::shared_ptr<Environment>& SharedBuiltinsEnvironment();
+
 // For every struct in `registry`, installs a constructor `StructName(...)`
 // that accepts keyword arguments (rejecting unknown field names — the typo
 // defense starts at construction), and for every enum a namespace value

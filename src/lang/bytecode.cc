@@ -1,0 +1,252 @@
+#include "src/lang/bytecode.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/util/strings.h"
+
+namespace configerator {
+
+std::string_view OpCodeName(OpCode op) {
+  switch (op) {
+#define X(id, operands)  \
+  case OpCode::k##id:    \
+    return #id;
+    CSL_OPCODE_LIST(X)
+#undef X
+  }
+  return "?";
+}
+
+int OpCodeOperands(OpCode op) {
+  switch (op) {
+#define X(id, operands)  \
+  case OpCode::k##id:    \
+    return operands;
+    CSL_OPCODE_LIST(X)
+#undef X
+  }
+  return 0;
+}
+
+namespace {
+
+// Constant-pool dedup is kind-strict: Value::Equals treats 1, 1.0 and True
+// as equal numbers, but the pool must keep them distinct so the VM pushes
+// the exact literal the source spelled.
+bool SameConstant(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case Value::Kind::kNull:
+      return true;
+    case Value::Kind::kBool:
+      return a.as_bool() == b.as_bool();
+    case Value::Kind::kInt:
+      return a.as_int() == b.as_int();
+    case Value::Kind::kDouble:
+      // Bit comparison keeps -0.0 and 0.0 apart and makes NaN self-equal.
+      return std::bit_cast<uint64_t>(a.as_double()) ==
+             std::bit_cast<uint64_t>(b.as_double());
+    case Value::Kind::kString:
+      return a.as_string() == b.as_string();
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+uint16_t Chunk::AddConstant(const Value& v) {
+  for (size_t i = 0; i < constants.size(); ++i) {
+    if (SameConstant(constants[i], v)) {
+      return static_cast<uint16_t>(i);
+    }
+  }
+  constants.push_back(v);
+  return static_cast<uint16_t>(constants.size() - 1);
+}
+
+uint16_t Chunk::AddName(const std::string& name) {
+  auto it = std::find(names.begin(), names.end(), name);
+  if (it != names.end()) {
+    return static_cast<uint16_t>(it - names.begin());
+  }
+  names.push_back(name);
+  return static_cast<uint16_t>(names.size() - 1);
+}
+
+void Chunk::Emit(OpCode op, int line) {
+  if (lines.empty() || lines.back().second != line) {
+    lines.emplace_back(static_cast<uint32_t>(code.size()), line);
+  }
+  code.push_back(static_cast<uint8_t>(op));
+}
+
+void Chunk::EmitU16(uint16_t v) {
+  code.push_back(static_cast<uint8_t>(v & 0xff));
+  code.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Chunk::EmitU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    code.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Chunk::PatchU32(size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    code[at + static_cast<size_t>(i)] =
+        static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint16_t Chunk::ReadU16(size_t at) const {
+  return static_cast<uint16_t>(code[at] | (code[at + 1] << 8));
+}
+
+uint32_t Chunk::ReadU32(size_t at) const {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(code[at + static_cast<size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+int Chunk::LineAt(size_t ip) const {
+  int line = 0;
+  for (const auto& [start, l] : lines) {
+    if (start > ip) {
+      break;
+    }
+    line = l;
+  }
+  return line;
+}
+
+namespace {
+
+void DisassembleInstruction(const Chunk& chunk, size_t* ip, int* last_line,
+                            std::string* out) {
+  size_t at = *ip;
+  OpCode op = static_cast<OpCode>(chunk.code[at]);
+  int line = chunk.LineAt(at);
+  std::string line_col = line != *last_line ? StrFormat("%4d", line) : "    ";
+  *last_line = line;
+  *out += StrFormat("  %04zu %s  %-16s", at, line_col.c_str(),
+                    std::string(OpCodeName(op)).c_str());
+  ++at;
+
+  auto name_at = [&](uint16_t idx) -> std::string {
+    return idx < chunk.names.size() ? chunk.names[idx] : "?";
+  };
+
+  switch (op) {
+    case OpCode::kConst: {
+      uint16_t idx = chunk.ReadU16(at);
+      at += 2;
+      std::string rendered = idx < chunk.constants.size()
+                                 ? chunk.constants[idx].ToDebugString()
+                                 : "?";
+      *out += StrFormat("%u  ; %s", idx, rendered.c_str());
+      break;
+    }
+    case OpCode::kLoadName:
+    case OpCode::kStoreName:
+    case OpCode::kAttrGet:
+    case OpCode::kAttrSet:
+    case OpCode::kImport:
+    case OpCode::kRuntimeError: {
+      uint16_t idx = chunk.ReadU16(at);
+      at += 2;
+      *out += StrFormat("%u  ; %s", idx, name_at(idx).c_str());
+      break;
+    }
+    case OpCode::kLoadLocal:
+    case OpCode::kStoreLocal:
+    case OpCode::kPopN:
+    case OpCode::kMakeList:
+    case OpCode::kMakeDict:
+    case OpCode::kUnpack:
+    case OpCode::kMakeClosure: {
+      *out += StrFormat("%u", chunk.ReadU16(at));
+      at += 2;
+      break;
+    }
+    case OpCode::kJump:
+    case OpCode::kJumpIfFalsePop:
+    case OpCode::kJumpIfFalsePeek:
+    case OpCode::kJumpIfTruePeek:
+    case OpCode::kForLoop: {
+      *out += StrFormat("-> %04u", chunk.ReadU32(at));
+      at += 4;
+      break;
+    }
+    case OpCode::kImportBegin: {
+      uint16_t callee = chunk.ReadU16(at);
+      uint32_t done = chunk.ReadU32(at + 2);
+      at += 6;
+      *out += StrFormat("%s -> %04u", name_at(callee).c_str(), done);
+      break;
+    }
+    case OpCode::kCall: {
+      uint16_t argc = chunk.ReadU16(at);
+      uint16_t kwargc = chunk.ReadU16(at + 2);
+      at += 4;
+      *out += StrFormat("argc=%u", argc);
+      if (kwargc > 0) {
+        *out += " kw=";
+        for (uint16_t i = 0; i < kwargc; ++i) {
+          if (i > 0) {
+            *out += ",";
+          }
+          *out += name_at(chunk.ReadU16(at));
+          at += 2;
+        }
+      }
+      break;
+    }
+    case OpCode::kExport: {
+      *out += chunk.code[at] != 0 ? "named" : "if_last";
+      at += 1;
+      break;
+    }
+    default:
+      break;
+  }
+  *out += "\n";
+  *ip = at;
+}
+
+}  // namespace
+
+std::string DisassembleChunk(const Chunk& chunk, const std::string& label) {
+  std::string out = "== " + label + " ==\n";
+  int last_line = -1;
+  size_t ip = 0;
+  while (ip < chunk.code.size()) {
+    DisassembleInstruction(chunk, &ip, &last_line, &out);
+  }
+  return out;
+}
+
+std::string Disassemble(const CompiledUnit& unit) {
+  std::string out = DisassembleChunk(unit.top, "module " + unit.path);
+  for (size_t i = 0; i < unit.functions.size(); ++i) {
+    const CompiledFunction& fn = *unit.functions[i];
+    out += DisassembleChunk(
+        fn.chunk, StrFormat("fn %zu %s/%zu%s", i, fn.name.c_str(),
+                            fn.params.size(), fn.slot_mode ? " [slots]" : ""));
+    for (size_t p = 0; p < fn.defaults.size(); ++p) {
+      if (fn.defaults[p] != nullptr) {
+        out += DisassembleChunk(
+            *fn.defaults[p],
+            StrFormat("fn %zu default %s", i, fn.params[p].c_str()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace configerator

@@ -1,0 +1,185 @@
+// Bytecode representation for the config source language.
+//
+// CSL modules are compiled once into a CompiledUnit — a flat instruction
+// stream plus constant/name pools — and executed by the stack VM in
+// src/lang/vm.h. Units are immutable after compilation, so one unit can be
+// shared across compile sessions and cached by the content hash of its
+// source (src/lang/unit_cache.h); unchanged imports never recompile.
+//
+// The opcode set is deliberately small and mirrors the reference
+// interpreter's evaluation order instruction by instruction: the
+// differential fuzz battery (tests/vm_differential_test.cc) holds the two
+// engines to bit-identical artifacts and byte-identical error messages, so
+// every "clever" encoding here must preserve observable evaluation order —
+// including which subexpression fails first.
+
+#ifndef SRC_LANG_BYTECODE_H_
+#define SRC_LANG_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/lang/value.h"
+#include "src/util/sha256.h"
+
+namespace configerator {
+
+struct CompiledUnit;
+
+// X-macro: X(name, operand_bytes). Operand encodings are little-endian;
+// kCall carries a variable tail (kwarg-name indices) documented below.
+#define CSL_OPCODE_LIST(X)                                                   \
+  /* Stack and pools. */                                                     \
+  X(Const, 2)          /* push constants[u16] */                             \
+  X(Pop, 0)            /* drop top */                                        \
+  X(PopN, 2)           /* drop u16 values (loop-state cleanup on break) */   \
+  /* Variables. */                                                           \
+  X(LoadName, 2)       /* push env lookup of names[u16] */                   \
+  X(StoreName, 2)      /* pop into innermost env (Python assignment) */      \
+  X(LoadLocal, 2)      /* push local slot u16 (falls back to env chain) */   \
+  X(StoreLocal, 2)     /* pop into local slot u16 */                         \
+  /* Binary operators (two pops, one push). */                               \
+  X(Add, 0) X(Sub, 0) X(Mul, 0) X(Div, 0) X(FloorDiv, 0) X(Mod, 0)           \
+  X(Eq, 0) X(Ne, 0) X(Lt, 0) X(Le, 0) X(Gt, 0) X(Ge, 0)                      \
+  X(In, 0) X(NotIn, 0)                                                       \
+  /* Unary operators. */                                                     \
+  X(Neg, 0) X(Not, 0)                                                        \
+  /* Control flow; absolute u32 targets. Peek variants keep the operand      \
+     on the stack (short-circuit and/or return the deciding operand). */     \
+  X(Jump, 4)                                                                 \
+  X(JumpIfFalsePop, 4)                                                       \
+  X(JumpIfFalsePeek, 4)                                                      \
+  X(JumpIfTruePeek, 4)                                                       \
+  /* Containers. */                                                          \
+  X(MakeList, 2)       /* pop u16 items, push list */                        \
+  X(MakeDict, 2)       /* pop u16 key/value pairs, push dict */              \
+  X(CheckStrKey, 0)    /* error unless top of stack is a string */           \
+  X(IndexGet, 0)       /* pop key, base; push base[key] */                   \
+  X(AttrGet, 2)        /* pop base; push base.names[u16] */                  \
+  X(IndexSet, 0)       /* pop key, base, value; base[key] = value */         \
+  X(AttrSet, 2)        /* pop base, value; base.names[u16] = value */        \
+  /* Calls and functions. kCall: u16 argc, u16 kwargc, then kwargc u16       \
+     name indices (sorted); stack is callee, args..., kwvalues... */         \
+  X(CheckCallable, 0)  /* error unless top of stack is callable */           \
+  X(Call, 4)                                                                 \
+  X(MakeClosure, 2)    /* push closure over functions[u16] + current env */  \
+  X(Return, 0)         /* pop return value, leave the frame */               \
+  X(ReturnNull, 0)                                                           \
+  /* For loops: [items, index] live on the stack while the loop runs. */     \
+  X(IterPrep, 0)       /* pop iterable; push materialized items, index 0 */  \
+  X(ForLoop, 4)        /* push next item, or pop state and jump u32 */       \
+  X(Unpack, 2)         /* pop list of u16 items; push them reversed */       \
+  /* assert. */                                                              \
+  X(AssertFail, 0)                                                           \
+  X(AssertFailMsg, 0)  /* pop message value */                               \
+  /* Import/export special forms (syntactic, like the interpreter). */       \
+  X(Import, 2)         /* pop path; import with "*" filter (names[u16] =     \
+                          callee spelling for messages) */                   \
+  X(ImportBegin, 6)    /* pop path; u16 callee name; schema imports and     \
+                          the module load happen here, then jump u32 past    \
+                          the filter if the path was a schema */             \
+  X(ImportApply, 0)    /* pop filter; bind the pending module's symbols */   \
+  X(CheckExportName, 0)                                                      \
+  X(Export, 1)         /* u8: 1 = export(name, value), 0 = export_if_last */ \
+  /* Dead-branch diagnostics (e.g. special-form arity errors) and halt. */   \
+  X(RuntimeError, 2)   /* fail with message names[u16] */                    \
+  X(Halt, 0)
+
+enum class OpCode : uint8_t {
+#define X(id, operands) k##id,
+  CSL_OPCODE_LIST(X)
+#undef X
+};
+
+// Instruction name ("Const", "JumpIfFalsePop", ...).
+std::string_view OpCodeName(OpCode op);
+
+// Fixed operand byte count (kCall's kwarg tail comes on top of this).
+int OpCodeOperands(OpCode op);
+
+// One instruction stream plus its pools. A module body and every function
+// body/default-argument expression each get their own chunk.
+struct Chunk {
+  std::vector<uint8_t> code;
+  std::vector<Value> constants;     // Scalar literals, kind-strict dedup.
+  std::vector<std::string> names;   // Identifiers, attribute names, messages.
+  // Run-length source lines: (first instruction offset, line). Binary
+  // searched by LineAt for error attribution.
+  std::vector<std::pair<uint32_t, int>> lines;
+  // Module path errors are reported against (the defining module for
+  // function chunks).
+  std::string origin;
+
+  // Pool interning. Constants dedup only identical kinds — 1, 1.0 and True
+  // compare Equals() but must stay distinct constants.
+  uint16_t AddConstant(const Value& v);
+  uint16_t AddName(const std::string& name);
+
+  void Emit(OpCode op, int line);
+  void EmitU8(uint8_t v) { code.push_back(v); }
+  void EmitU16(uint16_t v);
+  void EmitU32(uint32_t v);
+  void PatchU32(size_t at, uint32_t v);
+
+  uint16_t ReadU16(size_t at) const;
+  uint32_t ReadU32(size_t at) const;
+  int LineAt(size_t ip) const;
+};
+
+// A compiled function body. `defaults` parallels `params` (null = required
+// argument), each default being a small chunk evaluated in the callee's
+// scope. Functions whose locals are statically known run with vector slots
+// (`slot_mode`); functions that define nested functions or run imports need
+// a real Environment so closures can capture it.
+struct CompiledFunction {
+  std::string name;
+  std::string origin;
+  int line = 0;
+  std::vector<std::string> params;
+  std::vector<std::unique_ptr<Chunk>> defaults;
+  bool slot_mode = false;
+  std::vector<std::string> local_names;  // Slot index -> name (slot mode).
+  Chunk chunk;
+  // Owning unit, for kMakeClosure function lookup when the VM re-enters a
+  // closure from outside (validator calls). Stable: units are heap-allocated
+  // and immutable.
+  const CompiledUnit* unit = nullptr;
+};
+
+// A statically known import edge: where it points and whether the target is
+// a Thrift schema (which has includes and a validator companion instead of a
+// CSL import closure of its own).
+struct StaticImport {
+  std::string path;
+  bool is_schema = false;
+
+  bool operator==(const StaticImport&) const = default;
+};
+
+// A fully compiled module: the top-level chunk plus every function defined
+// anywhere in it. Immutable after codegen; shared_ptr-shared between the
+// unit cache and every session that executed it (values may outlive the
+// session's cache reference).
+struct CompiledUnit {
+  std::string path;
+  Sha256Digest source_hash;
+  Chunk top;
+  std::vector<std::unique_ptr<CompiledFunction>> functions;
+  // Literal import paths (modules and schemas) discovered statically, in
+  // first-occurrence order — the edges ClosureDigest hashes over.
+  std::vector<StaticImport> static_imports;
+  // True when any import path/filter is a computed expression; such units
+  // have no statically known closure.
+  bool has_dynamic_import = false;
+};
+
+// Human-readable listings; stable output covered by tests/vm_test.cc.
+std::string DisassembleChunk(const Chunk& chunk, const std::string& label);
+std::string Disassemble(const CompiledUnit& unit);
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_BYTECODE_H_

@@ -1,0 +1,659 @@
+#include "src/lang/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lang/import_resolver.h"
+#include "src/lang/ops.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+bool IsImportName(const std::string& name) {
+  return name == "import_python" || name == "import_thrift";
+}
+
+bool IsImportSpecialForm(const Expr& e) {
+  return e.kind == Expr::Kind::kCall && e.lhs != nullptr &&
+         e.lhs->kind == Expr::Kind::kName && IsImportName(e.lhs->name);
+}
+
+// --- Slot-mode analysis -----------------------------------------------------
+//
+// A function runs on vector slots (no Environment allocation per call) when
+// its set of locals is statically known and nothing inside needs a real
+// scope object: nested `def`s capture their environment, and import special
+// forms define arbitrary names into the current scope.
+
+bool ExprNeedsEnv(const Expr& e);
+
+bool AnyExprNeedsEnv(const std::vector<ExprPtr>& items) {
+  for (const ExprPtr& item : items) {
+    if (item != nullptr && ExprNeedsEnv(*item)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExprNeedsEnv(const Expr& e) {
+  if (IsImportSpecialForm(e)) {
+    return true;
+  }
+  if (AnyExprNeedsEnv(e.items)) {
+    return true;
+  }
+  for (const auto& [k, v] : e.pairs) {
+    if ((k != nullptr && ExprNeedsEnv(*k)) ||
+        (v != nullptr && ExprNeedsEnv(*v))) {
+      return true;
+    }
+  }
+  for (const auto& [kw, arg] : e.kwargs) {
+    if (arg != nullptr && ExprNeedsEnv(*arg)) {
+      return true;
+    }
+  }
+  return (e.lhs != nullptr && ExprNeedsEnv(*e.lhs)) ||
+         (e.rhs != nullptr && ExprNeedsEnv(*e.rhs)) ||
+         (e.third != nullptr && ExprNeedsEnv(*e.third));
+}
+
+bool BlockNeedsEnv(const std::vector<StmtPtr>& body) {
+  for (const StmtPtr& stmt : body) {
+    if (stmt->kind == Stmt::Kind::kDef) {
+      return true;
+    }
+    if ((stmt->target != nullptr && ExprNeedsEnv(*stmt->target)) ||
+        (stmt->value != nullptr && ExprNeedsEnv(*stmt->value))) {
+      return true;
+    }
+    if (BlockNeedsEnv(stmt->body) || BlockNeedsEnv(stmt->orelse)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// First-assignment-order locals of a slot-mode function body (no nested
+// defs by construction).
+void CollectLocals(const std::vector<StmtPtr>& body,
+                   std::vector<std::string>* names,
+                   std::set<std::string>* seen) {
+  auto add = [&](const std::string& name) {
+    if (seen->insert(name).second) {
+      names->push_back(name);
+    }
+  };
+  for (const StmtPtr& stmt : body) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kAssign:
+      case Stmt::Kind::kAugAssign:
+        if (stmt->target != nullptr && stmt->target->kind == Expr::Kind::kName) {
+          add(stmt->target->name);
+        }
+        break;
+      case Stmt::Kind::kFor:
+        for (const std::string& var : stmt->loop_vars) {
+          add(var);
+        }
+        break;
+      default:
+        break;
+    }
+    CollectLocals(stmt->body, names, seen);
+    CollectLocals(stmt->orelse, names, seen);
+  }
+}
+
+OpCode BinOpCode(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return OpCode::kAdd;
+    case BinOp::kSub:
+      return OpCode::kSub;
+    case BinOp::kMul:
+      return OpCode::kMul;
+    case BinOp::kDiv:
+      return OpCode::kDiv;
+    case BinOp::kFloorDiv:
+      return OpCode::kFloorDiv;
+    case BinOp::kMod:
+      return OpCode::kMod;
+    case BinOp::kEq:
+      return OpCode::kEq;
+    case BinOp::kNe:
+      return OpCode::kNe;
+    case BinOp::kLt:
+      return OpCode::kLt;
+    case BinOp::kLe:
+      return OpCode::kLe;
+    case BinOp::kGt:
+      return OpCode::kGt;
+    case BinOp::kGe:
+      return OpCode::kGe;
+    case BinOp::kIn:
+      return OpCode::kIn;
+    case BinOp::kNotIn:
+      return OpCode::kNotIn;
+  }
+  return OpCode::kHalt;
+}
+
+// --- Codegen ----------------------------------------------------------------
+
+class Codegen {
+ public:
+  explicit Codegen(const Module& module) : module_(module) {}
+
+  Result<std::shared_ptr<CompiledUnit>> Run() {
+    unit_ = std::make_shared<CompiledUnit>();
+    unit_->path = module_.path;
+    unit_->top.origin = module_.path;
+
+    FnCtx top;
+    top.chunk = &unit_->top;
+    RETURN_IF_ERROR(CompileBlock(module_.body, top));
+    top.chunk->Emit(OpCode::kHalt, LastLine(module_.body));
+    RETURN_IF_ERROR(CheckPools(*top.chunk));
+    return unit_;
+  }
+
+ private:
+  struct LoopCtx {
+    uint32_t head = 0;
+    // PatchU32 sites that must point at the loop's end.
+    std::vector<size_t> break_patches;
+    // Stack values owned by the loop (for-loops keep [items, index]).
+    uint16_t cleanup = 0;
+  };
+
+  struct FnCtx {
+    Chunk* chunk = nullptr;
+    const CompiledFunction* fn = nullptr;  // Null at module top level.
+    bool slot_mode = false;
+    std::map<std::string, uint16_t> slots;
+    std::vector<LoopCtx> loops;
+  };
+
+  static int LastLine(const std::vector<StmtPtr>& body) {
+    return body.empty() ? 1 : body.back()->line;
+  }
+
+  static Status CheckPools(const Chunk& chunk) {
+    if (chunk.constants.size() > 65535 || chunk.names.size() > 65535) {
+      return InternalError("bytecode pool overflow (module too large)");
+    }
+    return OkStatus();
+  }
+
+  static Status CheckCount(size_t n) {
+    if (n > 65535) {
+      return InternalError("bytecode pool overflow (module too large)");
+    }
+    return OkStatus();
+  }
+
+  static size_t EmitJump(Chunk& c, OpCode op, int line) {
+    c.Emit(op, line);
+    size_t at = c.code.size();
+    c.EmitU32(0);
+    return at;
+  }
+
+  static void PatchHere(Chunk& c, size_t at) {
+    c.PatchU32(at, static_cast<uint32_t>(c.code.size()));
+  }
+
+  void EmitRuntimeError(FnCtx& ctx, const std::string& msg, int line) {
+    ctx.chunk->Emit(OpCode::kRuntimeError, line);
+    ctx.chunk->EmitU16(ctx.chunk->AddName(msg));
+  }
+
+  Status CompileBlock(const std::vector<StmtPtr>& body, FnCtx& ctx) {
+    for (const StmtPtr& stmt : body) {
+      RETURN_IF_ERROR(CompileStmt(*stmt, ctx));
+    }
+    return OkStatus();
+  }
+
+  Status CompileStmt(const Stmt& stmt, FnCtx& ctx) {
+    Chunk& c = *ctx.chunk;
+    switch (stmt.kind) {
+      case Stmt::Kind::kExpr:
+        RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+        c.Emit(OpCode::kPop, stmt.line);
+        return OkStatus();
+      case Stmt::Kind::kAssign:
+        RETURN_IF_ERROR(CompileExpr(*stmt.value, ctx));
+        return CompileStore(*stmt.target, ctx);
+      case Stmt::Kind::kAugAssign: {
+        RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+        RETURN_IF_ERROR(CompileExpr(*stmt.value, ctx));
+        std::optional<BinOp> op = ParseBinOp(stmt.op);
+        if (!op.has_value()) {
+          EmitRuntimeError(ctx, "unknown binary operator '" + stmt.op + "'",
+                           stmt.line);
+          return OkStatus();
+        }
+        c.Emit(BinOpCode(*op), stmt.line);
+        return CompileStore(*stmt.target, ctx);
+      }
+      case Stmt::Kind::kIf: {
+        RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+        size_t jf = EmitJump(c, OpCode::kJumpIfFalsePop, stmt.line);
+        RETURN_IF_ERROR(CompileBlock(stmt.body, ctx));
+        if (stmt.orelse.empty()) {
+          PatchHere(c, jf);
+        } else {
+          size_t end = EmitJump(c, OpCode::kJump, stmt.line);
+          PatchHere(c, jf);
+          RETURN_IF_ERROR(CompileBlock(stmt.orelse, ctx));
+          PatchHere(c, end);
+        }
+        return OkStatus();
+      }
+      case Stmt::Kind::kFor: {
+        RETURN_IF_ERROR(CompileExpr(*stmt.value, ctx));
+        c.Emit(OpCode::kIterPrep, stmt.line);
+        uint32_t head = static_cast<uint32_t>(c.code.size());
+        c.Emit(OpCode::kForLoop, stmt.line);
+        size_t end_patch = c.code.size();
+        c.EmitU32(0);
+        ctx.loops.push_back(LoopCtx{head, {}, /*cleanup=*/2});
+        if (stmt.loop_vars.size() == 1) {
+          RETURN_IF_ERROR(StoreNameOrSlot(stmt.loop_vars[0], stmt.line, ctx));
+        } else {
+          RETURN_IF_ERROR(CheckCount(stmt.loop_vars.size()));
+          c.Emit(OpCode::kUnpack, stmt.line);
+          c.EmitU16(static_cast<uint16_t>(stmt.loop_vars.size()));
+          for (const std::string& var : stmt.loop_vars) {
+            RETURN_IF_ERROR(StoreNameOrSlot(var, stmt.line, ctx));
+          }
+        }
+        RETURN_IF_ERROR(CompileBlock(stmt.body, ctx));
+        c.Emit(OpCode::kJump, stmt.line);
+        c.EmitU32(head);
+        c.PatchU32(end_patch, static_cast<uint32_t>(c.code.size()));
+        for (size_t patch : ctx.loops.back().break_patches) {
+          PatchHere(c, patch);
+        }
+        ctx.loops.pop_back();
+        return OkStatus();
+      }
+      case Stmt::Kind::kWhile: {
+        uint32_t head = static_cast<uint32_t>(c.code.size());
+        RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+        size_t jf = EmitJump(c, OpCode::kJumpIfFalsePop, stmt.line);
+        ctx.loops.push_back(LoopCtx{head, {}, /*cleanup=*/0});
+        RETURN_IF_ERROR(CompileBlock(stmt.body, ctx));
+        c.Emit(OpCode::kJump, stmt.line);
+        c.EmitU32(head);
+        PatchHere(c, jf);
+        for (size_t patch : ctx.loops.back().break_patches) {
+          PatchHere(c, patch);
+        }
+        ctx.loops.pop_back();
+        return OkStatus();
+      }
+      case Stmt::Kind::kDef: {
+        ASSIGN_OR_RETURN(uint16_t fn_index, CompileFunction(*stmt.def));
+        c.Emit(OpCode::kMakeClosure, stmt.line);
+        c.EmitU16(fn_index);
+        return StoreNameOrSlot(stmt.def->name, stmt.line, ctx);
+      }
+      case Stmt::Kind::kReturn:
+        if (stmt.target != nullptr) {
+          RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+          c.Emit(OpCode::kReturn, stmt.line);
+        } else {
+          c.Emit(OpCode::kReturnNull, stmt.line);
+        }
+        return OkStatus();
+      case Stmt::Kind::kAssert: {
+        RETURN_IF_ERROR(CompileExpr(*stmt.target, ctx));
+        size_t fail = EmitJump(c, OpCode::kJumpIfFalsePop, stmt.line);
+        size_t end = EmitJump(c, OpCode::kJump, stmt.line);
+        PatchHere(c, fail);
+        if (stmt.value != nullptr) {
+          RETURN_IF_ERROR(CompileExpr(*stmt.value, ctx));
+          c.Emit(OpCode::kAssertFailMsg, stmt.line);
+        } else {
+          c.Emit(OpCode::kAssertFail, stmt.line);
+        }
+        PatchHere(c, end);
+        return OkStatus();
+      }
+      case Stmt::Kind::kPass:
+        return OkStatus();
+      case Stmt::Kind::kBreak: {
+        if (ctx.loops.empty()) {
+          // Flow escapes every loop: in a function that means "return
+          // None", at module top level the module simply ends — exactly the
+          // reference interpreter's Flow propagation.
+          c.Emit(ctx.fn != nullptr ? OpCode::kReturnNull : OpCode::kHalt,
+                 stmt.line);
+          return OkStatus();
+        }
+        LoopCtx& loop = ctx.loops.back();
+        if (loop.cleanup > 0) {
+          c.Emit(OpCode::kPopN, stmt.line);
+          c.EmitU16(loop.cleanup);
+        }
+        loop.break_patches.push_back(EmitJump(c, OpCode::kJump, stmt.line));
+        return OkStatus();
+      }
+      case Stmt::Kind::kContinue: {
+        if (ctx.loops.empty()) {
+          c.Emit(ctx.fn != nullptr ? OpCode::kReturnNull : OpCode::kHalt,
+                 stmt.line);
+          return OkStatus();
+        }
+        c.Emit(OpCode::kJump, stmt.line);
+        c.EmitU32(ctx.loops.back().head);
+        return OkStatus();
+      }
+    }
+    return InternalError("unhandled statement kind");
+  }
+
+  Status StoreNameOrSlot(const std::string& name, int line, FnCtx& ctx) {
+    Chunk& c = *ctx.chunk;
+    if (ctx.slot_mode) {
+      auto it = ctx.slots.find(name);
+      if (it != ctx.slots.end()) {
+        c.Emit(OpCode::kStoreLocal, line);
+        c.EmitU16(it->second);
+        return OkStatus();
+      }
+    }
+    c.Emit(OpCode::kStoreName, line);
+    c.EmitU16(c.AddName(name));
+    return OkStatus();
+  }
+
+  Status CompileStore(const Expr& target, FnCtx& ctx) {
+    Chunk& c = *ctx.chunk;
+    switch (target.kind) {
+      case Expr::Kind::kName:
+        return StoreNameOrSlot(target.name, target.line, ctx);
+      case Expr::Kind::kAttr:
+        RETURN_IF_ERROR(CompileExpr(*target.lhs, ctx));
+        c.Emit(OpCode::kAttrSet, target.line);
+        c.EmitU16(c.AddName(target.name));
+        return OkStatus();
+      case Expr::Kind::kIndex:
+        RETURN_IF_ERROR(CompileExpr(*target.lhs, ctx));
+        RETURN_IF_ERROR(CompileExpr(*target.rhs, ctx));
+        c.Emit(OpCode::kIndexSet, target.line);
+        return OkStatus();
+      default:
+        EmitRuntimeError(ctx, "invalid assignment target", target.line);
+        return OkStatus();
+    }
+  }
+
+  Status CompileExpr(const Expr& e, FnCtx& ctx) {
+    Chunk& c = *ctx.chunk;
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        c.Emit(OpCode::kConst, e.line);
+        c.EmitU16(c.AddConstant(e.literal));
+        return OkStatus();
+      case Expr::Kind::kName: {
+        if (ctx.slot_mode) {
+          auto it = ctx.slots.find(e.name);
+          if (it != ctx.slots.end()) {
+            c.Emit(OpCode::kLoadLocal, e.line);
+            c.EmitU16(it->second);
+            return OkStatus();
+          }
+        }
+        c.Emit(OpCode::kLoadName, e.line);
+        c.EmitU16(c.AddName(e.name));
+        return OkStatus();
+      }
+      case Expr::Kind::kList:
+        RETURN_IF_ERROR(CheckCount(e.items.size()));
+        for (const ExprPtr& item : e.items) {
+          RETURN_IF_ERROR(CompileExpr(*item, ctx));
+        }
+        c.Emit(OpCode::kMakeList, e.line);
+        c.EmitU16(static_cast<uint16_t>(e.items.size()));
+        return OkStatus();
+      case Expr::Kind::kDict:
+        RETURN_IF_ERROR(CheckCount(e.pairs.size()));
+        for (const auto& [key_expr, value_expr] : e.pairs) {
+          RETURN_IF_ERROR(CompileExpr(*key_expr, ctx));
+          c.Emit(OpCode::kCheckStrKey, e.line);
+          RETURN_IF_ERROR(CompileExpr(*value_expr, ctx));
+        }
+        c.Emit(OpCode::kMakeDict, e.line);
+        c.EmitU16(static_cast<uint16_t>(e.pairs.size()));
+        return OkStatus();
+      case Expr::Kind::kUnary:
+        RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+        if (e.name == "not") {
+          c.Emit(OpCode::kNot, e.line);
+        } else if (e.name == "-") {
+          c.Emit(OpCode::kNeg, e.line);
+        } else {
+          EmitRuntimeError(ctx, "unknown unary operator", e.line);
+        }
+        return OkStatus();
+      case Expr::Kind::kTernary: {
+        RETURN_IF_ERROR(CompileExpr(*e.rhs, ctx));  // Condition.
+        size_t jf = EmitJump(c, OpCode::kJumpIfFalsePop, e.line);
+        RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+        size_t end = EmitJump(c, OpCode::kJump, e.line);
+        PatchHere(c, jf);
+        RETURN_IF_ERROR(CompileExpr(*e.third, ctx));
+        PatchHere(c, end);
+        return OkStatus();
+      }
+      case Expr::Kind::kBinary: {
+        if (e.name == "and" || e.name == "or") {
+          RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+          size_t out = EmitJump(c,
+                                e.name == "and" ? OpCode::kJumpIfFalsePeek
+                                                : OpCode::kJumpIfTruePeek,
+                                e.line);
+          c.Emit(OpCode::kPop, e.line);
+          RETURN_IF_ERROR(CompileExpr(*e.rhs, ctx));
+          PatchHere(c, out);
+          return OkStatus();
+        }
+        std::optional<BinOp> op = ParseBinOp(e.name);
+        if (!op.has_value()) {
+          EmitRuntimeError(ctx, "unknown binary operator '" + e.name + "'",
+                           e.line);
+          return OkStatus();
+        }
+        RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+        RETURN_IF_ERROR(CompileExpr(*e.rhs, ctx));
+        c.Emit(BinOpCode(*op), e.line);
+        return OkStatus();
+      }
+      case Expr::Kind::kAttr:
+        RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+        c.Emit(OpCode::kAttrGet, e.line);
+        c.EmitU16(c.AddName(e.name));
+        return OkStatus();
+      case Expr::Kind::kIndex:
+        RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+        RETURN_IF_ERROR(CompileExpr(*e.rhs, ctx));
+        c.Emit(OpCode::kIndexGet, e.line);
+        return OkStatus();
+      case Expr::Kind::kCall:
+        return CompileCall(e, ctx);
+    }
+    return InternalError("unhandled expression kind");
+  }
+
+  Status CompileCall(const Expr& e, FnCtx& ctx) {
+    Chunk& c = *ctx.chunk;
+    if (e.lhs->kind == Expr::Kind::kName) {
+      const std::string& name = e.lhs->name;
+      if (IsImportName(name)) {
+        ImportTarget target = ClassifyImport(e);
+        if (target.kind == ImportTarget::Kind::kDynamic) {
+          unit_->has_dynamic_import = true;
+        } else {
+          StaticImport edge{target.path,
+                            target.kind == ImportTarget::Kind::kSchema};
+          if (std::find(unit_->static_imports.begin(),
+                        unit_->static_imports.end(),
+                        edge) == unit_->static_imports.end()) {
+            unit_->static_imports.push_back(std::move(edge));
+          }
+        }
+        if (e.items.empty()) {
+          EmitRuntimeError(ctx, name + "() needs a path argument", e.line);
+          return OkStatus();
+        }
+        RETURN_IF_ERROR(CompileExpr(*e.items[0], ctx));
+        if (e.items.size() == 1) {
+          c.Emit(OpCode::kImport, e.line);
+          c.EmitU16(c.AddName(name));
+          return OkStatus();
+        }
+        // Two-plus arguments: the schema-path decision happens at runtime,
+        // and schema imports never evaluate the filter (the interpreter
+        // returns before looking at it) — hence the jump past it. Extra
+        // positional arguments and kwargs are never evaluated at all,
+        // matching the interpreter's special form.
+        c.Emit(OpCode::kImportBegin, e.line);
+        c.EmitU16(c.AddName(name));
+        size_t done = c.code.size();
+        c.EmitU32(0);
+        RETURN_IF_ERROR(CompileExpr(*e.items[1], ctx));
+        c.Emit(OpCode::kImportApply, e.line);
+        PatchHere(c, done);
+        return OkStatus();
+      }
+      if (name == "export" || name == "export_if_last") {
+        if (name == "export") {
+          if (e.items.size() != 2) {
+            EmitRuntimeError(ctx, "export(name, value) needs two arguments",
+                             e.line);
+            return OkStatus();
+          }
+          RETURN_IF_ERROR(CompileExpr(*e.items[0], ctx));
+          c.Emit(OpCode::kCheckExportName, e.line);
+          RETURN_IF_ERROR(CompileExpr(*e.items[1], ctx));
+          c.Emit(OpCode::kExport, e.line);
+          c.EmitU8(1);
+          return OkStatus();
+        }
+        if (e.items.size() != 1) {
+          EmitRuntimeError(ctx, "export_if_last(value) needs one argument",
+                           e.line);
+          return OkStatus();
+        }
+        RETURN_IF_ERROR(CompileExpr(*e.items[0], ctx));
+        c.Emit(OpCode::kExport, e.line);
+        c.EmitU8(0);
+        return OkStatus();
+      }
+    }
+
+    RETURN_IF_ERROR(CompileExpr(*e.lhs, ctx));
+    // The interpreter rejects a non-callable callee before evaluating any
+    // argument; the check must happen at the same point here.
+    c.Emit(OpCode::kCheckCallable, e.line);
+    for (const ExprPtr& arg : e.items) {
+      RETURN_IF_ERROR(CompileExpr(*arg, ctx));
+    }
+    for (const auto& [kw, arg_expr] : e.kwargs) {
+      RETURN_IF_ERROR(CompileExpr(*arg_expr, ctx));
+    }
+    RETURN_IF_ERROR(CheckCount(e.items.size()));
+    RETURN_IF_ERROR(CheckCount(e.kwargs.size()));
+    c.Emit(OpCode::kCall, e.line);
+    c.EmitU16(static_cast<uint16_t>(e.items.size()));
+    c.EmitU16(static_cast<uint16_t>(e.kwargs.size()));
+    for (const auto& [kw, arg_expr] : e.kwargs) {
+      c.EmitU16(c.AddName(kw));
+    }
+    return OkStatus();
+  }
+
+  Result<uint16_t> CompileFunction(const FunctionDefStmt& def) {
+    if (unit_->functions.size() >= 65535) {
+      return InternalError("bytecode pool overflow (module too large)");
+    }
+    auto fn = std::make_unique<CompiledFunction>();
+    fn->name = def.name;
+    fn->origin = def.origin.empty() ? module_.path : def.origin;
+    fn->line = def.line;
+    fn->params = def.params;
+    fn->unit = unit_.get();
+
+    bool needs_env = BlockNeedsEnv(def.body);
+    for (const ExprPtr& dflt : def.defaults) {
+      if (dflt != nullptr && ExprNeedsEnv(*dflt)) {
+        needs_env = true;
+      }
+    }
+    fn->slot_mode = !needs_env;
+
+    FnCtx ctx;
+    ctx.fn = fn.get();
+    ctx.slot_mode = fn->slot_mode;
+    if (fn->slot_mode) {
+      std::set<std::string> seen;
+      fn->local_names = def.params;
+      seen.insert(def.params.begin(), def.params.end());
+      CollectLocals(def.body, &fn->local_names, &seen);
+      if (fn->local_names.size() > 65535) {
+        return InternalError("bytecode pool overflow (module too large)");
+      }
+      for (size_t i = 0; i < fn->local_names.size(); ++i) {
+        ctx.slots[fn->local_names[i]] = static_cast<uint16_t>(i);
+      }
+    }
+
+    // Default-argument chunks run in the callee's scope, so earlier
+    // parameters are visible (same environment as the body).
+    for (const ExprPtr& dflt : def.defaults) {
+      if (dflt == nullptr) {
+        fn->defaults.push_back(nullptr);
+        continue;
+      }
+      auto chunk = std::make_unique<Chunk>();
+      chunk->origin = fn->origin;
+      FnCtx dctx = ctx;
+      dctx.chunk = chunk.get();
+      RETURN_IF_ERROR(CompileExpr(*dflt, dctx));
+      chunk->Emit(OpCode::kReturn, dflt->line);
+      RETURN_IF_ERROR(CheckPools(*chunk));
+      fn->defaults.push_back(std::move(chunk));
+    }
+
+    fn->chunk.origin = fn->origin;
+    ctx.chunk = &fn->chunk;
+    RETURN_IF_ERROR(CompileBlock(def.body, ctx));
+    fn->chunk.Emit(OpCode::kReturnNull, LastLine(def.body));
+    RETURN_IF_ERROR(CheckPools(fn->chunk));
+
+    unit_->functions.push_back(std::move(fn));
+    return static_cast<uint16_t>(unit_->functions.size() - 1);
+  }
+
+  const Module& module_;
+  std::shared_ptr<CompiledUnit> unit_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<CompiledUnit>> CompileToBytecode(const Module& module) {
+  Codegen codegen(module);
+  return codegen.Run();
+}
+
+}  // namespace configerator

@@ -1,0 +1,26 @@
+// AST -> bytecode compiler for the config source language.
+//
+// Compilation is purely syntactic — no imports are resolved and no schema
+// registry is consulted — so a CompiledUnit depends only on the module
+// source text. That is what makes content-hash caching sound: same bytes,
+// same unit (src/lang/unit_cache.h).
+
+#ifndef SRC_LANG_CODEGEN_H_
+#define SRC_LANG_CODEGEN_H_
+
+#include <memory>
+
+#include "src/lang/ast.h"
+#include "src/lang/bytecode.h"
+#include "src/util/status.h"
+
+namespace configerator {
+
+// Compiles a parsed module. Fails only on resource exhaustion (constant or
+// name pool overflow); semantically invalid programs compile to bytecode
+// that reproduces the interpreter's runtime error.
+Result<std::shared_ptr<CompiledUnit>> CompileToBytecode(const Module& module);
+
+}  // namespace configerator
+
+#endif  // SRC_LANG_CODEGEN_H_

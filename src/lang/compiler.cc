@@ -1,9 +1,13 @@
 #include "src/lang/compiler.h"
 
+#include <chrono>
 #include <cstring>
 #include <set>
 
 #include "src/lang/builtins.h"
+#include "src/lang/unit_cache.h"
+#include "src/lang/vm.h"
+#include "src/obs/metrics.h"
 #include "src/schema/typecheck.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -25,8 +29,12 @@ namespace {
 // One hermetic compilation of one entry file.
 class ConfigCompiler::Session {
  public:
-  Session(FileReader reader, std::string entry_path)
-      : reader_(std::move(reader)), entry_path_(std::move(entry_path)) {
+  Session(FileReader reader, std::string entry_path, CompilerOptions options,
+          CompiledUnitCache* unit_cache)
+      : reader_(std::move(reader)),
+        entry_path_(std::move(entry_path)),
+        options_(options),
+        unit_cache_(unit_cache) {
     Interp::Hooks hooks;
     hooks.import_module = [this](const std::string& path) {
       return ImportModule(path);
@@ -37,16 +45,18 @@ class ConfigCompiler::Session {
     hooks.export_config = [this](const std::string& name, const Value& value) {
       return ExportConfig(name, value);
     };
-    interp_ = std::make_unique<Interp>(&registry_, std::move(hooks));
+    if (options_.engine == CompilerOptions::Engine::kInterpreter) {
+      interp_ = std::make_unique<Interp>(&registry_, std::move(hooks));
+    } else {
+      vm_ = std::make_unique<Vm>(&registry_, std::move(hooks));
+    }
   }
 
   Result<CompileOutput> Run() {
     ASSIGN_OR_RETURN(std::string source, ReadDep(entry_path_));
-    ASSIGN_OR_RETURN(std::shared_ptr<Module> module, ParseCsl(source, entry_path_));
-    modules_alive_.push_back(module);
-    auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    auto globals = NewGlobals();
     RETURN_IF_ERROR_R(
-        interp_->EvalModule(*module, globals, /*exports_enabled=*/true));
+        EvalSource(entry_path_, source, globals, /*exports_enabled=*/true));
 
     // Post-process exports: type check, defaults, validators.
     CompileOutput output;
@@ -81,6 +91,67 @@ class ConfigCompiler::Session {
     return reader_(path);
   }
 
+  std::shared_ptr<Environment> NewGlobals() {
+    if (interp_ != nullptr) {
+      return interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    }
+    return vm_->NewEnvironment(vm_->MakeBaseEnvironment());
+  }
+
+  // Evaluates one module source with the session's engine. For the VM this
+  // is where the content-hash cache and the compile/execute split are
+  // observable; the tree-walking interpreter parses and walks in one go.
+  Status EvalSource(const std::string& path, const std::string& source,
+                    const std::shared_ptr<Environment>& globals,
+                    bool exports_enabled) {
+    if (interp_ != nullptr) {
+      auto module = ParseCsl(source, path);
+      if (!module.ok()) {
+        return module.status();
+      }
+      modules_alive_.push_back(*module);
+      return interp_->EvalModule(**module, globals, exports_enabled);
+    }
+
+    MetricsRegistry* metrics = options_.metrics;
+    size_t hits_before = unit_cache_->hits();
+    size_t misses_before = unit_cache_->misses();
+    auto compile_start = std::chrono::steady_clock::now();
+    auto unit = unit_cache_->GetOrCompile(path, source);
+    auto compile_end = std::chrono::steady_clock::now();
+    if (metrics != nullptr) {
+      metrics->GetCounter("csl.unit_cache.hits")
+          ->Inc(unit_cache_->hits() - hits_before);
+      metrics->GetCounter("csl.unit_cache.misses")
+          ->Inc(unit_cache_->misses() - misses_before);
+      metrics->GetHistogram("csl.compile_micros")
+          ->Record(std::chrono::duration<double, std::micro>(compile_end -
+                                                             compile_start)
+                       .count());
+    }
+    if (!unit.ok()) {
+      return unit.status();
+    }
+    // Closures point into the unit's chunks; keep it alive past the cache.
+    units_alive_.push_back(*unit);
+    Status status = vm_->EvalUnit(**unit, globals, exports_enabled);
+    if (metrics != nullptr) {
+      metrics->GetHistogram("csl.execute_micros")
+          ->Record(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - compile_end)
+                       .count());
+    }
+    return status;
+  }
+
+  Result<Value> CallFn(const Value& fn, std::vector<Value> args,
+                       std::map<std::string, Value> kwargs) {
+    if (interp_ != nullptr) {
+      return interp_->CallValue(fn, std::move(args), std::move(kwargs));
+    }
+    return vm_->CallValue(fn, std::move(args), std::move(kwargs));
+  }
+
   Result<std::shared_ptr<Environment>> ImportModule(const std::string& path) {
     auto cached = module_envs_.find(path);
     if (cached != module_envs_.end()) {
@@ -91,11 +162,9 @@ class ConfigCompiler::Session {
     }
     module_envs_[path] = nullptr;  // Cycle marker.
     ASSIGN_OR_RETURN(std::string source, ReadDep(path));
-    ASSIGN_OR_RETURN(std::shared_ptr<Module> module, ParseCsl(source, path));
-    modules_alive_.push_back(module);
-    auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
+    auto globals = NewGlobals();
     RETURN_IF_ERROR_R(
-        interp_->EvalModule(*module, globals, /*exports_enabled=*/false));
+        EvalSource(path, source, globals, /*exports_enabled=*/false));
     module_envs_[path] = globals;
     return globals;
   }
@@ -121,12 +190,9 @@ class ConfigCompiler::Session {
     auto validator_source = reader_(validator_path);
     if (validator_source.ok()) {
       dependencies_.insert(validator_path);
-      ASSIGN_OR_RETURN(std::shared_ptr<Module> module,
-                       ParseCsl(*validator_source, validator_path));
-      modules_alive_.push_back(module);
-      auto globals = interp_->NewEnvironment(interp_->MakeBaseEnvironment());
-      RETURN_IF_ERROR(
-          interp_->EvalModule(*module, globals, /*exports_enabled=*/false));
+      auto globals = NewGlobals();
+      RETURN_IF_ERROR(EvalSource(validator_path, *validator_source, globals,
+                                 /*exports_enabled=*/false));
       for (const auto& [name, value] : globals->vars()) {
         if (name.starts_with("validate_") && value.is_callable()) {
           validators_[name.substr(strlen("validate_"))].push_back(value);
@@ -157,7 +223,7 @@ class ConfigCompiler::Session {
     Value cfg = Value::FromJson(json);
     cfg.set_type_name(type_name);
     for (const Value& validator : it->second) {
-      auto result = interp_->CallValue(validator, {cfg}, {});
+      auto result = CallFn(validator, {cfg}, {});
       if (!result.ok()) {
         return InvalidConfigError(
             StrFormat("validator for %s rejected config: %s", type_name.c_str(),
@@ -174,8 +240,13 @@ class ConfigCompiler::Session {
 
   FileReader reader_;
   std::string entry_path_;
+  CompilerOptions options_;
+  CompiledUnitCache* unit_cache_;
   SchemaRegistry registry_;
+  // Exactly one engine is live per session, chosen by options_.engine.
   std::unique_ptr<Interp> interp_;
+  std::unique_ptr<Vm> vm_;
+  std::vector<std::shared_ptr<const CompiledUnit>> units_alive_;
   std::map<std::string, std::shared_ptr<Environment>> module_envs_;
   std::set<std::string> loaded_schemas_;
   std::set<std::string> dependencies_;
@@ -185,10 +256,68 @@ class ConfigCompiler::Session {
   std::vector<std::shared_ptr<Module>> modules_alive_;
 };
 
-ConfigCompiler::ConfigCompiler(FileReader reader) : reader_(std::move(reader)) {}
+ConfigCompiler::ConfigCompiler(FileReader reader)
+    : ConfigCompiler(std::move(reader), CompilerOptions{}) {}
+
+ConfigCompiler::ConfigCompiler(FileReader reader, CompilerOptions options)
+    : reader_(std::move(reader)), options_(options) {
+  if (options_.engine == CompilerOptions::Engine::kBytecodeVm &&
+      options_.unit_cache == nullptr) {
+    owned_unit_cache_ = std::make_unique<CompiledUnitCache>();
+    options_.unit_cache = owned_unit_cache_.get();
+  }
+}
+
+ConfigCompiler::~ConfigCompiler() = default;
 
 Result<CompileOutput> ConfigCompiler::Compile(const std::string& entry_path) {
-  Session session(reader_, entry_path);
+  CompiledUnitCache* cache = options_.unit_cache;
+  if (options_.engine == CompilerOptions::Engine::kBytecodeVm &&
+      options_.memoize_outputs && cache != nullptr) {
+    // Digest-first: walk the entry's static import closure (re-reading every
+    // source, so edits always take effect) and replay the memoized output if
+    // this exact closure has compiled before. CSL is hermetic, so the output
+    // is a pure function of the closure's bytes.
+    MetricsRegistry* metrics = options_.metrics;
+    size_t hits_before = cache->hits();
+    size_t misses_before = cache->misses();
+    auto digest = ClosureDigest(entry_path, reader_, cache);
+    if (metrics != nullptr) {
+      metrics->GetCounter("csl.unit_cache.hits")
+          ->Inc(cache->hits() - hits_before);
+      metrics->GetCounter("csl.unit_cache.misses")
+          ->Inc(cache->misses() - misses_before);
+    }
+    if (digest.ok()) {
+      if (const CompiledUnitCache::MemoizedOutput* memo =
+              cache->FindOutput(*digest)) {
+        if (metrics != nullptr) {
+          metrics->GetCounter("csl.output_cache.hits")->Inc();
+        }
+        if (!memo->status.ok()) {
+          return memo->status;
+        }
+        return memo->output;
+      }
+      if (metrics != nullptr) {
+        metrics->GetCounter("csl.output_cache.misses")->Inc();
+      }
+      Session session(reader_, entry_path, options_, cache);
+      auto output = session.Run();
+      CompiledUnitCache::MemoizedOutput memo;
+      if (output.ok()) {
+        memo.output = *output;
+      } else {
+        memo.status = output.status();
+      }
+      cache->StoreOutput(*digest, std::move(memo));
+      return output;
+    }
+    // The closure is not statically digestible (a computed import path) or a
+    // file in it is unreadable: fall through to a full evaluation, which
+    // produces the right output or error. Such entries are never memoized.
+  }
+  Session session(reader_, entry_path, options_, options_.unit_cache);
   return session.Run();
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/lang/builtins.h"
 #include "src/lang/import_resolver.h"
+#include "src/lang/ops.h"
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -82,8 +83,9 @@ Status Interp::EvalError(int line, const std::string& msg) const {
 
 std::shared_ptr<Environment> Interp::MakeBaseEnvironment() {
   if (base_env_ == nullptr) {
-    base_env_ = std::make_shared<Environment>();
-    RegisterCslBuiltins(base_env_.get());
+    // Builtins live in a shared immutable parent scope; only the session's
+    // schema constructors / enum namespaces go in this (mutable) layer.
+    base_env_ = std::make_shared<Environment>(SharedBuiltinsEnvironment());
     if (registry_ != nullptr) {
       RegisterSchemaConstructors(*registry_, base_env_.get());
     }
@@ -169,21 +171,12 @@ Result<Interp::Flow> Interp::ExecStmt(const Stmt& stmt,
     }
     case Stmt::Kind::kFor: {
       ASSIGN_OR_RETURN(Value iterable, Eval(*stmt.value, env));
-      std::vector<Value> items;
-      if (iterable.is_list()) {
-        items = iterable.as_list();
-      } else if (iterable.is_dict()) {
-        // Iterating a dict yields its keys, like Python.
-        for (const auto& [k, v] : iterable.as_dict()) {
-          items.push_back(Value::Str(k));
-        }
-      } else if (iterable.is_string()) {
-        for (char c : iterable.as_string()) {
-          items.push_back(Value::Str(std::string(1, c)));
-        }
-      } else {
-        return EvalError(stmt.line, "for-loop target is not iterable");
+      auto materialized = IterableItems(iterable);
+      if (!materialized.ok()) {
+        return EvalError(stmt.line,
+                         std::string(materialized.status().message()));
       }
+      std::vector<Value> items = std::move(materialized).value();
       for (Value& item : items) {
         RETURN_IF_ERROR_R(Tick(stmt.line));
         if (stmt.loop_vars.size() == 1) {
@@ -278,11 +271,10 @@ Status Interp::Assign(const Expr& target, Value value,
       if (!base.ok()) {
         return base.status();
       }
-      if (!base->is_dict()) {
-        return EvalError(target.line,
-                         "cannot set attribute on " + std::string(base->KindName()));
+      Status set = EvalAttrSet(*base, target.name, std::move(value));
+      if (!set.ok()) {
+        return EvalError(target.line, std::string(set.message()));
       }
-      base->as_dict()[target.name] = std::move(value);
       return OkStatus();
     }
     case Expr::Kind::kIndex: {
@@ -294,30 +286,11 @@ Status Interp::Assign(const Expr& target, Value value,
       if (!key.ok()) {
         return key.status();
       }
-      if (base->is_dict()) {
-        if (!key->is_string()) {
-          return EvalError(target.line, "dict keys must be strings");
-        }
-        base->as_dict()[key->as_string()] = std::move(value);
-        return OkStatus();
+      Status set = EvalIndexSet(*base, *key, std::move(value));
+      if (!set.ok()) {
+        return EvalError(target.line, std::string(set.message()));
       }
-      if (base->is_list()) {
-        if (!key->is_int()) {
-          return EvalError(target.line, "list index must be an integer");
-        }
-        int64_t idx = key->as_int();
-        auto& list = base->as_list();
-        if (idx < 0) {
-          idx += static_cast<int64_t>(list.size());
-        }
-        if (idx < 0 || idx >= static_cast<int64_t>(list.size())) {
-          return EvalError(target.line, "list index out of range");
-        }
-        list[static_cast<size_t>(idx)] = std::move(value);
-        return OkStatus();
-      }
-      return EvalError(target.line,
-                       "cannot index " + std::string(base->KindName()));
+      return OkStatus();
     }
     default:
       return EvalError(target.line, "invalid assignment target");
@@ -359,19 +332,11 @@ Result<Value> Interp::Eval(const Expr& expr, const std::shared_ptr<Environment>&
     }
     case Expr::Kind::kUnary: {
       ASSIGN_OR_RETURN(Value operand, Eval(*expr.lhs, env));
-      if (expr.name == "not") {
-        return Value::Bool(!operand.Truthy());
+      auto result = EvalUnaryValues(expr.name, operand);
+      if (!result.ok()) {
+        return EvalError(expr.line, std::string(result.status().message()));
       }
-      if (expr.name == "-") {
-        if (operand.is_int()) {
-          return Value::Int(-operand.as_int());
-        }
-        if (operand.is_double()) {
-          return Value::Double(-operand.as_double());
-        }
-        return EvalError(expr.line, "unary '-' needs a number");
-      }
-      return EvalError(expr.line, "unknown unary operator");
+      return result;
     }
     case Expr::Kind::kTernary: {
       ASSIGN_OR_RETURN(Value cond, Eval(*expr.rhs, env));
@@ -384,62 +349,20 @@ Result<Value> Interp::Eval(const Expr& expr, const std::shared_ptr<Environment>&
       return EvalBinary(expr, env);
     case Expr::Kind::kAttr: {
       ASSIGN_OR_RETURN(Value base, Eval(*expr.lhs, env));
-      if (base.is_dict()) {
-        auto it = base.as_dict().find(expr.name);
-        if (it == base.as_dict().end()) {
-          return EvalError(expr.line, StrFormat("%s has no attribute '%s'",
-                                                std::string(base.KindName()).c_str(),
-                                                expr.name.c_str()));
-        }
-        return it->second;
+      auto result = EvalAttrGet(base, expr.name);
+      if (!result.ok()) {
+        return EvalError(expr.line, std::string(result.status().message()));
       }
-      return EvalError(expr.line, StrFormat("cannot access attribute '%s' on %s",
-                                            expr.name.c_str(),
-                                            std::string(base.KindName()).c_str()));
+      return result;
     }
     case Expr::Kind::kIndex: {
       ASSIGN_OR_RETURN(Value base, Eval(*expr.lhs, env));
       ASSIGN_OR_RETURN(Value key, Eval(*expr.rhs, env));
-      if (base.is_dict()) {
-        if (!key.is_string()) {
-          return EvalError(expr.line, "dict keys must be strings");
-        }
-        auto it = base.as_dict().find(key.as_string());
-        if (it == base.as_dict().end()) {
-          return EvalError(expr.line, "key '" + key.as_string() + "' not found");
-        }
-        return it->second;
+      auto result = EvalIndexGet(base, key);
+      if (!result.ok()) {
+        return EvalError(expr.line, std::string(result.status().message()));
       }
-      if (base.is_list()) {
-        if (!key.is_int()) {
-          return EvalError(expr.line, "list index must be an integer");
-        }
-        int64_t idx = key.as_int();
-        const auto& list = base.as_list();
-        if (idx < 0) {
-          idx += static_cast<int64_t>(list.size());
-        }
-        if (idx < 0 || idx >= static_cast<int64_t>(list.size())) {
-          return EvalError(expr.line, "list index out of range");
-        }
-        return list[static_cast<size_t>(idx)];
-      }
-      if (base.is_string()) {
-        if (!key.is_int()) {
-          return EvalError(expr.line, "string index must be an integer");
-        }
-        int64_t idx = key.as_int();
-        const std::string& s = base.as_string();
-        if (idx < 0) {
-          idx += static_cast<int64_t>(s.size());
-        }
-        if (idx < 0 || idx >= static_cast<int64_t>(s.size())) {
-          return EvalError(expr.line, "string index out of range");
-        }
-        return Value::Str(std::string(1, s[static_cast<size_t>(idx)]));
-      }
-      return EvalError(expr.line,
-                       "cannot index " + std::string(base.KindName()));
+      return result;
     }
     case Expr::Kind::kCall:
       return EvalCall(expr, env);
@@ -467,154 +390,18 @@ Result<Value> Interp::EvalBinary(const Expr& expr,
     return Eval(*expr.rhs, env);
   }
 
+  std::optional<BinOp> bin = ParseBinOp(op);
+  if (!bin.has_value()) {
+    return EvalError(expr.line, "unknown binary operator '" + op + "'");
+  }
+
   ASSIGN_OR_RETURN(Value lhs, Eval(*expr.lhs, env));
   ASSIGN_OR_RETURN(Value rhs, Eval(*expr.rhs, env));
-
-  if (op == "==") {
-    return Value::Bool(lhs.Equals(rhs));
+  auto result = EvalBinaryValues(*bin, lhs, rhs);
+  if (!result.ok()) {
+    return EvalError(expr.line, std::string(result.status().message()));
   }
-  if (op == "!=") {
-    return Value::Bool(!lhs.Equals(rhs));
-  }
-  if (op == "in" || op == "not in") {
-    bool contains = false;
-    if (rhs.is_list()) {
-      for (const Value& item : rhs.as_list()) {
-        if (item.Equals(lhs)) {
-          contains = true;
-          break;
-        }
-      }
-    } else if (rhs.is_dict()) {
-      if (!lhs.is_string()) {
-        return EvalError(expr.line, "'in <dict>' needs a string key");
-      }
-      contains = rhs.as_dict().count(lhs.as_string()) > 0;
-    } else if (rhs.is_string()) {
-      if (!lhs.is_string()) {
-        return EvalError(expr.line, "'in <string>' needs a string");
-      }
-      contains = rhs.as_string().find(lhs.as_string()) != std::string::npos;
-    } else {
-      return EvalError(expr.line,
-                       "'in' right operand must be list, dict or string");
-    }
-    return Value::Bool(op == "in" ? contains : !contains);
-  }
-
-  // Ordering comparisons.
-  if (op == "<" || op == "<=" || op == ">" || op == ">=") {
-    int cmp = 0;
-    if (lhs.is_number() && rhs.is_number()) {
-      double a = lhs.as_double();
-      double b = rhs.as_double();
-      cmp = a < b ? -1 : (a > b ? 1 : 0);
-    } else if (lhs.is_string() && rhs.is_string()) {
-      cmp = lhs.as_string().compare(rhs.as_string());
-      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-    } else {
-      return EvalError(expr.line,
-                       StrFormat("cannot compare %s and %s",
-                                 std::string(lhs.KindName()).c_str(),
-                                 std::string(rhs.KindName()).c_str()));
-    }
-    if (op == "<") {
-      return Value::Bool(cmp < 0);
-    }
-    if (op == "<=") {
-      return Value::Bool(cmp <= 0);
-    }
-    if (op == ">") {
-      return Value::Bool(cmp > 0);
-    }
-    return Value::Bool(cmp >= 0);
-  }
-
-  // Arithmetic and concatenation.
-  if (op == "+") {
-    if (lhs.is_int() && rhs.is_int()) {
-      return Value::Int(lhs.as_int() + rhs.as_int());
-    }
-    if (lhs.is_number() && rhs.is_number()) {
-      return Value::Double(lhs.as_double() + rhs.as_double());
-    }
-    if (lhs.is_string() && rhs.is_string()) {
-      return Value::Str(lhs.as_string() + rhs.as_string());
-    }
-    if (lhs.is_list() && rhs.is_list()) {
-      Value::List combined = lhs.as_list();
-      for (const Value& v : rhs.as_list()) {
-        combined.push_back(v);
-      }
-      return Value::MakeList(std::move(combined));
-    }
-    return EvalError(expr.line, StrFormat("cannot add %s and %s",
-                                          std::string(lhs.KindName()).c_str(),
-                                          std::string(rhs.KindName()).c_str()));
-  }
-  if (op == "-" || op == "*" || op == "/" || op == "%" || op == "//") {
-    if (op == "*" && lhs.is_string() && rhs.is_int()) {
-      std::string out;
-      for (int64_t i = 0; i < rhs.as_int(); ++i) {
-        out += lhs.as_string();
-      }
-      return Value::Str(std::move(out));
-    }
-    if (!lhs.is_number() || !rhs.is_number()) {
-      return EvalError(expr.line,
-                       StrFormat("operator '%s' needs numbers", op.c_str()));
-    }
-    if (lhs.is_int() && rhs.is_int()) {
-      int64_t a = lhs.as_int();
-      int64_t b = rhs.as_int();
-      if (op == "-") {
-        return Value::Int(a - b);
-      }
-      if (op == "*") {
-        return Value::Int(a * b);
-      }
-      if (b == 0) {
-        return EvalError(expr.line, "division by zero");
-      }
-      if (op == "//") {
-        // Floor division, Python semantics.
-        int64_t q = a / b;
-        if ((a % b != 0) && ((a < 0) != (b < 0))) {
-          --q;
-        }
-        return Value::Int(q);
-      }
-      if (op == "%") {
-        int64_t r = a % b;
-        if (r != 0 && ((r < 0) != (b < 0))) {
-          r += b;
-        }
-        return Value::Int(r);
-      }
-      // "/" on ints yields double, Python 3 semantics.
-      return Value::Double(static_cast<double>(a) / static_cast<double>(b));
-    }
-    double a = lhs.as_double();
-    double b = rhs.as_double();
-    if (op == "-") {
-      return Value::Double(a - b);
-    }
-    if (op == "*") {
-      return Value::Double(a * b);
-    }
-    if (b == 0) {
-      return EvalError(expr.line, "division by zero");
-    }
-    if (op == "//") {
-      return Value::Double(std::floor(a / b));
-    }
-    if (op == "%") {
-      return Value::Double(std::fmod(a, b));
-    }
-    return Value::Double(a / b);
-  }
-
-  return EvalError(expr.line, "unknown binary operator '" + op + "'");
+  return result;
 }
 
 Result<Value> Interp::EvalCall(const Expr& expr,
@@ -736,68 +523,38 @@ Result<Value> Interp::CallValue(const Value& fn, std::vector<Value> args,
   }
 
   const Closure& closure = fn.as_closure();
+  if (closure.def == nullptr) {
+    --call_depth_;
+    return InternalError("closure was compiled for the bytecode VM");
+  }
   const FunctionDefStmt& def = *closure.def;
   auto locals = NewEnvironment(closure.env);
 
-  Status bind_status = OkStatus();
-  size_t n_params = def.params.size();
-  if (args.size() > n_params) {
-    bind_status = InvalidArgumentError(
-        StrFormat("%s() takes at most %zu arguments (%zu given)",
-                  def.name.c_str(), n_params, args.size()));
+  // Runtime errors inside the function body (and its default-argument
+  // expressions) belong to the module that defines the function, which may
+  // not be the module currently being evaluated.
+  std::string saved_origin = current_origin_;
+  if (!def.origin.empty()) {
+    current_origin_ = def.origin;
   }
-  std::vector<bool> bound(n_params, false);
-  if (bind_status.ok()) {
-    for (size_t i = 0; i < args.size(); ++i) {
-      locals->Define(def.params[i], std::move(args[i]));
-      bound[i] = true;
-    }
-    for (auto& [kw, value] : kwargs) {
-      auto it = std::find(def.params.begin(), def.params.end(), kw);
-      if (it == def.params.end()) {
-        bind_status = InvalidArgumentError(
-            StrFormat("%s() got unexpected keyword argument '%s'",
-                      def.name.c_str(), kw.c_str()));
-        break;
-      }
-      size_t idx = static_cast<size_t>(it - def.params.begin());
-      if (bound[idx]) {
-        bind_status = InvalidArgumentError(
-            StrFormat("%s() got multiple values for '%s'", def.name.c_str(),
-                      kw.c_str()));
-        break;
-      }
-      locals->Define(kw, std::move(value));
-      bound[idx] = true;
-    }
+
+  std::vector<bool> has_default(def.params.size(), false);
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    has_default[i] = def.defaults[i] != nullptr;
   }
-  if (bind_status.ok()) {
-    for (size_t i = 0; i < n_params; ++i) {
-      if (bound[i]) {
-        continue;
-      }
-      if (def.defaults[i] != nullptr) {
-        auto dflt = Eval(*def.defaults[i], locals);
-        if (!dflt.ok()) {
-          bind_status = dflt.status();
-          break;
-        }
-        locals->Define(def.params[i], std::move(dflt).value());
-      } else {
-        bind_status = InvalidArgumentError(
-            StrFormat("%s() missing required argument '%s'", def.name.c_str(),
-                      def.params[i].c_str()));
-        break;
-      }
-    }
-  }
+  Status bind_status = BindCallArgs(
+      def.name, def.params, has_default, std::move(args), std::move(kwargs),
+      [&](size_t i, Value v) { locals->Define(def.params[i], std::move(v)); },
+      [&](size_t i) { return Eval(*def.defaults[i], locals); });
   if (!bind_status.ok()) {
     --call_depth_;
+    current_origin_ = saved_origin;
     return bind_status;
   }
 
   auto flow = ExecBlock(def.body, locals);
   --call_depth_;
+  current_origin_ = saved_origin;
   if (!flow.ok()) {
     return flow.status();
   }

@@ -127,6 +127,11 @@ class Interp {
   std::shared_ptr<Environment> base_env_;
   std::vector<std::weak_ptr<Environment>> session_envs_;
   size_t env_compact_threshold_ = 1024;
+  // Installed for the interpreter's lifetime; its destructor (after
+  // ~Interp clears the environments) empties surviving list/dict cells,
+  // breaking self-referential container cycles the environment sweep
+  // can't reach.
+  ContainerCycleBreaker cycle_breaker_;
   std::string current_origin_;
   bool exports_enabled_ = false;
   uint64_t step_limit_ = 20'000'000;

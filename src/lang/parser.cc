@@ -208,6 +208,7 @@ class CslParser {
     auto def = std::make_unique<FunctionDefStmt>();
     def->name = Cur().text;
     def->line = Cur().line;
+    def->origin = origin_;
     Advance();
     RETURN_IF_ERROR_R(ExpectOp("("));
     bool saw_default = false;

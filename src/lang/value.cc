@@ -1,5 +1,8 @@
 #include "src/lang/value.h"
 
+#include <algorithm>
+#include <set>
+
 #include "src/util/strings.h"
 
 namespace configerator {
@@ -38,6 +41,9 @@ Value Value::MakeList(List items) {
   Value v;
   v.kind_ = Kind::kList;
   v.list_ = std::make_shared<List>(std::move(items));
+  if (ContainerCycleBreaker* breaker = ContainerCycleBreaker::Current()) {
+    breaker->Track(v.list_);
+  }
   return v;
 }
 
@@ -48,6 +54,9 @@ Value Value::MakeDict(Dict items, std::string type_name) {
   v.kind_ = Kind::kDict;
   v.dict_ = std::make_shared<Dict>(std::move(items));
   v.type_name_ = std::move(type_name);
+  if (ContainerCycleBreaker* breaker = ContainerCycleBreaker::Current()) {
+    breaker->Track(v.dict_);
+  }
   return v;
 }
 
@@ -290,6 +299,154 @@ Value Value::FromJson(const Json& json) {
     }
   }
   return Value::Null();
+}
+
+ContainerCycleBreaker*& ContainerCycleBreaker::Current() {
+  thread_local ContainerCycleBreaker* current = nullptr;
+  return current;
+}
+
+ContainerCycleBreaker::ContainerCycleBreaker() : prev_(Current()) {
+  Current() = this;
+}
+
+ContainerCycleBreaker::~ContainerCycleBreaker() {
+  BreakCycles();
+  // Splice this breaker out of the installation chain wherever it sits.
+  // Destruction is usually LIFO, but `engine = std::make_unique<Engine>(...)`
+  // constructs the replacement (installing its breaker) before destroying
+  // the old engine, so the chain can lose a middle link first.
+  if (Current() == this) {
+    Current() = prev_;
+    return;
+  }
+  for (ContainerCycleBreaker* b = Current(); b != nullptr; b = b->prev_) {
+    if (b->prev_ == this) {
+      b->prev_ = prev_;
+      return;
+    }
+  }
+}
+
+namespace {
+
+// True when any container reachable from `v` through list/dict edges is
+// `target`. By the time this runs the engine has already cleared its
+// environments, so closure→scope edges lead nowhere and container edges
+// are the only way a cycle can persist.
+bool ReachesCell(const Value& v, const void* target,
+                 std::set<const void*>& visited) {
+  if (v.is_list()) {
+    const void* id = &v.as_list();
+    if (id == target) {
+      return true;
+    }
+    if (!visited.insert(id).second) {
+      return false;
+    }
+    for (const Value& item : v.as_list()) {
+      if (ReachesCell(item, target, visited)) {
+        return true;
+      }
+    }
+  } else if (v.is_dict()) {
+    const void* id = &v.as_dict();
+    if (id == target) {
+      return true;
+    }
+    if (!visited.insert(id).second) {
+      return false;
+    }
+    for (const auto& [key, item] : v.as_dict()) {
+      if (ReachesCell(item, target, visited)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ListIsCyclic(const std::shared_ptr<Value::List>& cell) {
+  std::set<const void*> visited;
+  for (const Value& item : *cell) {
+    if (ReachesCell(item, cell.get(), visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DictIsCyclic(const std::shared_ptr<Value::Dict>& cell) {
+  std::set<const void*> visited;
+  for (const auto& [key, item] : *cell) {
+    if (ReachesCell(item, cell.get(), visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ContainerCycleBreaker::BreakCycles() {
+  // Lock the survivors, decide which are cyclic, then clear — deciding
+  // before clearing keeps the reachability checks consistent.
+  std::vector<std::shared_ptr<Value::List>> live_lists;
+  std::vector<std::shared_ptr<Value::Dict>> live_dicts;
+  for (const std::weak_ptr<Value::List>& weak : lists_) {
+    if (std::shared_ptr<Value::List> cell = weak.lock()) {
+      live_lists.push_back(std::move(cell));
+    }
+  }
+  for (const std::weak_ptr<Value::Dict>& weak : dicts_) {
+    if (std::shared_ptr<Value::Dict> cell = weak.lock()) {
+      live_dicts.push_back(std::move(cell));
+    }
+  }
+  std::vector<std::shared_ptr<Value::List>> cyclic_lists;
+  std::vector<std::shared_ptr<Value::Dict>> cyclic_dicts;
+  for (const std::shared_ptr<Value::List>& cell : live_lists) {
+    if (ListIsCyclic(cell)) {
+      cyclic_lists.push_back(cell);
+    }
+  }
+  for (const std::shared_ptr<Value::Dict>& cell : live_dicts) {
+    if (DictIsCyclic(cell)) {
+      cyclic_dicts.push_back(cell);
+    }
+  }
+  for (const std::shared_ptr<Value::List>& cell : cyclic_lists) {
+    cell->clear();
+  }
+  for (const std::shared_ptr<Value::Dict>& cell : cyclic_dicts) {
+    cell->clear();
+  }
+  lists_.clear();
+  dicts_.clear();
+}
+
+void ContainerCycleBreaker::MaybeCompact() {
+  if (lists_.size() + dicts_.size() < compact_threshold_) {
+    return;
+  }
+  std::erase_if(lists_, [](const std::weak_ptr<Value::List>& weak) {
+    return weak.expired();
+  });
+  std::erase_if(dicts_, [](const std::weak_ptr<Value::Dict>& weak) {
+    return weak.expired();
+  });
+  compact_threshold_ =
+      std::max<size_t>(1024, 2 * (lists_.size() + dicts_.size()));
+}
+
+void ContainerCycleBreaker::Track(const std::shared_ptr<Value::List>& cell) {
+  MaybeCompact();
+  lists_.push_back(cell);
+}
+
+void ContainerCycleBreaker::Track(const std::shared_ptr<Value::Dict>& cell) {
+  MaybeCompact();
+  dicts_.push_back(cell);
 }
 
 }  // namespace configerator

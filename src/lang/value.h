@@ -23,11 +23,16 @@ namespace configerator {
 
 class Value;
 class Environment;
-struct FunctionDefStmt;  // AST node, defined in ast.h.
+class ContainerCycleBreaker;
+struct FunctionDefStmt;    // AST node, defined in ast.h.
+struct CompiledFunction;   // Bytecode form, defined in bytecode.h.
 
-// A user-defined function: its AST plus the environment it closed over.
+// A user-defined function plus the environment it closed over. Exactly one
+// of `def` (tree-walking interpreter) or `compiled` (bytecode VM) is set,
+// depending on which engine created the closure.
 struct Closure {
   const FunctionDefStmt* def = nullptr;
+  const CompiledFunction* compiled = nullptr;
   std::shared_ptr<Environment> env;
 };
 
@@ -122,6 +127,8 @@ class Value {
   static Value FromJson(const Json& json);
 
  private:
+  friend class ContainerCycleBreaker;  // Traverses cells to find cycles.
+
   Result<Json> ToJsonInternal(int depth) const;
   std::string ToDebugStringInternal(int depth) const;
 
@@ -135,6 +142,46 @@ class Value {
   std::shared_ptr<Closure> closure_;
   std::shared_ptr<NativeFunction> native_;
   std::string type_name_;
+};
+
+// Breaks shared_ptr cycles through mutable containers. The language permits
+// self-referential structures (`d["self"] = d`) whose cells keep each other
+// alive after the last outside reference drops; clearing environments at
+// engine teardown cannot reach a cycle that no longer hangs off any scope.
+// While a breaker is installed, every list/dict cell Value creates on this
+// thread is tracked weakly; BreakCycles() empties exactly the surviving
+// cells that can reach themselves through container edges — cyclic
+// structures are dismantled, while acyclic values that legitimately
+// outlive the engine (a caller holding an evaluation result) are left
+// intact. The engines install one for their lifetime (so every cell an
+// evaluation can create is covered) and break cycles on destruction,
+// right after clearing their environments — which is what guarantees the
+// remaining cycles run purely through containers. Installations form a
+// per-thread chain; a breaker destroyed out of order (e.g. replacing an
+// engine via `ptr = std::make_unique<Engine>(...)`, which constructs the
+// new breaker before destroying the old) splices itself out safely.
+class ContainerCycleBreaker {
+ public:
+  ContainerCycleBreaker();
+  ~ContainerCycleBreaker();  // BreakCycles(), then uninstalls.
+  ContainerCycleBreaker(const ContainerCycleBreaker&) = delete;
+  ContainerCycleBreaker& operator=(const ContainerCycleBreaker&) = delete;
+
+  // Empties every still-alive tracked cell that participates in a
+  // reference cycle.
+  void BreakCycles();
+
+ private:
+  friend class Value;
+  static ContainerCycleBreaker*& Current();
+  void Track(const std::shared_ptr<Value::List>& cell);
+  void Track(const std::shared_ptr<Value::Dict>& cell);
+  void MaybeCompact();
+
+  std::vector<std::weak_ptr<Value::List>> lists_;
+  std::vector<std::weak_ptr<Value::Dict>> dicts_;
+  size_t compact_threshold_ = 1024;
+  ContainerCycleBreaker* prev_ = nullptr;
 };
 
 }  // namespace configerator

@@ -1,0 +1,644 @@
+#include "src/lang/vm.h"
+
+#include <algorithm>
+
+#include "src/lang/builtins.h"
+#include "src/lang/import_resolver.h"
+#include "src/lang/ops.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+
+namespace {
+
+constexpr int kMaxCallDepth = 200;
+
+BinOp BinOpFor(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+      return BinOp::kAdd;
+    case OpCode::kSub:
+      return BinOp::kSub;
+    case OpCode::kMul:
+      return BinOp::kMul;
+    case OpCode::kDiv:
+      return BinOp::kDiv;
+    case OpCode::kFloorDiv:
+      return BinOp::kFloorDiv;
+    case OpCode::kMod:
+      return BinOp::kMod;
+    case OpCode::kEq:
+      return BinOp::kEq;
+    case OpCode::kNe:
+      return BinOp::kNe;
+    case OpCode::kLt:
+      return BinOp::kLt;
+    case OpCode::kLe:
+      return BinOp::kLe;
+    case OpCode::kGt:
+      return BinOp::kGt;
+    case OpCode::kGe:
+      return BinOp::kGe;
+    case OpCode::kIn:
+      return BinOp::kIn;
+    default:
+      return BinOp::kNotIn;
+  }
+}
+
+}  // namespace
+
+Vm::Vm(const SchemaRegistry* registry, Hooks hooks)
+    : registry_(registry), hooks_(std::move(hooks)) {}
+
+Vm::~Vm() {
+  for (const std::weak_ptr<Environment>& weak : session_envs_) {
+    if (std::shared_ptr<Environment> env = weak.lock()) {
+      env->Clear();
+    }
+  }
+  if (base_env_ != nullptr) {
+    base_env_->Clear();
+  }
+}
+
+std::shared_ptr<Environment> Vm::NewEnvironment(
+    std::shared_ptr<Environment> parent) {
+  if (session_envs_.size() >= env_compact_threshold_) {
+    std::erase_if(session_envs_, [](const std::weak_ptr<Environment>& weak) {
+      return weak.expired();
+    });
+    env_compact_threshold_ = std::max<size_t>(1024, session_envs_.size() * 2);
+  }
+  auto env = std::make_shared<Environment>(std::move(parent));
+  session_envs_.push_back(env);
+  return env;
+}
+
+std::shared_ptr<Environment> Vm::MakeBaseEnvironment() {
+  if (base_env_ == nullptr) {
+    // Builtins live in a shared immutable parent scope; only the session's
+    // schema constructors / enum namespaces go in this (mutable) layer.
+    base_env_ = std::make_shared<Environment>(SharedBuiltinsEnvironment());
+    if (registry_ != nullptr) {
+      RegisterSchemaConstructors(*registry_, base_env_.get());
+    }
+  }
+  return base_env_;
+}
+
+Status Vm::VmError(const Frame& frame, size_t op_ip,
+                   const std::string& msg) const {
+  return InvalidConfigError(StrFormat("%s:%d: %s",
+                                      frame.chunk->origin.c_str(),
+                                      frame.chunk->LineAt(op_ip), msg.c_str()));
+}
+
+Status Vm::EvalUnit(const CompiledUnit& unit,
+                    const std::shared_ptr<Environment>& globals,
+                    bool exports_enabled) {
+  bool saved_exports = exports_enabled_;
+  exports_enabled_ = exports_enabled;
+  steps_ = 0;
+  size_t saved_stack = stack_.size();
+  size_t saved_pending = pending_imports_.size();
+
+  Frame frame;
+  frame.chunk = &unit.top;
+  frame.unit = &unit;
+  frame.env = globals;
+  auto result = RunChunk(frame);
+
+  stack_.resize(saved_stack);
+  pending_imports_.resize(saved_pending);
+  exports_enabled_ = saved_exports;
+  if (!result.ok()) {
+    return result.status();
+  }
+  return OkStatus();
+}
+
+Result<Value> Vm::CallValue(const Value& fn, std::vector<Value> args,
+                            std::map<std::string, Value> kwargs) {
+  if (fn.kind() == Value::Kind::kNative) {
+    return fn.as_native().fn(args, kwargs);
+  }
+  if (fn.kind() != Value::Kind::kClosure) {
+    return InvalidArgumentError("value is not callable");
+  }
+  const Closure& closure = fn.as_closure();
+  if (closure.compiled == nullptr) {
+    return InternalError("closure was compiled for the tree-walking interpreter");
+  }
+  size_t saved_stack = stack_.size();
+  size_t saved_pending = pending_imports_.size();
+  auto result = CallFunction(closure, std::move(args), std::move(kwargs));
+  stack_.resize(saved_stack);
+  pending_imports_.resize(saved_pending);
+  return result;
+}
+
+Result<Value> Vm::CallFunction(const Closure& closure, std::vector<Value> args,
+                               std::map<std::string, Value> kwargs) {
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    return InvalidConfigError("recursion limit exceeded");
+  }
+  const CompiledFunction& fn = *closure.compiled;
+
+  Frame frame;
+  frame.unit = fn.unit;
+  std::vector<Value> locals;
+  std::vector<bool> locals_set;
+  if (fn.slot_mode) {
+    locals.resize(fn.local_names.size());
+    locals_set.assign(fn.local_names.size(), false);
+    frame.fn = &fn;
+    frame.locals = &locals;
+    frame.locals_set = &locals_set;
+    frame.fallback = closure.env;
+  } else {
+    frame.env = NewEnvironment(closure.env);
+  }
+
+  std::vector<bool> has_default(fn.params.size(), false);
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    has_default[i] = fn.defaults[i] != nullptr;
+  }
+  Status bind = BindCallArgs(
+      fn.name, fn.params, has_default, std::move(args), std::move(kwargs),
+      [&](size_t i, Value v) {
+        if (fn.slot_mode) {
+          locals[i] = std::move(v);
+          locals_set[i] = true;
+        } else {
+          frame.env->Define(fn.params[i], std::move(v));
+        }
+      },
+      [&](size_t i) -> Result<Value> {
+        Frame dframe = frame;
+        dframe.chunk = fn.defaults[i].get();
+        return RunChunk(dframe);
+      });
+  if (!bind.ok()) {
+    --call_depth_;
+    return bind;
+  }
+
+  frame.chunk = &fn.chunk;
+  auto result = RunChunk(frame);
+  --call_depth_;
+  return result;
+}
+
+Status Vm::DoImport(const std::string& callee, const std::string& path,
+                    const std::string& filter, Frame& frame, int line) {
+  auto error = [&](const std::string& msg) {
+    return InvalidConfigError(StrFormat(
+        "%s:%d: %s", frame.chunk->origin.c_str(), line, msg.c_str()));
+  };
+  if (IsSchemaImportPath(callee, path)) {
+    if (!hooks_.import_schema) {
+      return error("schema imports not available here");
+    }
+    RETURN_IF_ERROR(hooks_.import_schema(path));
+    // Newly registered schemas need constructors in the base env.
+    if (registry_ != nullptr && base_env_ != nullptr) {
+      RegisterSchemaConstructors(*registry_, base_env_.get());
+    }
+    return OkStatus();
+  }
+  if (!hooks_.import_module) {
+    return error("module imports not available here");
+  }
+  auto imported = hooks_.import_module(path);
+  if (!imported.ok()) {
+    return imported.status();
+  }
+  std::shared_ptr<Environment> target =
+      frame.env != nullptr ? frame.env : frame.fallback;
+  for (const auto& [symbol, value] : (*imported)->vars()) {
+    if (filter == "*" || filter == symbol) {
+      target->Define(symbol, value);
+    }
+  }
+  return OkStatus();
+}
+
+Result<Value> Vm::RunChunk(Frame& frame) {
+  const Chunk& chunk = *frame.chunk;
+  const std::vector<uint8_t>& code = chunk.code;
+  const size_t stack_base = stack_.size();
+  size_t ip = 0;
+
+  // Error helper: attribute to the current instruction's source line.
+  size_t op_ip = 0;
+  auto fail = [&](const std::string& msg) -> Status {
+    return VmError(frame, op_ip, msg);
+  };
+  auto pop = [&]() {
+    Value v = std::move(stack_.back());
+    stack_.pop_back();
+    return v;
+  };
+
+  while (ip < code.size()) {
+    if (++steps_ > step_limit_) {
+      op_ip = ip;
+      return fail("evaluation step limit exceeded (runaway config code?)");
+    }
+    op_ip = ip;
+    OpCode op = static_cast<OpCode>(code[ip]);
+    ++ip;
+    switch (op) {
+      case OpCode::kConst: {
+        stack_.push_back(chunk.constants[chunk.ReadU16(ip)]);
+        ip += 2;
+        break;
+      }
+      case OpCode::kPop:
+        stack_.pop_back();
+        break;
+      case OpCode::kPopN: {
+        uint16_t n = chunk.ReadU16(ip);
+        ip += 2;
+        stack_.resize(stack_.size() - n);
+        break;
+      }
+      case OpCode::kLoadName: {
+        const std::string& name = chunk.names[chunk.ReadU16(ip)];
+        ip += 2;
+        Environment* scope =
+            frame.env != nullptr ? frame.env.get() : frame.fallback.get();
+        Value* found = scope != nullptr ? scope->Find(name) : nullptr;
+        if (found == nullptr) {
+          return fail("undefined name '" + name + "'");
+        }
+        stack_.push_back(*found);
+        break;
+      }
+      case OpCode::kStoreName: {
+        const std::string& name = chunk.names[chunk.ReadU16(ip)];
+        ip += 2;
+        frame.env->Define(name, pop());
+        break;
+      }
+      case OpCode::kLoadLocal: {
+        uint16_t slot = chunk.ReadU16(ip);
+        ip += 2;
+        if ((*frame.locals_set)[slot]) {
+          stack_.push_back((*frame.locals)[slot]);
+          break;
+        }
+        // Not assigned yet in this call: the name resolves through the
+        // captured environment chain, like the interpreter's
+        // define-on-assignment scoping.
+        const std::string& name = frame.fn->local_names[slot];
+        Value* found =
+            frame.fallback != nullptr ? frame.fallback->Find(name) : nullptr;
+        if (found == nullptr) {
+          return fail("undefined name '" + name + "'");
+        }
+        stack_.push_back(*found);
+        break;
+      }
+      case OpCode::kStoreLocal: {
+        uint16_t slot = chunk.ReadU16(ip);
+        ip += 2;
+        (*frame.locals)[slot] = pop();
+        (*frame.locals_set)[slot] = true;
+        break;
+      }
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kFloorDiv:
+      case OpCode::kMod:
+      case OpCode::kEq:
+      case OpCode::kNe:
+      case OpCode::kLt:
+      case OpCode::kLe:
+      case OpCode::kGt:
+      case OpCode::kGe:
+      case OpCode::kIn:
+      case OpCode::kNotIn: {
+        Value rhs = pop();
+        Value lhs = pop();
+        auto result = EvalBinaryValues(BinOpFor(op), lhs, rhs);
+        if (!result.ok()) {
+          return fail(std::string(result.status().message()));
+        }
+        stack_.push_back(std::move(result).value());
+        break;
+      }
+      case OpCode::kNeg:
+      case OpCode::kNot: {
+        Value operand = pop();
+        auto result =
+            EvalUnaryValues(op == OpCode::kNeg ? "-" : "not", operand);
+        if (!result.ok()) {
+          return fail(std::string(result.status().message()));
+        }
+        stack_.push_back(std::move(result).value());
+        break;
+      }
+      case OpCode::kJump:
+        ip = chunk.ReadU32(ip);
+        break;
+      case OpCode::kJumpIfFalsePop: {
+        uint32_t target = chunk.ReadU32(ip);
+        ip += 4;
+        if (!pop().Truthy()) {
+          ip = target;
+        }
+        break;
+      }
+      case OpCode::kJumpIfFalsePeek: {
+        uint32_t target = chunk.ReadU32(ip);
+        ip += 4;
+        if (!stack_.back().Truthy()) {
+          ip = target;
+        }
+        break;
+      }
+      case OpCode::kJumpIfTruePeek: {
+        uint32_t target = chunk.ReadU32(ip);
+        ip += 4;
+        if (stack_.back().Truthy()) {
+          ip = target;
+        }
+        break;
+      }
+      case OpCode::kMakeList: {
+        uint16_t n = chunk.ReadU16(ip);
+        ip += 2;
+        Value::List items;
+        items.reserve(n);
+        for (size_t i = stack_.size() - n; i < stack_.size(); ++i) {
+          items.push_back(std::move(stack_[i]));
+        }
+        stack_.resize(stack_.size() - n);
+        stack_.push_back(Value::MakeList(std::move(items)));
+        break;
+      }
+      case OpCode::kMakeDict: {
+        uint16_t n = chunk.ReadU16(ip);
+        ip += 2;
+        Value::Dict items;
+        size_t base = stack_.size() - 2 * static_cast<size_t>(n);
+        for (size_t i = 0; i < n; ++i) {
+          Value& key = stack_[base + 2 * i];
+          Value& value = stack_[base + 2 * i + 1];
+          items[key.as_string()] = std::move(value);
+        }
+        stack_.resize(base);
+        stack_.push_back(Value::MakeDict(std::move(items)));
+        break;
+      }
+      case OpCode::kCheckStrKey:
+        if (!stack_.back().is_string()) {
+          return fail("dict keys must be strings");
+        }
+        break;
+      case OpCode::kIndexGet: {
+        Value key = pop();
+        Value base = pop();
+        auto result = EvalIndexGet(base, key);
+        if (!result.ok()) {
+          return fail(std::string(result.status().message()));
+        }
+        stack_.push_back(std::move(result).value());
+        break;
+      }
+      case OpCode::kAttrGet: {
+        const std::string& name = chunk.names[chunk.ReadU16(ip)];
+        ip += 2;
+        Value base = pop();
+        auto result = EvalAttrGet(base, name);
+        if (!result.ok()) {
+          return fail(std::string(result.status().message()));
+        }
+        stack_.push_back(std::move(result).value());
+        break;
+      }
+      case OpCode::kIndexSet: {
+        Value key = pop();
+        Value base = pop();
+        Value value = pop();
+        Status set = EvalIndexSet(base, key, std::move(value));
+        if (!set.ok()) {
+          return fail(std::string(set.message()));
+        }
+        break;
+      }
+      case OpCode::kAttrSet: {
+        const std::string& name = chunk.names[chunk.ReadU16(ip)];
+        ip += 2;
+        Value base = pop();
+        Value value = pop();
+        Status set = EvalAttrSet(base, name, std::move(value));
+        if (!set.ok()) {
+          return fail(std::string(set.message()));
+        }
+        break;
+      }
+      case OpCode::kCheckCallable:
+        if (!stack_.back().is_callable()) {
+          return fail("value of type " +
+                      std::string(stack_.back().KindName()) +
+                      " is not callable");
+        }
+        break;
+      case OpCode::kCall: {
+        uint16_t argc = chunk.ReadU16(ip);
+        uint16_t kwargc = chunk.ReadU16(ip + 2);
+        ip += 4;
+        std::vector<uint16_t> kw_names(kwargc);
+        for (uint16_t i = 0; i < kwargc; ++i) {
+          kw_names[i] = chunk.ReadU16(ip);
+          ip += 2;
+        }
+        std::map<std::string, Value> kwargs;
+        size_t kw_base = stack_.size() - kwargc;
+        for (uint16_t i = 0; i < kwargc; ++i) {
+          kwargs[chunk.names[kw_names[i]]] = std::move(stack_[kw_base + i]);
+        }
+        stack_.resize(kw_base);
+        std::vector<Value> args;
+        args.reserve(argc);
+        size_t arg_base = stack_.size() - argc;
+        for (uint16_t i = 0; i < argc; ++i) {
+          args.push_back(std::move(stack_[arg_base + i]));
+        }
+        stack_.resize(arg_base);
+        Value callee = pop();
+
+        Result<Value> result = Value::Null();
+        if (callee.kind() == Value::Kind::kNative) {
+          result = callee.as_native().fn(args, kwargs);
+        } else if (callee.kind() == Value::Kind::kClosure) {
+          result =
+              CallFunction(callee.as_closure(), std::move(args),
+                           std::move(kwargs));
+        } else {
+          return fail("value of type " + std::string(callee.KindName()) +
+                      " is not callable");
+        }
+        if (!result.ok()) {
+          // Prefix the call site for a usable "stack trace".
+          return InvalidConfigError(
+              StrFormat("%s:%d: in call: %s", chunk.origin.c_str(),
+                        chunk.LineAt(op_ip),
+                        std::string(result.status().message()).c_str()));
+        }
+        stack_.push_back(std::move(result).value());
+        break;
+      }
+      case OpCode::kMakeClosure: {
+        uint16_t fn_index = chunk.ReadU16(ip);
+        ip += 2;
+        Closure closure;
+        closure.compiled = frame.unit->functions[fn_index].get();
+        closure.env = frame.env != nullptr ? frame.env : frame.fallback;
+        stack_.push_back(Value::MakeClosure(std::move(closure)));
+        break;
+      }
+      case OpCode::kReturn: {
+        Value value = pop();
+        stack_.resize(stack_base);
+        return value;
+      }
+      case OpCode::kReturnNull:
+        stack_.resize(stack_base);
+        return Value::Null();
+      case OpCode::kIterPrep: {
+        Value iterable = pop();
+        auto items = IterableItems(iterable);
+        if (!items.ok()) {
+          return fail(std::string(items.status().message()));
+        }
+        stack_.push_back(Value::MakeList(std::move(items).value()));
+        stack_.push_back(Value::Int(0));
+        break;
+      }
+      case OpCode::kForLoop: {
+        uint32_t end = chunk.ReadU32(ip);
+        ip += 4;
+        int64_t index = stack_.back().as_int();
+        const Value::List& items = stack_[stack_.size() - 2].as_list();
+        if (index < static_cast<int64_t>(items.size())) {
+          stack_.back() = Value::Int(index + 1);
+          stack_.push_back(items[static_cast<size_t>(index)]);
+        } else {
+          stack_.resize(stack_.size() - 2);
+          ip = end;
+        }
+        break;
+      }
+      case OpCode::kUnpack: {
+        uint16_t n = chunk.ReadU16(ip);
+        ip += 2;
+        Value item = pop();
+        if (!item.is_list() || item.as_list().size() != n) {
+          return fail("cannot unpack loop value");
+        }
+        for (size_t i = n; i > 0; --i) {
+          stack_.push_back(item.as_list()[i - 1]);
+        }
+        break;
+      }
+      case OpCode::kAssertFail:
+        return fail("assertion failed");
+      case OpCode::kAssertFailMsg: {
+        Value msg = pop();
+        return fail(msg.is_string() ? msg.as_string() : msg.ToDebugString());
+      }
+      case OpCode::kImport: {
+        const std::string& callee = chunk.names[chunk.ReadU16(ip)];
+        ip += 2;
+        Value path = pop();
+        if (!path.is_string()) {
+          return fail(callee + "() path must be a string");
+        }
+        RETURN_IF_ERROR(
+            DoImport(callee, path.as_string(), "*", frame,
+                     chunk.LineAt(op_ip)));
+        stack_.push_back(Value::Null());
+        break;
+      }
+      case OpCode::kImportBegin: {
+        const std::string& callee = chunk.names[chunk.ReadU16(ip)];
+        uint32_t done = chunk.ReadU32(ip + 2);
+        ip += 6;
+        Value path = pop();
+        if (!path.is_string()) {
+          return fail(callee + "() path must be a string");
+        }
+        int line = chunk.LineAt(op_ip);
+        if (IsSchemaImportPath(callee, path.as_string())) {
+          // Schema imports never evaluate the filter expression.
+          RETURN_IF_ERROR(
+              DoImport(callee, path.as_string(), "*", frame, line));
+          stack_.push_back(Value::Null());
+          ip = done;
+          break;
+        }
+        if (!hooks_.import_module) {
+          return fail("module imports not available here");
+        }
+        auto imported = hooks_.import_module(path.as_string());
+        if (!imported.ok()) {
+          return imported.status();
+        }
+        pending_imports_.push_back(*imported);
+        break;
+      }
+      case OpCode::kImportApply: {
+        Value filter = pop();
+        if (!filter.is_string()) {
+          return fail("import filter must be a string");
+        }
+        std::shared_ptr<Environment> imported = pending_imports_.back();
+        pending_imports_.pop_back();
+        std::shared_ptr<Environment> target =
+            frame.env != nullptr ? frame.env : frame.fallback;
+        for (const auto& [symbol, value] : imported->vars()) {
+          if (filter.as_string() == "*" || filter.as_string() == symbol) {
+            target->Define(symbol, value);
+          }
+        }
+        stack_.push_back(Value::Null());
+        break;
+      }
+      case OpCode::kCheckExportName:
+        if (!stack_.back().is_string()) {
+          return fail("export name must be a string");
+        }
+        break;
+      case OpCode::kExport: {
+        bool named = code[ip] != 0;
+        ip += 1;
+        Value value = pop();
+        std::string name;
+        if (named) {
+          name = pop().as_string();
+        }
+        if (exports_enabled_ && hooks_.export_config) {
+          RETURN_IF_ERROR(hooks_.export_config(name, value));
+        }
+        stack_.push_back(Value::Null());
+        break;
+      }
+      case OpCode::kRuntimeError:
+        return fail(chunk.names[chunk.ReadU16(ip)]);
+      case OpCode::kHalt:
+        stack_.resize(stack_base);
+        return Value::Null();
+    }
+  }
+  stack_.resize(stack_base);
+  return Value::Null();
+}
+
+}  // namespace configerator

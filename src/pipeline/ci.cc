@@ -6,13 +6,16 @@
 
 #include "src/canary/canary.h"
 #include "src/gatekeeper/project.h"
+#include "src/lang/unit_cache.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
 namespace configerator {
 
 Sandcastle::Sandcastle(const Repository* repo, const DependencyService* deps)
-    : repo_(repo), deps_(deps) {
+    : repo_(repo),
+      deps_(deps),
+      unit_cache_(std::make_unique<CompiledUnitCache>()) {
   // Builtin raw-config validators, keyed by path convention. Ordering
   // matters: the most specific check that applies decides.
   raw_validators_.push_back(
@@ -60,6 +63,8 @@ Sandcastle::Sandcastle(const Repository* repo, const DependencyService* deps)
         return OkStatus();
       });
 }
+
+Sandcastle::~Sandcastle() = default;
 
 void Sandcastle::RegisterRawValidator(RawValidator validator) {
   raw_validators_.push_back(std::move(validator));
@@ -154,7 +159,10 @@ CiReport Sandcastle::RunTests(const ProposedDiff& diff) const {
     }
   }
 
-  ConfigCompiler compiler(OverlayReader(diff));
+  CompilerOptions compiler_options;
+  compiler_options.unit_cache = unit_cache_.get();
+  compiler_options.metrics = metrics_;
+  ConfigCompiler compiler(OverlayReader(diff), compiler_options);
   report.passed = true;
   for (const std::string& entry : entries) {
     auto output = compiler.Compile(entry);

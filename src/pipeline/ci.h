@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/analysis/absint.h"
 #include "src/analysis/invariant.h"
 #include "src/analysis/lint.h"
@@ -85,6 +87,7 @@ class Sandcastle {
       std::function<Status(const std::string& path, const std::string& content)>;
 
   Sandcastle(const Repository* repo, const DependencyService* deps);
+  ~Sandcastle();
 
   // Recompiles every entry config affected by `diff` in a sandbox overlay,
   // runs raw-config validators over touched non-compiled configs
@@ -114,6 +117,10 @@ class Sandcastle {
 
   // Warnings-as-errors for the lint stage (off by default).
   void set_strict_lint(bool strict) { strict_lint_ = strict; }
+
+  // Metrics sink for the CSL engine (unit-cache hit/miss counters and
+  // compile/execute histograms); nullptr (the default) disables them.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Upper bound on how many untouched dependent entries one diff may pull
   // into re-analysis; beyond it the closure is truncated with a logged
@@ -145,6 +152,14 @@ class Sandcastle {
   std::vector<RawValidator> raw_validators_;
   bool strict_lint_ = false;
   size_t max_closure_ = 64;
+  // Shared across RunTests calls: unchanged files byte-compare equal and
+  // skip parse+codegen, and an entry whose whole import closure is
+  // unchanged replays its memoized output without evaluating at all, so
+  // re-validating a diff costs one digest walk per reached entry.
+  // Hermeticity is unaffected — every compile still re-reads sources
+  // through the overlay and compares them against what was cached.
+  std::unique_ptr<CompiledUnitCache> unit_cache_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace configerator

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "src/obs/metrics.h"
 #include "src/pipeline/ci.h"
 #include "src/pipeline/dependency.h"
 #include "src/pipeline/landing_strip.h"
@@ -285,6 +286,49 @@ TEST_F(SandcastleTest, UnrelatedChangeCompilesNothing) {
   CiReport report = ci.RunTests(diff);
   EXPECT_TRUE(report.passed);
   EXPECT_TRUE(report.compiled_entries.empty());
+}
+
+TEST_F(SandcastleTest, UnitCacheIsSharedAcrossRunTestsCalls) {
+  Sandcastle ci(&repo_, &deps_);
+  MetricsRegistry metrics;
+  ci.set_metrics(&metrics);
+
+  // First run: the digest walk misses both units (entry + imported module),
+  // then the evaluating session hash-hits the units the walk just compiled.
+  // The entry's whole-entry output is memoized under its closure digest.
+  ProposedDiff first =
+      MakeProposedDiff(repo_, "alice", "bump", {{"port.cinc", "PORT = 81\n"}});
+  EXPECT_TRUE(ci.RunTests(first).passed);
+  uint64_t hits_after_first = metrics.GetCounter("csl.unit_cache.hits")->value();
+  uint64_t misses_after_first =
+      metrics.GetCounter("csl.unit_cache.misses")->value();
+  EXPECT_EQ(hits_after_first, 2u);
+  EXPECT_EQ(misses_after_first, 2u);
+  EXPECT_EQ(metrics.GetCounter("csl.output_cache.hits")->value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("csl.output_cache.misses")->value(), 1u);
+
+  // Same diff re-validated: the digest walk byte-compares every source
+  // against its node memo and the memoized output replays — no unit-cache
+  // traffic, no evaluation at all.
+  EXPECT_TRUE(ci.RunTests(first).passed);
+  EXPECT_EQ(metrics.GetCounter("csl.unit_cache.hits")->value(),
+            hits_after_first);
+  EXPECT_EQ(metrics.GetCounter("csl.unit_cache.misses")->value(),
+            misses_after_first);
+  EXPECT_EQ(metrics.GetCounter("csl.output_cache.hits")->value(), 1u);
+
+  // Editing the module invalidates exactly that unit: the walk recompiles
+  // it (one miss) and re-keys the untouched entry (one hit), the closure
+  // digest changes so the output memo misses, and the session re-evaluates
+  // over hash-hitting units.
+  ProposedDiff second =
+      MakeProposedDiff(repo_, "alice", "bump", {{"port.cinc", "PORT = 82\n"}});
+  EXPECT_TRUE(ci.RunTests(second).passed);
+  EXPECT_EQ(metrics.GetCounter("csl.unit_cache.hits")->value(),
+            hits_after_first + 3);
+  EXPECT_EQ(metrics.GetCounter("csl.unit_cache.misses")->value(),
+            misses_after_first + 1);
+  EXPECT_EQ(metrics.GetCounter("csl.output_cache.misses")->value(), 2u);
 }
 
 TEST_F(SandcastleTest, OverlayReaderSeesDiffAndRepo) {

@@ -1,0 +1,616 @@
+// Differential fuzz battery: the bytecode VM against the tree-walking
+// interpreter, which is the executable specification of CSL semantics.
+//
+// A seeded generator produces random CSL programs exercising every AST node
+// — literals, names, list/dict construction, unary/binary/ternary
+// expressions (including short-circuit and/or), attribute and index
+// get/set, augmented assignment, if/elif/else, for (with unpacking),
+// while, break/continue (inside and outside loops), def with defaults and
+// kwargs, nested closures, assert, builtin calls, import special forms and
+// exports. Each program compiles through the same ConfigCompiler facade
+// twice, once per engine, and the outcomes must match exactly:
+//
+//   * success/failure must agree,
+//   * on success, exported JSON artifacts must be bit-identical,
+//   * on failure, the full error (class, origin path, line, message chain)
+//     must be byte-identical.
+//
+// A divergence is ddmin-shrunk over the entry module's statement list
+// before being reported, so the failure message carries a minimal
+// reproducer, not a 30-statement wall of noise.
+//
+// The mutation lane bit-flips valid programs and requires the two engines
+// to keep agreeing (typically on a parse diagnostic) without crashing —
+// that is the case the sanitizer lane (scripts/check.sh --vm) hammers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lang/compiler.h"
+#include "src/util/ddmin.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace configerator {
+namespace {
+
+constexpr int kPrograms = 1100;   // ISSUE floor: >= 1k per ctest invocation.
+constexpr int kMutations = 256;
+
+// --- Random program generator ----------------------------------------------
+
+struct GenProgram {
+  std::map<std::string, std::string> modules;  // Library modules.
+  std::vector<std::string> entry_stmts;        // entry.cconf, one stmt each.
+
+  std::map<std::string, std::string> Files() const {
+    std::map<std::string, std::string> files = modules;
+    std::string entry;
+    for (const std::string& stmt : entry_stmts) {
+      entry += stmt;
+    }
+    files["entry.cconf"] = entry;
+    return files;
+  }
+};
+
+class ProgGen {
+ public:
+  explicit ProgGen(uint64_t seed) : rng_(seed) {}
+
+  GenProgram Generate() {
+    GenProgram program;
+    bool with_lib = rng_.NextBool(0.4);
+    if (with_lib) {
+      std::vector<std::string> lib_stmts;
+      lib_stmts.push_back("LIB0 = " + Literal() + "\n");
+      vars_ = {"LIB0"};
+      fns_.clear();
+      int n = 2 + static_cast<int>(rng_.NextBounded(4));
+      for (int i = 0; i < n; ++i) {
+        lib_stmts.push_back(Stmt(0, 0, false));
+      }
+      std::string lib;
+      for (const std::string& stmt : lib_stmts) {
+        lib += stmt;
+      }
+      program.modules["lib.cinc"] = lib;
+      lib_vars_ = vars_;
+      lib_fns_ = fns_;
+    }
+
+    vars_.clear();
+    fns_.clear();
+    if (with_lib) {
+      switch (rng_.NextBounded(4)) {
+        case 0:
+          program.entry_stmts.push_back("import_python(\"lib.cinc\")\n");
+          vars_ = lib_vars_;
+          fns_ = lib_fns_;
+          break;
+        case 1: {
+          // Single-symbol import.
+          if (!lib_vars_.empty() && rng_.NextBool(0.8)) {
+            const std::string& symbol =
+                lib_vars_[rng_.NextBounded(lib_vars_.size())];
+            program.entry_stmts.push_back(
+                "import_python(\"lib.cinc\", \"" + symbol + "\")\n");
+            vars_.push_back(symbol);
+          } else {
+            program.entry_stmts.push_back(
+                "import_python(\"lib.cinc\", \"no_such_symbol\")\n");
+          }
+          break;
+        }
+        case 2:
+          program.entry_stmts.push_back(
+              "import_python(\"lib.cinc\", \"*\")\n");
+          vars_ = lib_vars_;
+          fns_ = lib_fns_;
+          break;
+        default:
+          // Import of a missing module: error in both engines.
+          if (rng_.NextBool(0.1)) {
+            program.entry_stmts.push_back(
+                "import_python(\"missing.cinc\")\n");
+          } else {
+            program.entry_stmts.push_back("import_python(\"lib.cinc\")\n");
+            vars_ = lib_vars_;
+            fns_ = lib_fns_;
+          }
+          break;
+      }
+    }
+
+    program.entry_stmts.push_back("v0 = " + Literal() + "\n");
+    vars_.push_back("v0");
+    int n = 3 + static_cast<int>(rng_.NextBounded(7));
+    for (int i = 0; i < n; ++i) {
+      program.entry_stmts.push_back(Stmt(0, 0, false));
+    }
+    program.entry_stmts.push_back(ExportStmt());
+    return program;
+  }
+
+ private:
+  std::string Indent(int level) { return std::string(4 * level, ' '); }
+
+  std::string FreshVar() {
+    return StrFormat("v%d", next_id_++);
+  }
+
+  std::string Literal() {
+    switch (rng_.NextBounded(6)) {
+      case 0:
+        return StrFormat("%d", static_cast<int>(rng_.NextBounded(40)));
+      case 1: {
+        static const char* kDoubles[] = {"0.5", "1.25", "2.0", "3.75", "0.125"};
+        return kDoubles[rng_.NextBounded(5)];
+      }
+      case 2: {
+        static const char* kStrings[] = {"\"a\"", "\"bee\"", "\"cfg\"",
+                                         "\"\"", "\"zz\""};
+        return kStrings[rng_.NextBounded(5)];
+      }
+      case 3:
+        return rng_.NextBool(0.5) ? "True" : "False";
+      case 4:
+        return "None";
+      default:
+        return StrFormat("%d", static_cast<int>(rng_.NextBounded(10)));
+    }
+  }
+
+  std::string Name() {
+    // Rarely an undefined name: both engines must report the same error.
+    if (vars_.empty() || rng_.NextBool(0.03)) {
+      return "undefined_name";
+    }
+    return vars_[rng_.NextBounded(vars_.size())];
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || rng_.NextBool(0.35)) {
+      return rng_.NextBool(0.5) ? Literal() : Name();
+    }
+    switch (rng_.NextBounded(10)) {
+      case 0: {  // Binary operator.
+        static const char* kOps[] = {"+",  "-",  "*",  "/",  "//", "%",
+                                     "==", "!=", "<",  "<=", ">",  ">=",
+                                     "in", "not in", "and", "or"};
+        return "(" + Expr(depth - 1) + " " + kOps[rng_.NextBounded(16)] +
+               " " + Expr(depth - 1) + ")";
+      }
+      case 1:  // Unary.
+        return rng_.NextBool(0.5) ? "(-" + Expr(depth - 1) + ")"
+                                  : "(not " + Expr(depth - 1) + ")";
+      case 2:  // List literal.
+        return "[" + Expr(depth - 1) + ", " + Expr(depth - 1) + "]";
+      case 3:  // Dict literal.
+        return "{\"a\": " + Expr(depth - 1) + ", \"b\": " + Expr(depth - 1) +
+               "}";
+      case 4:  // Index (often in range, sometimes not).
+        return "([" + Expr(depth - 1) + ", " + Expr(depth - 1) + "][" +
+               StrFormat("%d", static_cast<int>(rng_.NextBounded(3))) + "])";
+      case 5:  // Attribute on a dict literal.
+        return "({\"k\": " + Expr(depth - 1) + "}.k)";
+      case 6:  // Ternary.
+        return "(" + Expr(depth - 1) + " if " + Expr(depth - 1) + " else " +
+               Expr(depth - 1) + ")";
+      case 7:
+        return BuiltinCall(depth);
+      case 8:
+        return UserCall(depth);
+      default:
+        return Literal();
+    }
+  }
+
+  std::string BuiltinCall(int depth) {
+    switch (rng_.NextBounded(8)) {
+      case 0:
+        return "len(" + Expr(depth - 1) + ")";
+      case 1:
+        return "str(" + Expr(depth - 1) + ")";
+      case 2:
+        return "abs(" + Expr(depth - 1) + ")";
+      case 3:
+        return "sorted([" + Expr(depth - 1) + ", " + Expr(depth - 1) + "])";
+      case 4:
+        return "min(" + Expr(depth - 1) + ", " + Expr(depth - 1) + ")";
+      case 5:
+        return "max(" + Expr(depth - 1) + ", " + Expr(depth - 1) + ")";
+      case 6:
+        return "keys({\"x\": " + Expr(depth - 1) + "})";
+      default:
+        return "int(" + Expr(depth - 1) + ")";
+    }
+  }
+
+  struct Fn {
+    std::string name;
+    int params = 1;
+    bool has_default = false;
+    std::string kw_name;
+  };
+
+  std::string UserCall(int depth) {
+    if (fns_.empty()) {
+      return BuiltinCall(depth);
+    }
+    const Fn& fn = fns_[rng_.NextBounded(fns_.size())];
+    // Occasionally a wrong-arity call: binding errors must match too.
+    if (rng_.NextBool(0.04)) {
+      return fn.name + "(" + Expr(depth - 1) + ", " + Expr(depth - 1) + ", " +
+             Expr(depth - 1) + ", " + Expr(depth - 1) + ")";
+    }
+    if (fn.has_default) {
+      switch (rng_.NextBounded(3)) {
+        case 0:
+          return fn.name + "(" + Expr(depth - 1) + ")";
+        case 1:
+          return fn.name + "(" + Expr(depth - 1) + ", " + Expr(depth - 1) +
+                 ")";
+        default:
+          return fn.name + "(" + Expr(depth - 1) + ", " + fn.kw_name + "=" +
+                 Expr(depth - 1) + ")";
+      }
+    }
+    std::string call = fn.name + "(";
+    for (int i = 0; i < fn.params; ++i) {
+      call += (i > 0 ? ", " : "") + Expr(depth - 1);
+    }
+    return call + ")";
+  }
+
+  // One statement, possibly a multi-line block, at `indent`.
+  std::string Stmt(int indent, int loop_depth, bool in_fn) {
+    int pick = static_cast<int>(rng_.NextBounded(20));
+    switch (pick) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Fresh assignment.
+        std::string var = FreshVar();
+        std::string stmt = Indent(indent) + var + " = " + Expr(2) + "\n";
+        vars_.push_back(var);
+        return stmt;
+      }
+      case 4: {  // Reassignment or augmented assignment.
+        std::string target = Name();
+        static const char* kAug[] = {"+=", "-=", "*=", "/="};
+        if (rng_.NextBool(0.5)) {
+          return Indent(indent) + target + " " + kAug[rng_.NextBounded(4)] +
+                 " " + Expr(1) + "\n";
+        }
+        return Indent(indent) + target + " = " + Expr(2) + "\n";
+      }
+      case 5: {  // Container mutation through an index/attr target.
+        std::string var = FreshVar();
+        std::string stmt = Indent(indent) + var + " = {\"n\": " + Expr(1) +
+                           ", \"l\": [" + Expr(1) + ", " + Expr(1) + "]}\n";
+        vars_.push_back(var);
+        if (rng_.NextBool(0.5)) {
+          stmt += Indent(indent) + var + "[\"n\"] = " + Expr(1) + "\n";
+        } else {
+          stmt += Indent(indent) + var + ".l[" +
+                  StrFormat("%d", static_cast<int>(rng_.NextBounded(2))) +
+                  "] = " + Expr(1) + "\n";
+        }
+        return stmt;
+      }
+      case 6:
+      case 7: {  // if / elif / else.
+        std::string stmt = Indent(indent) + "if " + Expr(2) + ":\n";
+        stmt += Block(indent + 1, loop_depth, in_fn);
+        if (rng_.NextBool(0.3)) {
+          stmt += Indent(indent) + "elif " + Expr(1) + ":\n";
+          stmt += Block(indent + 1, loop_depth, in_fn);
+        }
+        if (rng_.NextBool(0.5)) {
+          stmt += Indent(indent) + "else:\n";
+          stmt += Block(indent + 1, loop_depth, in_fn);
+        }
+        return stmt;
+      }
+      case 8:
+      case 9: {  // for loop (bounded; sometimes unpacking, sometimes dict).
+        if (indent >= 2) {
+          return Indent(indent) + "pass\n";
+        }
+        std::string var = FreshVar();
+        std::string stmt;
+        switch (rng_.NextBounded(4)) {
+          case 0:
+            stmt = Indent(indent) + "for " + var + " in range(" +
+                   StrFormat("%d", 1 + static_cast<int>(rng_.NextBounded(6))) +
+                   "):\n";
+            vars_.push_back(var);
+            break;
+          case 1:
+            stmt = Indent(indent) + "for " + var + " in [" + Expr(1) + ", " +
+                   Expr(1) + "]:\n";
+            vars_.push_back(var);
+            break;
+          case 2: {
+            std::string var2 = FreshVar();
+            stmt = Indent(indent) + "for " + var + ", " + var2 + " in [[" +
+                   Expr(1) + ", " + Expr(1) + "], [" + Expr(1) + ", " +
+                   Expr(1) + "]]:\n";
+            vars_.push_back(var);
+            vars_.push_back(var2);
+            break;
+          }
+          default:
+            stmt = Indent(indent) + "for " + var + " in {\"a\": 1, \"b\": " +
+                   Expr(1) + "}:\n";
+            vars_.push_back(var);
+            break;
+        }
+        stmt += Block(indent + 1, loop_depth + 1, in_fn);
+        return stmt;
+      }
+      case 10: {  // Bounded while loop with a private counter.
+        if (indent >= 2) {
+          return Indent(indent) + "pass\n";
+        }
+        std::string counter = StrFormat("loop%d", next_id_++);
+        std::string stmt = Indent(indent) + counter + " = 0\n";
+        stmt += Indent(indent) + "while " + counter + " < " +
+                StrFormat("%d", 1 + static_cast<int>(rng_.NextBounded(5))) +
+                ":\n";
+        stmt += Indent(indent + 1) + counter + " = " + counter + " + 1\n";
+        stmt += Block(indent + 1, loop_depth + 1, in_fn);
+        return stmt;
+      }
+      case 11:
+      case 12: {  // Function definition (only at top level, like most CSL).
+        if (indent > 0) {
+          return Indent(indent) + Name() + "\n";  // Expression statement.
+        }
+        return DefStmt();
+      }
+      case 13: {  // assert — usually true, sometimes a random condition.
+        if (rng_.NextBool(0.7)) {
+          return Indent(indent) + "assert 1 == 1, \"invariant\"\n";
+        }
+        return Indent(indent) + "assert " + Expr(1) + ", " + Expr(1) + "\n";
+      }
+      case 14: {  // break/continue — valid in loops; tests flow escape
+                  // semantics (ReturnNull/Halt) elsewhere.
+        const char* kw = rng_.NextBool(0.5) ? "break" : "continue";
+        if (loop_depth > 0 || rng_.NextBool(0.1)) {
+          return Indent(indent) + kw + "\n";
+        }
+        return Indent(indent) + "pass\n";
+      }
+      case 15:  // Expression statement (side-effect-free, still evaluated).
+        return Indent(indent) + Expr(2) + "\n";
+      case 16: {
+        if (in_fn) {
+          return Indent(indent) + "return " + Expr(2) + "\n";
+        }
+        return Indent(indent) + "pass\n";
+      }
+      default: {
+        std::string var = FreshVar();
+        std::string stmt = Indent(indent) + var + " = " + Expr(1) + "\n";
+        vars_.push_back(var);
+        return stmt;
+      }
+    }
+  }
+
+  std::string Block(int indent, int loop_depth, bool in_fn) {
+    int n = 1 + static_cast<int>(rng_.NextBounded(2));
+    std::string block;
+    size_t vars_before = vars_.size();
+    for (int i = 0; i < n; ++i) {
+      block += Stmt(indent, loop_depth, in_fn);
+    }
+    // Names defined inside a conditional block may be undefined at runtime
+    // on the other branch; keeping a few of them in scope for later reads
+    // exercises exactly that (both engines must agree on the error).
+    while (vars_.size() > vars_before && rng_.NextBool(0.5)) {
+      vars_.pop_back();
+    }
+    return block;
+  }
+
+  std::string DefStmt() {
+    Fn fn;
+    fn.name = StrFormat("f%d", next_id_++);
+    fn.params = 1 + static_cast<int>(rng_.NextBounded(2));
+    std::string params;
+    std::vector<std::string> saved_vars = vars_;
+    for (int i = 0; i < fn.params; ++i) {
+      std::string p = StrFormat("p%d_%d", next_id_, i);
+      params += (i > 0 ? ", " : "") + p;
+      vars_.push_back(p);
+    }
+    if (rng_.NextBool(0.5)) {
+      fn.has_default = true;
+      fn.kw_name = StrFormat("d%d", next_id_);
+      params += ", " + fn.kw_name + "=" + Literal();
+      vars_.push_back(fn.kw_name);
+    }
+    std::string stmt = "def " + fn.name + "(" + params + "):\n";
+    int n = static_cast<int>(rng_.NextBounded(3));
+    for (int i = 0; i < n; ++i) {
+      stmt += Stmt(1, 0, true);
+    }
+    // Nested closure capture, sometimes.
+    if (rng_.NextBool(0.15)) {
+      std::string inner = StrFormat("g%d", next_id_++);
+      stmt += Indent(1) + "def " + inner + "(x):\n";
+      stmt += Indent(2) + "return x + " + Expr(1) + "\n";
+      stmt += Indent(1) + "return " + inner + "(" + Expr(1) + ")\n";
+    } else {
+      stmt += Indent(1) + "return " + Expr(2) + "\n";
+    }
+    vars_ = std::move(saved_vars);
+    fns_.push_back(fn);
+    return stmt;
+  }
+
+  std::string ExportStmt() {
+    if (rng_.NextBool(0.25)) {
+      return "export(\"out.json\", {\"v\": " + Expr(2) + "})\n";
+    }
+    std::string dict;
+    int n = 1 + static_cast<int>(rng_.NextBounded(3));
+    for (int i = 0; i < n; ++i) {
+      dict += StrFormat("%s\"k%d\": %s", i > 0 ? ", " : "", i,
+                        (rng_.NextBool(0.7) ? Name() : Expr(1)).c_str());
+    }
+    return "export_if_last({" + dict + "})\n";
+  }
+
+  Rng rng_;
+  int next_id_ = 1;
+  std::vector<std::string> vars_;
+  std::vector<Fn> fns_;
+  std::vector<std::string> lib_vars_;
+  std::vector<Fn> lib_fns_;
+};
+
+// --- Differential harness ---------------------------------------------------
+
+struct Outcome {
+  Status status = OkStatus();
+  std::vector<std::string> artifacts;
+};
+
+Outcome RunEngine(const std::map<std::string, std::string>& files,
+                  CompilerOptions::Engine engine) {
+  InMemorySources sources;
+  for (const auto& [path, content] : files) {
+    sources.Put(path, content);
+  }
+  CompilerOptions options;
+  options.engine = engine;
+  ConfigCompiler compiler(sources.AsReader(), options);
+  Outcome outcome;
+  auto output = compiler.Compile("entry.cconf");
+  if (!output.ok()) {
+    outcome.status = output.status();
+    return outcome;
+  }
+  for (const CompiledConfig& config : output->configs) {
+    outcome.artifacts.push_back(config.path + "\n" +
+                                config.content.DumpPretty());
+  }
+  return outcome;
+}
+
+// Empty when the engines agree; otherwise a human-readable description.
+std::optional<std::string> Divergence(
+    const std::map<std::string, std::string>& files) {
+  Outcome vm = RunEngine(files, CompilerOptions::Engine::kBytecodeVm);
+  Outcome interp = RunEngine(files, CompilerOptions::Engine::kInterpreter);
+  if (!(vm.status == interp.status)) {
+    return "status diverged:\n  vm:     " + vm.status.ToString() +
+           "\n  interp: " + interp.status.ToString();
+  }
+  if (vm.artifacts != interp.artifacts) {
+    std::string diff = "artifacts diverged:\n";
+    for (size_t i = 0; i < std::max(vm.artifacts.size(),
+                                    interp.artifacts.size());
+         ++i) {
+      std::string v = i < vm.artifacts.size() ? vm.artifacts[i] : "<none>";
+      std::string t =
+          i < interp.artifacts.size() ? interp.artifacts[i] : "<none>";
+      if (v != t) {
+        diff += "--- vm ---\n" + v + "\n--- interp ---\n" + t + "\n";
+      }
+    }
+    return diff;
+  }
+  return std::nullopt;
+}
+
+std::string DescribeFiles(const std::map<std::string, std::string>& files) {
+  std::string out;
+  for (const auto& [path, content] : files) {
+    out += "==== " + path + " ====\n" + content;
+  }
+  return out;
+}
+
+TEST(VmDifferential, SeededProgramsAgreeOnArtifactsAndErrors) {
+  int failing_programs = 0;  // Programs whose (matching) outcome is an error.
+  for (uint64_t seed = 1; seed <= kPrograms; ++seed) {
+    ProgGen gen(seed);
+    GenProgram program = gen.Generate();
+    auto files = program.Files();
+    auto divergence = Divergence(files);
+    if (!divergence.has_value()) {
+      if (!RunEngine(files, CompilerOptions::Engine::kBytecodeVm)
+               .status.ok()) {
+        ++failing_programs;
+      }
+      continue;
+    }
+
+    // Diverged: ddmin-shrink the entry statement list to a minimal
+    // reproducer before failing.
+    auto reproduces = [&](const std::vector<size_t>& keep) {
+      GenProgram candidate;
+      candidate.modules = program.modules;
+      for (size_t index : keep) {
+        candidate.entry_stmts.push_back(program.entry_stmts[index]);
+      }
+      return Divergence(candidate.Files()).has_value();
+    };
+    int probes = 0;
+    std::vector<size_t> kept =
+        DdminSubset(program.entry_stmts.size(), reproduces, 400, &probes);
+    GenProgram shrunk;
+    shrunk.modules = program.modules;
+    for (size_t index : kept) {
+      shrunk.entry_stmts.push_back(program.entry_stmts[index]);
+    }
+    auto shrunk_divergence = Divergence(shrunk.Files());
+    FAIL() << "engines diverged on seed " << seed << " (ddmin: "
+           << program.entry_stmts.size() << " -> " << kept.size()
+           << " stmts, " << probes << " probes)\n"
+           << (shrunk_divergence.has_value() ? *shrunk_divergence
+                                             : *divergence)
+           << "\nshrunk program:\n"
+           << DescribeFiles(shrunk.Files());
+  }
+  // The generator must produce a healthy mix: mostly valid programs, but
+  // enough failing ones that error-message equality is really exercised.
+  EXPECT_GT(failing_programs, kPrograms / 20);
+  EXPECT_LT(failing_programs, kPrograms * 9 / 10);
+}
+
+TEST(VmDifferential, MutatedSourcesNeverCrashAndStayInAgreement) {
+  for (uint64_t seed = 1; seed <= kMutations; ++seed) {
+    ProgGen gen(seed);
+    GenProgram program = gen.Generate();
+    auto files = program.Files();
+    std::string& entry = files["entry.cconf"];
+    if (entry.empty()) {
+      continue;
+    }
+    Rng mut(seed * 7919);
+    int flips = 1 + static_cast<int>(mut.NextBounded(4));
+    for (int i = 0; i < flips; ++i) {
+      size_t at = mut.NextBounded(entry.size());
+      entry[at] = static_cast<char>(entry[at] ^
+                                    (1 << mut.NextBounded(7)));
+    }
+    auto divergence = Divergence(files);
+    EXPECT_FALSE(divergence.has_value())
+        << "mutated seed " << seed << ": " << *divergence << "\n"
+        << DescribeFiles(files);
+  }
+}
+
+}  // namespace
+}  // namespace configerator
