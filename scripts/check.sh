@@ -22,7 +22,11 @@
 #                               # cache-ablation throughput run
 #   scripts/check.sh --differential
 #                               # every two-implementation differential suite
-#                               # (gatekeeper, semdiff, VM-vs-interpreter)
+#                               # (gatekeeper, semdiff, VM-vs-interpreter,
+#                               # calendar-queue-vs-heap scheduler)
+#   scripts/check.sh --scale    # scale lane only: the 1k/10k-server
+#                               # determinism-at-scale sweeps plus a 10k-server
+#                               # Fig 14 propagation smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +37,7 @@ SEMDIFF_ONLY=0
 INVARIANTS_ONLY=0
 VM_ONLY=0
 DIFFERENTIAL_ONLY=0
+SCALE_ONLY=0
 if [[ "${1:-}" == "--fast" ]]; then
   FAST=1
 elif [[ "${1:-}" == "--chaos" ]]; then
@@ -47,6 +52,8 @@ elif [[ "${1:-}" == "--vm" ]]; then
   VM_ONLY=1
 elif [[ "${1:-}" == "--differential" ]]; then
   DIFFERENTIAL_ONLY=1
+elif [[ "${1:-}" == "--scale" ]]; then
+  SCALE_ONLY=1
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -111,9 +118,22 @@ if [[ "$VM_ONLY" == "1" ]]; then
 fi
 
 if [[ "$DIFFERENTIAL_ONLY" == "1" ]]; then
-  echo "==> differential: gatekeeper + semdiff + VM-vs-interpreter batteries"
+  echo "==> differential: gatekeeper + semdiff + VM + scheduler batteries"
   ctest --test-dir build --output-on-failure -L differential
   echo "==> done (differential mode: full tier-1, chaos, sanitizers and clang-tidy skipped)"
+  exit 0
+fi
+
+if [[ "$SCALE_ONLY" == "1" ]]; then
+  echo "==> scale: tier-1 smoke (1k replay + stride equivalence)"
+  ctest --test-dir build --output-on-failure -R '^scale_test$'
+  echo "==> scale: 10-seed determinism sweeps at 1k and 10k servers"
+  ctest --test-dir build -C scale -L scale --output-on-failure
+  echo "==> scale: scheduler differential battery"
+  ctest --test-dir build --output-on-failure -R '^sim_differential_test$'
+  echo "==> scale: Fig 14 propagation smoke at 10k servers"
+  (cd build/bench && ./fig14_scale --smoke)
+  echo "==> done (scale mode: full tier-1, chaos, sanitizers and clang-tidy skipped)"
   exit 0
 fi
 

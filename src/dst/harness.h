@@ -88,6 +88,13 @@ struct ScenarioOptions {
   // this bound. Serialized as slo_us; absent in old traces, which therefore
   // replay with the invariant off.
   SimTime freshness_slo = 0;
+  // Run the continuous-invariant sweep every Nth simulator event instead of
+  // after every one. The sweep is O(proxies × keys); at 1k+ proxies checking
+  // per event dominates the run without sharpening the invariants (a
+  // violation is still caught, at worst stride-1 events later — and the final
+  // pre-convergence sweep always runs). Serialized as check_stride; absent in
+  // old traces, which replay with the original stride of 1.
+  int check_stride = 1;
 
   std::string ToLine() const;
   static Result<ScenarioOptions> Parse(const std::string& line);

@@ -1,0 +1,225 @@
+#include "src/mobile/cohort.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace configerator {
+
+CohortModel::CohortModel(std::vector<CohortSpec> cohorts)
+    : cohorts_(std::move(cohorts)) {
+  for (const CohortSpec& c : cohorts_) {
+    total_ += c.devices;
+  }
+}
+
+double CohortModel::CohortCdf(const CohortSpec& cohort, SimTime t) {
+  if (t < 0 || cohort.online_prob <= 0 || cohort.poll_interval <= 0) {
+    return 0;
+  }
+  const double q = std::min(cohort.online_prob, 1.0);
+  const double p_interval = static_cast<double>(cohort.poll_interval);
+  double cdf = 0;
+  double weight = q;  // q(1-q)^k
+  for (SimTime k_offset = 0; k_offset <= t && weight > 1e-15;
+       k_offset += cohort.poll_interval) {
+    double u = (static_cast<double>(t - k_offset)) / p_interval;
+    cdf += weight * std::min(u, 1.0);
+    weight *= (1.0 - q);
+  }
+  return cdf;
+}
+
+double CohortModel::UpdatedFraction(SimTime t) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  double sum = 0;
+  for (const CohortSpec& c : cohorts_) {
+    sum += static_cast<double>(c.devices) * CohortCdf(c, t);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double CohortModel::UpdatedFractionWithPush(SimTime t) const {
+  if (total_ == 0 || t < 0) {
+    return 0;
+  }
+  double sum = 0;
+  for (const CohortSpec& c : cohorts_) {
+    double r = std::clamp(c.push_reach, 0.0, 1.0);
+    sum += static_cast<double>(c.devices) * (r + (1.0 - r) * CohortCdf(c, t));
+  }
+  return sum / static_cast<double>(total_);
+}
+
+SimTime CohortModel::MeanUpdateDelay() const {
+  if (total_ == 0) {
+    return 0;
+  }
+  double sum = 0;
+  for (const CohortSpec& c : cohorts_) {
+    double q = std::clamp(c.online_prob, 1e-9, 1.0);
+    double p_interval = static_cast<double>(c.poll_interval);
+    // E[U] + P·E[K] for U ~ Uniform[0,P), K ~ Geometric(q).
+    double mean = p_interval / 2.0 + p_interval * (1.0 - q) / q;
+    sum += static_cast<double>(c.devices) * mean;
+  }
+  return static_cast<SimTime>(sum / static_cast<double>(total_));
+}
+
+SimTime CohortModel::Quantile(double p) const {
+  SimTime hi = kSimSecond;
+  while (UpdatedFraction(hi) < p && hi < (SimTime{1} << 60)) {
+    hi *= 2;
+  }
+  SimTime lo = 0;
+  while (lo + 1 < hi) {
+    SimTime mid = lo + (hi - lo) / 2;
+    if (UpdatedFraction(mid) >= p) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double CohortModel::PollsPerSecond() const {
+  double sum = 0;
+  for (const CohortSpec& c : cohorts_) {
+    if (c.poll_interval <= 0) {
+      continue;
+    }
+    sum += static_cast<double>(c.devices) *
+           std::clamp(c.online_prob, 0.0, 1.0) /
+           SimToSeconds(c.poll_interval);
+  }
+  return sum;
+}
+
+SampledMobileFleet::SampledMobileFleet(Simulator* sim,
+                                       MobileConfigServer* server,
+                                       const MobileSchema& schema,
+                                       const CohortModel& model,
+                                       size_t sample_size, uint64_t seed)
+    : sim_(sim), server_(server), schema_(schema), model_(model), rng_(seed) {
+  devices_.reserve(sample_size);
+  // Cumulative rounding allocates exactly sample_size devices across cohorts
+  // in proportion to cohort size.
+  uint64_t cum_devices = 0;
+  size_t assigned = 0;
+  const auto& cohorts = model_.cohorts();
+  for (size_t c = 0; c < cohorts.size(); ++c) {
+    cum_devices += cohorts[c].devices;
+    size_t cum_target = model_.total_devices() == 0
+        ? 0
+        : static_cast<size_t>(std::llround(
+              static_cast<double>(sample_size) *
+              (static_cast<double>(cum_devices) /
+               static_cast<double>(model_.total_devices()))));
+    for (; assigned < cum_target; ++assigned) {
+      UserContext ctx;
+      ctx.user_id = 1'000'000 + static_cast<int64_t>(assigned);
+      ctx.platform = "android";
+      ctx.app = "fb4a";
+      devices_.emplace_back(schema_, std::move(ctx));
+      devices_.back().cohort = c;
+    }
+  }
+}
+
+void SampledMobileFleet::Start() {
+  started_ = true;
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    const CohortSpec& cohort = model_.cohorts()[devices_[i].cohort];
+    // Uniform phase in [0, P): the poll schedule of a device population is
+    // uncorrelated with any particular config change.
+    SimTime phase = static_cast<SimTime>(rng_.NextBounded(
+        static_cast<uint64_t>(std::max<SimTime>(1, cohort.poll_interval))));
+    SchedulePoll(i, phase);
+  }
+}
+
+void SampledMobileFleet::SchedulePoll(size_t device_index, SimTime delay) {
+  sim_->Schedule(delay, [this, device_index] {
+    const CohortSpec& cohort = model_.cohorts()[devices_[device_index].cohort];
+    if (cohort.online_prob >= 1.0 || rng_.NextBool(cohort.online_prob)) {
+      SyncDevice(device_index);
+    }
+    SchedulePoll(device_index, cohort.poll_interval);
+  });
+}
+
+void SampledMobileFleet::SyncDevice(size_t device_index) {
+  Device& device = devices_[device_index];
+  uint64_t bytes_before = device.client.bytes_transferred();
+  Result<bool> result = device.client.Sync(*server_);
+  ++sync_count_;
+  total_sync_bytes_ += device.client.bytes_transferred() - bytes_before;
+  if (result.ok() && measure_start_ >= 0 && device.updated_at < 0) {
+    device.updated_at = sim_->now();
+    ++updated_count_;
+  }
+}
+
+void SampledMobileFleet::BeginMeasurement() {
+  measure_start_ = sim_->now();
+  updated_count_ = 0;
+  for (Device& device : devices_) {
+    device.updated_at = -1;
+  }
+}
+
+void SampledMobileFleet::PushAll() {
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    const CohortSpec& cohort = model_.cohorts()[devices_[i].cohort];
+    if (cohort.push_reach > 0 && rng_.NextBool(cohort.push_reach)) {
+      sim_->Schedule(0, [this, i] { SyncDevice(i); });
+    }
+  }
+}
+
+double SampledMobileFleet::EmpiricalUpdatedFraction(SimTime t) const {
+  if (devices_.empty() || measure_start_ < 0) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const Device& device : devices_) {
+    if (device.updated_at >= 0 && device.updated_at - measure_start_ <= t) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / static_cast<double>(devices_.size());
+}
+
+std::vector<SimTime> SampledMobileFleet::UpdateDelays() const {
+  std::vector<SimTime> delays;
+  delays.reserve(updated_count_);
+  for (const Device& device : devices_) {
+    if (device.updated_at >= 0) {
+      delays.push_back(device.updated_at - measure_start_);
+    }
+  }
+  return delays;
+}
+
+ConformanceReport CheckConformance(const CohortModel& model,
+                                   const SampledMobileFleet& fleet,
+                                   SimTime horizon, int grid_points,
+                                   bool with_push) {
+  ConformanceReport report;
+  for (int i = 1; i <= grid_points; ++i) {
+    SimTime t = horizon * i / grid_points;
+    double predicted = with_push ? model.UpdatedFractionWithPush(t)
+                                 : model.UpdatedFraction(t);
+    double observed = fleet.EmpiricalUpdatedFraction(t);
+    double err = std::abs(predicted - observed);
+    if (err > report.max_abs_error) {
+      report.max_abs_error = err;
+      report.worst_t = t;
+    }
+  }
+  return report;
+}
+
+}  // namespace configerator

@@ -1,0 +1,150 @@
+// Cohort model for the million-device MobileConfig fleet (paper §5 serves
+// ~1B devices; simulating each one is pointless and impossible).
+//
+// The fleet is described as cohorts — groups of devices sharing a poll
+// interval P, an online probability q (a scheduled poll only happens/succeeds
+// when the device has connectivity), and an emergency-push reach r. Under a
+// uniformly-phased poll schedule, the delay D until a device picks up a
+// config change has a closed form:
+//
+//     D = U + K·P,   U ~ Uniform[0, P),   K ~ Geometric(q)
+//     F(t) = P(D <= t) = Σ_k  q(1-q)^k · clamp((t - kP)/P, 0, 1)
+//
+// (U is the phase offset to the next scheduled poll; K counts offline polls
+// before the first successful one.) With an emergency push at the change
+// instant, a fraction r updates immediately: F_push(t) = r + (1-r)·F(t).
+//
+// CohortModel evaluates these mixtures over all cohorts, weighted by device
+// count. SampledMobileFleet runs a seeded sample of devices through the
+// *exact* pull/push protocol (real MobileConfigClient::Sync against the real
+// server, real schema/values hashing and bandwidth accounting) on the
+// simulator clock; the conformance check (tests/mobile_fleet_test.cc) holds
+// the sample's empirical update-delay distribution to the closed form, which
+// is what licenses using the closed form for the other 99.8% of the fleet.
+
+#ifndef SRC_MOBILE_COHORT_H_
+#define SRC_MOBILE_COHORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mobile/mobileconfig.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace configerator {
+
+struct CohortSpec {
+  std::string name;
+  uint64_t devices = 0;
+  SimTime poll_interval = kSimHour;  // P.
+  double online_prob = 1.0;          // q: P(a scheduled poll succeeds).
+  double push_reach = 0.0;           // r: P(emergency push reaches device).
+};
+
+class CohortModel {
+ public:
+  explicit CohortModel(std::vector<CohortSpec> cohorts);
+
+  const std::vector<CohortSpec>& cohorts() const { return cohorts_; }
+  uint64_t total_devices() const { return total_; }
+
+  // Fraction of the fleet holding a change `t` after it landed (pull only).
+  double UpdatedFraction(SimTime t) const;
+  // Same, with an emergency push fired at the change instant.
+  double UpdatedFractionWithPush(SimTime t) const;
+
+  // Mean update delay E[U + P·K] over the fleet (pull only).
+  SimTime MeanUpdateDelay() const;
+  // Smallest t with UpdatedFraction(t) >= p (bisection; p in (0, 1)).
+  SimTime Quantile(double p) const;
+
+  // Expected poll *attempts* reaching the server per second across the whole
+  // fleet (offline devices generate no traffic): Σ N_c · q_c / P_c.
+  double PollsPerSecond() const;
+
+ private:
+  static double CohortCdf(const CohortSpec& cohort, SimTime t);
+
+  std::vector<CohortSpec> cohorts_;
+  uint64_t total_ = 0;
+};
+
+// A seeded sample of devices running the exact protocol on the simulator
+// clock. Devices are allocated to cohorts proportionally to cohort size.
+class SampledMobileFleet {
+ public:
+  // `server` and `schema` must outlive the fleet. Each device gets a unique
+  // UserContext id so stateful-server and gatekeeper paths behave per-device.
+  SampledMobileFleet(Simulator* sim, MobileConfigServer* server,
+                     const MobileSchema& schema, const CohortModel& model,
+                     size_t sample_size, uint64_t seed);
+
+  // Schedules every device's poll loop (first poll at its uniform phase).
+  void Start();
+
+  // Marks now as the config-change instant to measure propagation against:
+  // each device records its first server contact from now on.
+  void BeginMeasurement();
+
+  // Emergency push at now: each device draws its cohort's push_reach; reached
+  // devices sync immediately (same instant, distinct events).
+  void PushAll();
+
+  size_t size() const { return devices_.size(); }
+  // Devices that contacted the server since BeginMeasurement.
+  size_t updated_count() const { return updated_count_; }
+  // Empirical P(update delay <= t) over the sample.
+  double EmpiricalUpdatedFraction(SimTime t) const;
+  // Update delays of updated devices, unsorted (one entry per updated
+  // device). Tests feed these to quantile checks.
+  std::vector<SimTime> UpdateDelays() const;
+
+  uint64_t sync_count() const { return sync_count_; }
+  uint64_t total_sync_bytes() const { return total_sync_bytes_; }
+  size_t cohort_of(size_t device_index) const {
+    return devices_[device_index].cohort;
+  }
+
+ private:
+  struct Device {
+    MobileConfigClient client;
+    size_t cohort = 0;
+    SimTime updated_at = -1;  // First post-measurement server contact.
+    Device(MobileSchema schema, UserContext ctx)
+        : client(std::move(schema), std::move(ctx)) {}
+  };
+
+  void SchedulePoll(size_t device_index, SimTime delay);
+  void SyncDevice(size_t device_index);
+
+  Simulator* sim_;
+  MobileConfigServer* server_;
+  const MobileSchema& schema_;
+  const CohortModel& model_;
+  std::vector<Device> devices_;
+  Rng rng_;
+  SimTime measure_start_ = -1;
+  size_t updated_count_ = 0;
+  uint64_t sync_count_ = 0;
+  uint64_t total_sync_bytes_ = 0;
+  bool started_ = false;
+};
+
+// Sup-norm distance between the sample's empirical update-delay CDF and the
+// model's, evaluated on `grid_points` points over [0, horizon]. The mobile
+// conformance test declares a tolerance; a skewed cohort parameter (e.g. a
+// model whose poll interval is 2x the fleet's real one) must exceed it.
+struct ConformanceReport {
+  double max_abs_error = 0;
+  SimTime worst_t = 0;
+};
+ConformanceReport CheckConformance(const CohortModel& model,
+                                   const SampledMobileFleet& fleet,
+                                   SimTime horizon, int grid_points,
+                                   bool with_push);
+
+}  // namespace configerator
+
+#endif  // SRC_MOBILE_COHORT_H_

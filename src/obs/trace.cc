@@ -8,6 +8,10 @@ namespace configerator {
 
 TraceContext Tracer::StartTrace(const std::string& name,
                                 const std::string& host, SimTime at) {
+  if (arrivals_++ % sample_every_ != 0) {
+    ++sampled_out_;
+    return TraceContext{};
+  }
   uint64_t id = next_trace_id_++;
   TraceData& trace = traces_[id];
   trace.id = id;

@@ -57,7 +57,20 @@ struct TraceData {
 
 class Tracer {
  public:
+  // Record 1 of every `n` traces (default 1 = record everything). At fleet
+  // scale a span tree per commit per 100k-server fan-out is the tracer's
+  // memory wall, so scale runs sample: an unsampled StartTrace returns an
+  // invalid context, and because StartSpan on an invalid parent records
+  // nothing, the whole downstream tree no-ops without any caller changes.
+  // Sampling is by arrival order (first of each stride), so it is
+  // deterministic under DST replay.
+  void SetSampleEvery(uint64_t n) { sample_every_ = n == 0 ? 1 : n; }
+  uint64_t sample_every() const { return sample_every_; }
+  // Traces skipped by sampling since construction.
+  uint64_t sampled_out() const { return sampled_out_; }
+
   // Opens a root span; `at` is the sim time the commit entered the pipeline.
+  // Returns an invalid context (nothing recorded) for sampled-out traces.
   TraceContext StartTrace(const std::string& name, const std::string& host,
                           SimTime at);
 
@@ -96,6 +109,9 @@ class Tracer {
   std::map<std::string, TraceContext> by_path_;
   std::map<int64_t, TraceContext> by_zxid_;
   uint64_t next_trace_id_ = 1;
+  uint64_t sample_every_ = 1;
+  uint64_t arrivals_ = 0;
+  uint64_t sampled_out_ = 0;
 };
 
 }  // namespace configerator

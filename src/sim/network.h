@@ -15,15 +15,22 @@
 //    globally. FIFO channels (SendFifo) model TCP connections and therefore
 //    never reorder — but they can still drop, duplicate, and delay.
 //
-// Every outcome is counted per directed link and in aggregate (stats()), so
-// tests can assert not just that a scenario converged but that the faults
-// actually fired.
+// Every outcome is counted in aggregate (stats(), always exact) and per
+// directed link. Per-link counters are lazy: a LinkStats record materializes
+// the first time a link carries or drops a message, so a 100k-server fleet
+// pays memory only for links that actually saw traffic. The scale invariant —
+// aggregate == sum over materialized links, untouched links allocate nothing
+// — is property-tested under a seeded fault barrage (tests/sim_test.cc).
+//
+// Per-server and per-link state is keyed by dense integer handles
+// (Topology::FlatIndex; a directed link packs two 32-bit flat indices into a
+// uint64_t), so the hot path is flat-array/open-hash work instead of
+// tree-map walks over 12-byte ServerId tuples.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -37,16 +44,31 @@
 
 namespace configerator {
 
-// Injects crashes/recoveries and answers liveness queries.
+// Injects crashes/recoveries and answers liveness queries. With a topology
+// attached (Network does this), liveness is one dense bit test per query;
+// ids outside the topology fall back to a small set so the injector stays
+// usable standalone.
 class FailureInjector {
  public:
-  void Crash(const ServerId& id) { down_.insert(id); }
-  void Recover(const ServerId& id) { down_.erase(id); }
-  bool IsDown(const ServerId& id) const { return down_.count(id) > 0; }
-  size_t down_count() const { return down_.size(); }
+  FailureInjector() = default;
+
+  void AttachTopology(const Topology* topology);
+
+  void Crash(const ServerId& id);
+  void Recover(const ServerId& id);
+  bool IsDown(const ServerId& id) const {
+    if (topology_ != nullptr && topology_->Contains(id)) {
+      return down_[static_cast<size_t>(topology_->FlatIndex(id))] != 0;
+    }
+    return other_down_.count(id) > 0;
+  }
+  size_t down_count() const { return down_count_; }
 
  private:
-  std::unordered_set<ServerId> down_;
+  const Topology* topology_ = nullptr;
+  std::vector<uint8_t> down_;  // Dense, by flat index; sized on attach.
+  std::unordered_set<ServerId> other_down_;  // Ids outside the topology.
+  size_t down_count_ = 0;
 };
 
 // Probabilistic fault configuration for a directed link (or the whole
@@ -88,6 +110,10 @@ struct NetStats {
 class Network {
  public:
   Network(Simulator* sim, Topology topology, uint64_t seed = 1);
+
+  // The failure injector points into topology_; pin the object.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   Simulator& sim() { return *sim_; }
   const Topology& topology() const { return topology_; }
@@ -153,13 +179,21 @@ class Network {
   // Counters for one directed link (zeroes if the link never carried a
   // message).
   LinkStats link_stats(const ServerId& from, const ServerId& to) const;
+  // Number of directed links with materialized counters — i.e. links that
+  // carried or dropped at least one message. Property tests assert untouched
+  // links never allocate.
+  size_t materialized_links() const { return link_pool_.size(); }
+  // Sum of every materialized link's counters; must equal stats() exactly
+  // (bytes are tracked in aggregate only).
+  NetStats SumLinkStats() const;
 
   // Zeroes the aggregate and per-link counters. Harness runs sharing a
   // process (the shrinker builds dozens) reset between runs so one run's
   // delivery counts can never leak into the next run's assertions.
   void ResetStats() {
     stats_ = NetStats{};
-    link_stats_.clear();
+    link_index_.clear();
+    link_pool_.clear();
   }
 
   // Legacy aggregate accessors — benches report these as overhead measures.
@@ -168,19 +202,37 @@ class Network {
   uint64_t bytes_sent() const { return stats_.bytes_sent; }
 
  private:
+  // A partition rule holds each group as a dense bitset over flat server
+  // indices: Blocked() is a couple of bit tests per rule, independent of
+  // group size.
   struct PartitionRule {
     uint64_t id = 0;
-    std::unordered_set<ServerId> from;
-    std::unordered_set<ServerId> to;
+    std::vector<uint64_t> from_bits;
+    std::vector<uint64_t> to_bits;
     bool bidirectional = false;
   };
 
-  using LinkKey = std::pair<ServerId, ServerId>;
+  uint32_t Flat(const ServerId& id) const {
+    return static_cast<uint32_t>(topology_.FlatIndex(id));
+  }
+  // Directed link key: two 32-bit dense server handles packed into one word.
+  uint64_t PackLink(const ServerId& from, const ServerId& to) const {
+    return (static_cast<uint64_t>(Flat(from)) << 32) |
+           static_cast<uint64_t>(Flat(to));
+  }
+  static bool TestBit(const std::vector<uint64_t>& bits, uint32_t index) {
+    return (bits[index >> 6] >> (index & 63)) & 1;
+  }
+  uint64_t AddPartitionRule(const std::vector<ServerId>& from_group,
+                            const std::vector<ServerId>& to_group,
+                            bool bidirectional);
 
-  const LinkFault& EffectiveFault(const LinkKey& key) const;
+  const LinkFault& EffectiveFault(uint64_t link) const;
+  // Index of the link's pooled counters, materializing them on first use.
+  uint32_t LinkIndexFor(uint64_t link);
   // Shared by Send/SendFifo after the channel-independent fault handling.
-  void ScheduleDelivery(const LinkKey& key, SimTime arrival,
-                        std::function<void()> deliver);
+  void ScheduleDelivery(const ServerId& to, uint32_t link_index,
+                        SimTime arrival, std::function<void()> deliver);
   void SendInternal(const ServerId& from, const ServerId& to, int64_t bytes,
                     std::function<void()> deliver, bool fifo);
 
@@ -189,12 +241,18 @@ class Network {
   FailureInjector failures_;
   Rng rng_;
   NetStats stats_;
-  std::map<LinkKey, LinkStats> link_stats_;
-  std::map<LinkKey, LinkFault> link_faults_;
+  // Lazy per-link counters: packed link key → index into link_pool_. Indices
+  // are stable (the pool only grows between resets), so in-flight deliveries
+  // carry an index, not an iterator.
+  std::unordered_map<uint64_t, uint32_t> link_index_;
+  std::vector<LinkStats> link_pool_;
+  std::unordered_map<uint64_t, LinkFault> link_faults_;
   LinkFault default_fault_;
   std::vector<PartitionRule> partitions_;
   uint64_t next_partition_id_ = 1;
-  // Last scheduled arrival per FIFO channel (from, to).
+  // Last scheduled arrival per FIFO channel, keyed by exact packed link (the
+  // pre-scale implementation mixed the endpoint hashes, so distinct channels
+  // could collide and falsely serialize).
   std::unordered_map<uint64_t, SimTime> channel_clock_;
 };
 

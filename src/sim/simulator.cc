@@ -4,6 +4,14 @@
 
 namespace configerator {
 
+Simulator::Simulator(QueueKind kind) {
+  if (kind == QueueKind::kHeap) {
+    queue_ = std::make_unique<HeapEventQueue>();
+  } else {
+    queue_ = std::make_unique<CalendarEventQueue>();
+  }
+}
+
 void Simulator::Schedule(SimTime delay, std::function<void()> fn) {
   if (delay < 0) {
     delay = 0;
@@ -15,17 +23,14 @@ void Simulator::ScheduleAt(SimTime when, std::function<void()> fn) {
   if (when < now_) {
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  queue_->Push(SimEvent{when, next_seq_++, std::move(fn)});
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (queue_->empty()) {
     return false;
   }
-  // The priority_queue's top is const; move out via const_cast, standard
-  // practice for move-only payloads (the object is popped immediately).
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  SimEvent event = queue_->PopMin();
   now_ = event.time;
   ++processed_;
   event.fn();
@@ -33,7 +38,7 @@ bool Simulator::Step() {
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
+  while (!queue_->empty() && queue_->MinTime() <= deadline) {
     Step();
   }
   if (now_ < deadline) {

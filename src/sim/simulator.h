@@ -8,27 +8,22 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <memory>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
 
 namespace configerator {
 
-// Simulated time in microseconds.
-using SimTime = int64_t;
-
-constexpr SimTime kSimMicrosecond = 1;
-constexpr SimTime kSimMillisecond = 1000;
-constexpr SimTime kSimSecond = 1'000'000;
-constexpr SimTime kSimMinute = 60 * kSimSecond;
-constexpr SimTime kSimHour = 60 * kSimMinute;
-constexpr SimTime kSimDay = 24 * kSimHour;
-
-inline double SimToSeconds(SimTime t) {
-  return static_cast<double>(t) / static_cast<double>(kSimSecond);
-}
-
 class Simulator {
  public:
+  // kCalendar is the default scheduler (amortized O(1) push/pop). kHeap is
+  // the original binary heap, retained as the reference for the differential
+  // battery; both honor the identical (time, seq) FIFO ordering contract.
+  enum class QueueKind { kCalendar, kHeap };
+
+  explicit Simulator(QueueKind kind = QueueKind::kCalendar);
+
   SimTime now() const { return now_; }
 
   // Schedules `fn` to run `delay` from now (clamped to >= 0). Events at the
@@ -45,28 +40,14 @@ class Simulator {
   // Runs until no events remain (or `max_events` processed).
   void RunUntilIdle(uint64_t max_events = UINT64_MAX);
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return queue_->size(); }
   uint64_t processed_events() const { return processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // Tie-break: FIFO among same-time events.
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unique_ptr<EventQueue> queue_;
 };
 
 }  // namespace configerator

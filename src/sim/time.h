@@ -1,0 +1,26 @@
+// Simulated-time primitives shared by the event queue and the simulator.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace configerator {
+
+// Simulated time in microseconds.
+using SimTime = int64_t;
+
+constexpr SimTime kSimMicrosecond = 1;
+constexpr SimTime kSimMillisecond = 1000;
+constexpr SimTime kSimSecond = 1'000'000;
+constexpr SimTime kSimMinute = 60 * kSimSecond;
+constexpr SimTime kSimHour = 60 * kSimMinute;
+constexpr SimTime kSimDay = 24 * kSimHour;
+
+inline double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSimSecond);
+}
+
+}  // namespace configerator
+
+#endif  // SRC_SIM_TIME_H_

@@ -142,6 +142,16 @@ class ZeusEnsemble {
     UpdateCallback callback;
   };
 
+  // Watches on one key at one observer. `list` keeps registration order (the
+  // push fan-out iterates it, so delivery order is deterministic and stable);
+  // `by_proxy` (dense flat-index key → list slot) makes the one-watch-per-
+  // (proxy, key) replacement O(1) instead of a linear scan — at 100k
+  // subscribing proxies the scan was quadratic.
+  struct WatchList {
+    std::vector<Watch> list;
+    std::unordered_map<uint64_t, uint32_t> by_proxy;
+  };
+
   struct Observer {
     ServerId id;
     int64_t last_zxid = 0;
@@ -150,7 +160,7 @@ class ZeusEnsemble {
     // in-order delivery guarantee; anti-entropy fills the holes.
     std::map<int64_t, ZeusTxn> pending;
     std::unordered_map<std::string, ZeusValue> data;
-    std::unordered_map<std::string, std::vector<Watch>> watches;
+    std::unordered_map<std::string, WatchList> watches;
   };
 
   void CommitOnLeader(std::string key, std::string value, WriteCallback done);

@@ -1,0 +1,209 @@
+// Cohort-model conformance battery for the million-device MobileConfig
+// fleet. The scale story rests on one claim: a sampled subset of devices
+// running the exact pull/push protocol has the same update-delay
+// distribution as the closed-form cohort model, so the closed form can stand
+// in for the other 99.8% of a 1M-device fleet. These tests hold the sampled
+// fleet to the model within a declared sup-norm tolerance across seeds, and
+// prove the check has teeth by feeding it a deliberately-skewed model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/gatekeeper/runtime.h"
+#include "src/mobile/cohort.h"
+#include "src/mobile/mobileconfig.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace configerator {
+namespace {
+
+// ~2000 sampled devices keeps the empirical CDF's sampling noise around
+// 1/sqrt(2000) ≈ 0.022; the tolerance below leaves headroom above that
+// without masking a genuinely wrong model (the skew test doubles one poll
+// interval and must blow well past it).
+constexpr size_t kSampleSize = 2000;
+constexpr double kTolerance = 0.04;
+
+// The 1M-device fleet: a fast-polling wifi cohort, the bulk on hourly polls
+// with imperfect connectivity, and a long-tail cohort that is mostly offline.
+std::vector<CohortSpec> MillionDeviceFleet() {
+  return {
+      {"wifi-15m", 250'000, 15 * kSimMinute, 0.95, 0.9},
+      {"hourly", 600'000, kSimHour, 0.8, 0.6},
+      {"long-tail", 150'000, 4 * kSimHour, 0.5, 0.2},
+  };
+}
+
+MobileSchema FleetSchema() {
+  MobileSchema schema;
+  schema.config_name = "FLEET_CONFIG";
+  schema.fields = {{"FEATURE_X", MobileFieldType::kBool},
+                   {"POLL_BUDGET", MobileFieldType::kInt}};
+  return schema;
+}
+
+class MobileFleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    translation_.Bind("FLEET_CONFIG", "FEATURE_X",
+                      FieldBinding::Constant(Json(true)));
+    translation_.Bind("FLEET_CONFIG", "POLL_BUDGET",
+                      FieldBinding::Constant(Json(int64_t{7})));
+    server_ = std::make_unique<MobileConfigServer>(&translation_, &gatekeeper_,
+                                                   nullptr);
+    server_->RegisterSchema(FleetSchema());
+  }
+
+  TranslationLayer translation_;
+  GatekeeperRuntime gatekeeper_;
+  std::unique_ptr<MobileConfigServer> server_;
+};
+
+// --- Closed-form model unit checks -----------------------------------------
+
+TEST_F(MobileFleetTest, ClosedFormBasics) {
+  CohortModel model(MillionDeviceFleet());
+  EXPECT_EQ(model.total_devices(), 1'000'000u);
+
+  // F is a CDF: 0 at 0, monotone, -> 1.
+  EXPECT_DOUBLE_EQ(model.UpdatedFraction(0), 0.0);
+  double prev = 0;
+  for (SimTime t = 0; t <= 12 * kSimHour; t += 10 * kSimMinute) {
+    double f = model.UpdatedFraction(t);
+    EXPECT_GE(f, prev - 1e-12) << "CDF not monotone at t=" << t;
+    EXPECT_LE(f, 1.0 + 1e-12);
+    prev = f;
+  }
+  EXPECT_GT(model.UpdatedFraction(48 * kSimHour), 0.999);
+
+  // Push floor: at t=0 exactly the push-reached fraction holds the change.
+  double reach = (250'000 * 0.9 + 600'000 * 0.6 + 150'000 * 0.2) / 1'000'000;
+  EXPECT_NEAR(model.UpdatedFractionWithPush(0), reach, 1e-9);
+  EXPECT_GE(model.UpdatedFractionWithPush(kSimHour),
+            model.UpdatedFraction(kSimHour));
+
+  // Quantile inverts the CDF.
+  SimTime p50 = model.Quantile(0.5);
+  EXPECT_GE(model.UpdatedFraction(p50), 0.5);
+  EXPECT_LT(model.UpdatedFraction(p50 - kSimSecond), 0.5);
+  EXPECT_GT(model.Quantile(0.99), p50);
+}
+
+TEST_F(MobileFleetTest, ClosedFormMeanAndPollRate) {
+  // Single always-online cohort: D ~ Uniform[0, P), mean P/2, and the fleet
+  // polls at devices/P.
+  CohortModel uniform({{"u", 1000, kSimHour, 1.0, 0.0}});
+  EXPECT_EQ(uniform.MeanUpdateDelay(), kSimHour / 2);
+  EXPECT_NEAR(uniform.PollsPerSecond(), 1000.0 / 3600.0, 1e-9);
+
+  // q = 0.5 doubles the expected wait beyond the phase: mean = P/2 + P·(1-q)/q.
+  CohortModel flaky({{"f", 1000, kSimHour, 0.5, 0.0}});
+  EXPECT_EQ(flaky.MeanUpdateDelay(), kSimHour / 2 + kSimHour);
+  // Offline polls never reach the server.
+  EXPECT_NEAR(flaky.PollsPerSecond(), 500.0 / 3600.0, 1e-9);
+}
+
+// --- Sampled-fleet conformance ---------------------------------------------
+
+// The exact-protocol sample must match the closed form within tolerance, for
+// every seed, pull-only and with an emergency push.
+TEST_F(MobileFleetTest, SampledFleetConformsAcrossSeeds) {
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    for (bool with_push : {false, true}) {
+      Simulator sim;
+      CohortModel model(MillionDeviceFleet());
+      SampledMobileFleet fleet(&sim, server_.get(), FleetSchema(), model,
+                               kSampleSize, seed);
+      fleet.Start();
+      // Let poll phases wrap a few of the longest interval before the change
+      // lands, so the measurement starts from the steady state.
+      sim.RunUntil(8 * kSimHour);
+      server_->NoteConfigChanged();
+      fleet.BeginMeasurement();
+      if (with_push) {
+        fleet.PushAll();
+      }
+      SimTime horizon = 24 * kSimHour;
+      sim.RunUntil(sim.now() + horizon);
+
+      ConformanceReport report =
+          CheckConformance(model, fleet, horizon, /*grid_points=*/200,
+                           with_push);
+      EXPECT_LE(report.max_abs_error, kTolerance)
+          << "seed " << seed << (with_push ? " with push" : " pull only")
+          << ": worst divergence " << report.max_abs_error << " at t="
+          << report.worst_t;
+    }
+  }
+}
+
+// Teeth check: a model whose bulk cohort claims polls twice as frequent as
+// the fleet actually runs must fail conformance decisively.
+TEST_F(MobileFleetTest, SkewedModelFailsConformance) {
+  Simulator sim;
+  CohortModel truth(MillionDeviceFleet());
+  SampledMobileFleet fleet(&sim, server_.get(), FleetSchema(), truth,
+                           kSampleSize, /*seed=*/101);
+  fleet.Start();
+  sim.RunUntil(8 * kSimHour);
+  server_->NoteConfigChanged();
+  fleet.BeginMeasurement();
+  SimTime horizon = 24 * kSimHour;
+  sim.RunUntil(sim.now() + horizon);
+
+  std::vector<CohortSpec> skewed_specs = MillionDeviceFleet();
+  skewed_specs[1].poll_interval = 30 * kSimMinute;  // Claims 2x poll rate.
+  CohortModel skewed(skewed_specs);
+  ConformanceReport report = CheckConformance(
+      skewed, fleet, horizon, /*grid_points=*/200, /*with_push=*/false);
+  EXPECT_GT(report.max_abs_error, 2 * kTolerance)
+      << "skewed model should diverge far beyond the declared tolerance";
+}
+
+// The sample runs the real protocol: every sync moves real bytes through
+// MobileConfigClient::Sync, and a changed config is actually applied.
+TEST_F(MobileFleetTest, SampleRunsExactProtocol) {
+  Simulator sim;
+  CohortModel model(MillionDeviceFleet());
+  SampledMobileFleet fleet(&sim, server_.get(), FleetSchema(), model,
+                           /*sample_size=*/200, /*seed=*/7);
+  EXPECT_EQ(fleet.size(), 200u);
+  fleet.Start();
+  sim.RunUntil(8 * kSimHour);
+  EXPECT_GT(fleet.sync_count(), 0u);
+  EXPECT_GT(fleet.total_sync_bytes(), 0u);
+
+  server_->NoteConfigChanged();
+  fleet.BeginMeasurement();
+  EXPECT_EQ(fleet.updated_count(), 0u);
+  sim.RunUntil(sim.now() + 24 * kSimHour);
+  EXPECT_GT(fleet.updated_count(), 150u);  // Long tail may still be offline.
+
+  std::vector<SimTime> delays = fleet.UpdateDelays();
+  EXPECT_EQ(delays.size(), fleet.updated_count());
+  EXPECT_TRUE(std::all_of(delays.begin(), delays.end(),
+                          [](SimTime d) { return d >= 0; }));
+}
+
+// Proportional allocation: cohort shares in the sample track the fleet.
+TEST_F(MobileFleetTest, SampleAllocatesProportionally) {
+  Simulator sim;
+  CohortModel model(MillionDeviceFleet());
+  SampledMobileFleet fleet(&sim, server_.get(), FleetSchema(), model,
+                           /*sample_size=*/1000, /*seed=*/1);
+  ASSERT_EQ(fleet.size(), 1000u);
+  std::vector<size_t> counts(3, 0);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    ++counts[fleet.cohort_of(i)];
+  }
+  EXPECT_EQ(counts[0], 250u);
+  EXPECT_EQ(counts[1], 600u);
+  EXPECT_EQ(counts[2], 150u);
+}
+
+}  // namespace
+}  // namespace configerator

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 #include "src/sim/topology.h"
+#include "src/util/rng.h"
 
 namespace configerator {
 namespace {
@@ -230,6 +234,97 @@ TEST(NetworkTest, CountsBytes) {
   net.Send(ServerId{0, 0, 0}, ServerId{0, 0, 2}, 500, [] {});
   sim.RunUntilIdle();
   EXPECT_EQ(net.bytes_sent(), 1500u);
+}
+
+// --- Lazy per-link stats ----------------------------------------------------
+
+TEST(NetworkStatsLazyTest, UntouchedLinksAllocateNothing) {
+  Simulator sim;
+  Network net(&sim, Topology(2, 2, 25));  // 100 servers, 9900 directed links.
+  EXPECT_EQ(net.materialized_links(), 0u);
+  ServerId a{0, 0, 0};
+  ServerId b{1, 1, 3};
+  net.Send(a, b, 100, [] {});
+  net.Send(a, b, 100, [] {});  // Same link: no new allocation.
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.materialized_links(), 1u);
+  EXPECT_EQ(net.link_stats(a, b).delivered, 2u);
+  // Querying a silent link must not materialize it.
+  EXPECT_EQ(net.link_stats(b, a).sent, 0u);
+  EXPECT_EQ(net.materialized_links(), 1u);
+}
+
+// Property: under a seeded barrage of sends, crashes, partitions, and
+// probabilistic link faults, the aggregate stats() must exactly equal the sum
+// over materialized links for every counter, and exactly the links the test
+// itself touched are materialized.
+TEST(NetworkStatsLazyTest, AggregateEqualsSumOverMaterializedLinks) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Simulator sim;
+    Topology topo(2, 2, 8);  // 32 servers.
+    Network net(&sim, topo, seed);
+    Rng rng(seed * 977);
+
+    LinkFault chaos;
+    chaos.drop_prob = 0.15;
+    chaos.dup_prob = 0.10;
+    chaos.reorder_prob = 0.20;
+    chaos.extra_delay = 2 * kSimMillisecond;
+    chaos.extra_delay_jitter = 5 * kSimMillisecond;
+    net.SetDefaultFault(chaos);
+
+    std::vector<ServerId> servers = topo.AllServers();
+    std::set<std::pair<int64_t, int64_t>> touched;  // Expected materialized.
+    uint64_t partition_rule = 0;
+    for (int op = 0; op < 600; ++op) {
+      uint64_t roll = rng.NextBounded(100);
+      ServerId from = servers[rng.NextBounded(servers.size())];
+      ServerId to = servers[rng.NextBounded(servers.size())];
+      if (from == to) {
+        continue;
+      }
+      if (roll < 70) {
+        if (roll % 2 == 0) {
+          net.Send(from, to, static_cast<int64_t>(rng.NextBounded(4096)),
+                   [] {});
+        } else {
+          net.SendFifo(from, to, static_cast<int64_t>(rng.NextBounded(4096)),
+                       [] {});
+        }
+        // Every send materializes its link (counted as sent or dropped).
+        touched.insert({topo.FlatIndex(from), topo.FlatIndex(to)});
+      } else if (roll < 78) {
+        net.failures().Crash(from);
+      } else if (roll < 88) {
+        net.failures().Recover(from);
+      } else if (roll < 93 && partition_rule == 0) {
+        partition_rule = net.Partition({from}, {to});
+      } else if (partition_rule != 0) {
+        net.HealPartition(partition_rule);
+        partition_rule = 0;
+      }
+      if (op % 37 == 0) {
+        sim.RunUntilIdle(50);  // Interleave deliveries with new faults.
+      }
+    }
+    sim.RunUntilIdle();
+
+    const NetStats& aggregate = net.stats();
+    NetStats sum = net.SumLinkStats();
+    EXPECT_EQ(aggregate.messages_sent, sum.messages_sent) << "seed " << seed;
+    EXPECT_EQ(aggregate.delivered, sum.delivered) << "seed " << seed;
+    EXPECT_EQ(aggregate.dropped, sum.dropped) << "seed " << seed;
+    EXPECT_EQ(aggregate.delayed, sum.delayed) << "seed " << seed;
+    EXPECT_EQ(aggregate.duplicated, sum.duplicated) << "seed " << seed;
+    EXPECT_EQ(aggregate.reordered, sum.reordered) << "seed " << seed;
+    EXPECT_EQ(net.materialized_links(), touched.size()) << "seed " << seed;
+    // Conservation at idle: every accepted delivery (original + duplicate)
+    // either ran its handler or was dropped on arrival; `dropped` additionally
+    // counts send-time drops, so it closes the ledger from above.
+    EXPECT_LE(aggregate.messages_sent + aggregate.duplicated,
+              aggregate.delivered + aggregate.dropped)
+        << "seed " << seed;
+  }
 }
 
 }  // namespace
